@@ -1,0 +1,97 @@
+(** The benchmark harness: regenerates every table and figure of the
+    paper's evaluation (Section IX) and runs Bechamel micro-benchmarks of
+    this repository's own machinery.
+
+    Usage:
+      dune exec bench/main.exe               # every figure + microbenches
+      dune exec bench/main.exe -- list       # list experiment ids
+      dune exec bench/main.exe -- fig13 hw   # selected experiments only
+      dune exec bench/main.exe -- bechamel   # microbenches only
+
+    Absolute numbers will not match the paper (the substrate is a
+    deterministic OCaml simulator, not gem5 + x86 hardware); the shapes —
+    who wins, by roughly what factor, where the knees are — are the
+    reproduction target. EXPERIMENTS.md records paper-vs-measured per
+    figure. *)
+
+open Cwsp_experiments
+
+(* ---- Bechamel micro-benchmarks of the infrastructure itself ---- *)
+
+let microbenches () =
+  let open Bechamel in
+  let open Toolkit in
+  let w = Cwsp_workloads.Registry.find_exn "sjeng" in
+  let prog = w.build ~scale:1 in
+  let compiled =
+    Cwsp_compiler.Pipeline.compile ~config:Cwsp_compiler.Pipeline.cwsp prog
+  in
+  let trace =
+    let _, t = Cwsp_interp.Machine.trace_of_program compiled.prog in
+    t
+  in
+  let tests =
+    [
+      Test.make ~name:"compile:cwsp-pipeline(sjeng)"
+        (Staged.stage (fun () ->
+             ignore
+               (Cwsp_compiler.Pipeline.compile
+                  ~config:Cwsp_compiler.Pipeline.cwsp prog)));
+      Test.make ~name:"interp:trace-generation(sjeng)"
+        (Staged.stage (fun () ->
+             ignore (Cwsp_interp.Machine.trace_of_program compiled.prog)));
+      Test.make ~name:"engine:replay-cwsp(sjeng)"
+        (Staged.stage (fun () ->
+             ignore
+               (Cwsp_sim.Engine.run_trace Cwsp_sim.Config.default
+                  (Cwsp_sim.Engine.Cwsp Cwsp_sim.Engine.cwsp_full)
+                  trace)));
+      Test.make ~name:"engine:replay-baseline(sjeng)"
+        (Staged.stage (fun () ->
+             ignore
+               (Cwsp_sim.Engine.run_trace Cwsp_sim.Config.default
+                  Cwsp_sim.Engine.Baseline trace)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
+  Printf.printf "\nBechamel micro-benchmarks (per-call wall time)\n";
+  Printf.printf "----------------------------------------------\n";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~r_square:false ~bootstrap:0
+             ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ ns ] -> Printf.printf "%-36s %12.0f ns\n" name ns
+          | _ -> Printf.printf "%-36s (no estimate)\n" name)
+        ols)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    Index.run_all ();
+    microbenches ()
+  | [ "list" ] ->
+    List.iter (fun (e : Index.entry) -> Printf.printf "%-10s %s\n" e.id e.etitle)
+      Index.all;
+    print_endline "bechamel   Bechamel micro-benchmarks"
+  | [ "bechamel" ] -> microbenches ()
+  | ids ->
+    List.iter
+      (fun id ->
+        if id = "bechamel" then microbenches ()
+        else
+          match Index.find id with
+          | Some e -> e.erun ()
+          | None ->
+            Printf.eprintf "unknown experiment %S (try 'list')\n" id;
+            exit 1)
+      ids

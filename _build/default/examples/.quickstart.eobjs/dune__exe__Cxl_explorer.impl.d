@@ -1,0 +1,1 @@
+examples/cxl_explorer.ml: Arg Cmd Cmdliner Config Cwsp_core Cwsp_schemes Cwsp_sim Cwsp_util Cwsp_workloads List Nvm Printf Term

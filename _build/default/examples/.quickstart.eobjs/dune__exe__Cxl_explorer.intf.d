@@ -1,0 +1,1 @@
+examples/cxl_explorer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Cwsp_compiler Cwsp_interp Cwsp_ir Cwsp_recovery Cwsp_runtime Cwsp_sim List Printf String Types

@@ -1,0 +1,1 @@
+examples/whole_stack.ml: Builder Cwsp_compiler Cwsp_interp Cwsp_ir Cwsp_recovery Cwsp_runtime List Pp Printf Prog

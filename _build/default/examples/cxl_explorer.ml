@@ -1,0 +1,89 @@
+(** CXL design-space explorer: how does a workload behave across memory
+    technologies, cache depths and persist-path provisioning?
+
+    Run with:
+      dune exec examples/cxl_explorer.exe                 # defaults (lbm)
+      dune exec examples/cxl_explorer.exe -- -w xsbench
+      dune exec examples/cxl_explorer.exe -- -w tatp --bandwidth 1,4,32 *)
+
+open Cmdliner
+open Cwsp_sim
+
+let explore name bandwidths =
+  match Cwsp_workloads.Registry.find name with
+  | None ->
+    Printf.eprintf "unknown workload %S\n" name;
+    exit 1
+  | Some w ->
+    let slow ?(label = "x") scheme cfg =
+      Cwsp_core.Api.slowdown ~label w ~scheme cfg
+    in
+    Printf.printf "workload: %s — %s\n\n" w.name w.description;
+
+    (* 1. memory technologies (Fig 27 / Tab 1 style) *)
+    print_endline "cWSP overhead by main-memory technology:";
+    Cwsp_util.Table.print
+      ~headers:[ "memory"; "read ns"; "write GB/s"; "cWSP slowdown" ]
+      (List.map
+         (fun (m : Nvm.t) ->
+           [
+             m.mem_name;
+             Printf.sprintf "%.0f" m.read_ns;
+             Printf.sprintf "%.1f" m.write_bw_gbs;
+             Cwsp_util.Table.f3
+               (slow ~label:("mem-" ^ m.mem_name) Cwsp_schemes.Schemes.cwsp
+                  { Config.default with mem = m });
+           ])
+         (Nvm.all_techs @ Nvm.cxl_devices));
+
+    (* 2. hierarchy depth (Fig 1 style), PMEM vs DRAM main memory *)
+    print_endline "\nPMEM-vs-DRAM slowdown by cache depth (no persistence):";
+    Cwsp_util.Table.print
+      ~headers:[ "levels"; "PMEM/DRAM" ]
+      (List.map
+         (fun levels ->
+           let base = Config.fig1_levels levels in
+           let t mem label =
+             (Cwsp_core.Api.stats ~label w Cwsp_schemes.Schemes.baseline
+                { base with mem })
+               .elapsed_ns
+           in
+           [
+             string_of_int levels;
+             Cwsp_util.Table.f3
+               (t Nvm.cxl_pmem (Printf.sprintf "lv%d-p" levels)
+               /. t Nvm.cxl_dram (Printf.sprintf "lv%d-d" levels));
+           ])
+         [ 2; 3; 4; 5 ]);
+
+    (* 3. persist-path bandwidth (Fig 21 style) *)
+    print_endline "\ncWSP overhead by persist-path bandwidth:";
+    Cwsp_util.Table.print
+      ~headers:[ "GB/s"; "cWSP slowdown" ]
+      (List.map
+         (fun bw ->
+           [
+             Printf.sprintf "%g" bw;
+             Cwsp_util.Table.f3
+               (slow
+                  ~label:(Printf.sprintf "bw-%g" bw)
+                  Cwsp_schemes.Schemes.cwsp
+                  { Config.default with path_bandwidth_gbs = bw });
+           ])
+         bandwidths)
+
+let cmd =
+  let workload =
+    Arg.(value & opt string "lbm" & info [ "w"; "workload" ] ~docv:"NAME")
+  in
+  let bandwidths =
+    Arg.(
+      value
+      & opt (list float) [ 1.0; 2.0; 4.0; 10.0; 32.0 ]
+      & info [ "bandwidth" ] ~docv:"GBPS,..")
+  in
+  Cmd.v
+    (Cmd.info "cxl_explorer" ~doc:"cWSP design-space exploration")
+    Term.(const explore $ workload $ bandwidths)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Array Cfg Cwsp_ir List Prog Types

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Cwsp_ir List Prog Types

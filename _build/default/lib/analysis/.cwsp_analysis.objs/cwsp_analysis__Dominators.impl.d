@@ -1,0 +1,1 @@
+lib/analysis/dominators.ml: Array Cfg Cwsp_ir List Prog

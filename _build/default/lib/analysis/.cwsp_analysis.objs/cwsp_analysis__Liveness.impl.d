@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Cfg Cwsp_ir Int List Prog Set Types

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Cfg Cwsp_ir List Prog

@@ -1,0 +1,158 @@
+(** Object-provenance alias analysis.
+
+    Plays the role of LLVM's alias analysis in the cWSP compiler
+    (Section IV-A): it classifies every memory access of a function by a
+    symbolic address — a (global object, offset) pair when provable,
+    [Any] otherwise. Two accesses may alias unless their symbolic
+    addresses are provably disjoint. Heap pointers (loaded from memory or
+    returned by calls) resolve to [Any], which is conservative: it only
+    produces extra region cuts, never missed antidependences. *)
+
+open Cwsp_ir
+
+(* Provenance of a register value. *)
+type prov =
+  | Bot                       (* no pointer information yet *)
+  | Obj of string * offv      (* address inside a named global *)
+  | Unknown                   (* may point anywhere *)
+
+and offv = Const of int | AnyOff
+
+let join_off a b =
+  match (a, b) with
+  | Const x, Const y when x = y -> Const x
+  | _ -> AnyOff
+
+let join_prov a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Unknown, _ | _, Unknown -> Unknown
+  | Obj (g1, o1), Obj (g2, o2) ->
+    if g1 = g2 then Obj (g1, join_off o1 o2) else Unknown
+
+let equal_prov a b =
+  match (a, b) with
+  | Bot, Bot | Unknown, Unknown -> true
+  | Obj (g1, Const x), Obj (g2, Const y) -> g1 = g2 && x = y
+  | Obj (g1, AnyOff), Obj (g2, AnyOff) -> g1 = g2
+  | _ -> false
+
+(* Transfer function for one instruction over a mutable register state. *)
+let transfer state (ins : Types.instr) =
+  let get = function
+    | Types.Reg r -> state.(r)
+    | Types.Imm _ -> Bot
+  in
+  let set d p = state.(d) <- p in
+  match ins with
+  | La (d, g) -> set d (Obj (g, Const 0))
+  | Mov (d, src) -> set d (get src)
+  | Bin (Add, d, a, b) -> (
+    match (a, b, get a, get b) with
+    | _, Types.Imm k, Obj (g, Const c), _ -> set d (Obj (g, Const (c + k)))
+    | Types.Imm k, _, _, Obj (g, Const c) -> set d (Obj (g, Const (c + k)))
+    | _, _, Obj (g, _), Bot | _, _, Bot, Obj (g, _) -> set d (Obj (g, AnyOff))
+    | _, _, Obj _, _ | _, _, _, Obj _ -> set d Unknown
+    | _, _, Unknown, _ | _, _, _, Unknown -> set d Unknown
+    | _ -> set d Bot)
+  | Bin (Sub, d, a, b) -> (
+    match (b, get a) with
+    | Types.Imm k, Obj (g, Const c) -> set d (Obj (g, Const (c - k)))
+    | _, Obj (g, _) -> set d (Obj (g, AnyOff))
+    | _, Unknown -> set d Unknown
+    | _ -> set d Bot)
+  | Bin (_, d, a, b) -> (
+    (* other arithmetic on a pointer loses precision *)
+    match (get a, get b) with
+    | (Obj _ | Unknown), _ | _, (Obj _ | Unknown) -> set d Unknown
+    | _ -> set d Bot)
+  | Cmp (_, d, _, _) -> set d Bot
+  | Load (d, _, _) -> set d Unknown (* loaded values may be heap pointers *)
+  | Atomic_rmw (_, d, _, _, _) | Cas (d, _, _, _, _) -> set d Unknown
+  | Call (_, _, Some d) -> set d Unknown
+  | Call (_, _, None) | Store _ | Fence | Ckpt _ | Boundary _ -> ()
+
+(** Resolved symbolic address of one access. *)
+type sym = Exact of string * int | Within of string | Any
+
+let resolve_addr prov disp =
+  match prov with
+  | Obj (g, Const c) -> Exact (g, c + disp)
+  | Obj (g, AnyOff) -> Within g
+  | Unknown | Bot -> Any
+
+let may_alias a b =
+  match (a, b) with
+  | Any, _ | _, Any -> true
+  | Exact (g1, o1), Exact (g2, o2) -> g1 = g2 && o1 = o2
+  | Within g1, Within g2 | Within g1, Exact (g2, _) | Exact (g1, _), Within g2 ->
+    g1 = g2
+
+type access = {
+  a_bi : int;
+  a_ii : int;
+  reads : bool;
+  writes : bool;
+  sym : sym;
+}
+
+(** Flow-sensitive resolution of every data memory access of [fn].
+    Checkpoint writes are excluded: the checkpoint area is hardware-managed
+    and never read by program loads (only by the recovery runtime), so it
+    cannot participate in a memory antidependence. *)
+let accesses (fn : Prog.func) : access list =
+  let n = Array.length fn.blocks in
+  let nregs = max 1 fn.nregs in
+  let entry_state () =
+    Array.init nregs (fun r -> if r < fn.nparams then Unknown else Bot)
+  in
+  let bot_state () = Array.make nregs Bot in
+  let states = Array.init n (fun i -> if i = 0 then entry_state () else bot_state ()) in
+  let rpo = Cfg.reverse_postorder fn in
+  let reachable = Cfg.reachable fn in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bi ->
+        let state = Array.copy states.(bi) in
+        List.iter (fun ins -> transfer state ins) fn.blocks.(bi).instrs;
+        List.iter
+          (fun s ->
+            let merged = Array.mapi (fun r p -> join_prov p state.(r)) states.(s) in
+            if not (Array.for_all2 equal_prov merged states.(s)) then begin
+              states.(s) <- merged;
+              changed := true
+            end)
+          (Cfg.successors fn bi))
+      rpo
+  done;
+  let result = ref [] in
+  for bi = 0 to n - 1 do
+    if reachable.(bi) then begin
+      let state = Array.copy states.(bi) in
+      List.iteri
+        (fun ii ins ->
+          (match ins with
+          | Types.Load (_, base, off) ->
+            result :=
+              { a_bi = bi; a_ii = ii; reads = true; writes = false;
+                sym = resolve_addr state.(base) off }
+              :: !result
+          | Types.Store (base, off, _) ->
+            result :=
+              { a_bi = bi; a_ii = ii; reads = false; writes = true;
+                sym = resolve_addr state.(base) off }
+              :: !result
+          | Types.Atomic_rmw (_, _, base, off, _) | Types.Cas (_, base, off, _, _) ->
+            result :=
+              { a_bi = bi; a_ii = ii; reads = true; writes = true;
+                sym = resolve_addr state.(base) off }
+              :: !result
+          | Types.Bin _ | Types.Cmp _ | Types.Mov _ | Types.La _ | Types.Call _
+          | Types.Fence | Types.Ckpt _ | Types.Boundary _ -> ());
+          transfer state ins)
+        fn.blocks.(bi).instrs
+    end
+  done;
+  List.rev !result

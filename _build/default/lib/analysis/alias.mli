@@ -1,0 +1,30 @@
+(** Object-provenance alias analysis — the role of LLVM's alias analysis
+    in the cWSP compiler (Section IV-A). Classifies every memory access
+    by a symbolic address; two accesses may alias unless provably
+    disjoint. Heap pointers (loaded from memory or returned by calls)
+    resolve to [Any] — conservative: extra region cuts, never missed
+    antidependences (validated dynamically by the fuzzer's
+    alias-soundness oracle). *)
+
+open Cwsp_ir
+
+(** Resolved symbolic address of one access. *)
+type sym =
+  | Exact of string * int (** a specific word of a named global *)
+  | Within of string      (** somewhere inside a named global *)
+  | Any
+
+val may_alias : sym -> sym -> bool
+
+type access = {
+  a_bi : int;
+  a_ii : int;
+  reads : bool;
+  writes : bool;
+  sym : sym;
+}
+
+(** Flow-sensitive resolution of every data memory access of a function.
+    Checkpoint writes are excluded (the checkpoint area is never read by
+    program loads). *)
+val accesses : Prog.func -> access list

@@ -1,0 +1,40 @@
+(** Control-flow-graph utilities shared by the dataflow analyses. *)
+
+open Cwsp_ir
+
+let successors (fn : Prog.func) bi = Types.term_succs fn.blocks.(bi).term
+
+let predecessors (fn : Prog.func) : int list array =
+  let n = Array.length fn.blocks in
+  let preds = Array.make n [] in
+  for bi = 0 to n - 1 do
+    List.iter (fun s -> preds.(s) <- bi :: preds.(s)) (successors fn bi)
+  done;
+  Array.map List.rev preds
+
+(** Reverse postorder of reachable blocks (entry first). *)
+let reverse_postorder (fn : Prog.func) : int list =
+  let n = Array.length fn.blocks in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs bi =
+    if not visited.(bi) then begin
+      visited.(bi) <- true;
+      List.iter dfs (successors fn bi);
+      order := bi :: !order
+    end
+  in
+  dfs 0;
+  !order
+
+let reachable (fn : Prog.func) : bool array =
+  let n = Array.length fn.blocks in
+  let seen = Array.make n false in
+  let rec dfs bi =
+    if not seen.(bi) then begin
+      seen.(bi) <- true;
+      List.iter dfs (successors fn bi)
+    end
+  in
+  dfs 0;
+  seen

@@ -1,0 +1,11 @@
+(** Control-flow-graph utilities shared by the dataflow analyses. *)
+
+open Cwsp_ir
+
+val successors : Prog.func -> int -> int list
+val predecessors : Prog.func -> int list array
+
+(** Reverse postorder of reachable blocks (entry first). *)
+val reverse_postorder : Prog.func -> int list
+
+val reachable : Prog.func -> bool array

@@ -1,0 +1,61 @@
+(** Dominator analysis (iterative Cooper–Harvey–Kennedy).
+
+    Used by the checkpoint pruning pass to justify "function-wide
+    constant" rematerialization: a unique operand-free definition can be
+    re-evaluated at any boundary its block dominates, because every path
+    to the boundary executed it. *)
+
+open Cwsp_ir
+
+type t = {
+  idom : int array;        (* immediate dominator per block; entry maps to itself;
+                              unreachable blocks map to -1 *)
+  rpo_index : int array;   (* position in reverse postorder, -1 if unreachable *)
+}
+
+let compute (fn : Prog.func) : t =
+  let n = Array.length fn.blocks in
+  let rpo = Array.of_list (Cfg.reverse_postorder fn) in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let preds = Cfg.predecessors fn in
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 then begin
+          let processed =
+            List.filter (fun p -> idom.(p) <> -1) preds.(b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+(** Does block [a] dominate block [b]? Entry dominates everything
+    reachable; unreachable blocks are dominated by nothing. *)
+let dominates t ~a ~b =
+  if t.idom.(b) = -1 || t.idom.(a) = -1 then false
+  else
+    let rec walk b = if b = a then true else if b = 0 then a = 0 else walk t.idom.(b) in
+    walk b
+
+(** Immediate dominator, if the block is reachable and not the entry. *)
+let immediate_dominator t b =
+  if b = 0 || t.idom.(b) = -1 then None else Some t.idom.(b)

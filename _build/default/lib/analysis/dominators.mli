@@ -1,0 +1,19 @@
+(** Dominator analysis (iterative Cooper–Harvey–Kennedy). Used by
+    checkpoint pruning to justify function-wide-constant
+    rematerialization: a unique operand-free definition can be
+    re-evaluated at any point its block dominates. *)
+
+open Cwsp_ir
+
+type t = {
+  idom : int array;      (** immediate dominator; entry maps to itself;
+                             unreachable blocks to -1 *)
+  rpo_index : int array;
+}
+
+val compute : Prog.func -> t
+
+(** Does block [a] dominate block [b]? *)
+val dominates : t -> a:int -> b:int -> bool
+
+val immediate_dominator : t -> int -> int option

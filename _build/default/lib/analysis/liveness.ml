@@ -1,0 +1,89 @@
+(** Classic backward liveness dataflow.
+
+    The cWSP compiler checkpoints exactly the registers that are live
+    across each region boundary (Section IV-B), so the checkpoint passes
+    query [live_before] at boundary positions. *)
+
+open Cwsp_ir
+module IntSet = Set.Make (Int)
+
+type t = {
+  fn : Prog.func;
+  live_out : IntSet.t array; (* per block: live at block exit *)
+}
+
+let block_transfer (blk : Prog.block) live_out =
+  (* backward over terminator then instructions *)
+  let live = List.fold_left (fun s r -> IntSet.add r s) live_out (Types.term_uses blk.term) in
+  List.fold_left
+    (fun live ins ->
+      let live =
+        match Types.def ins with Some d -> IntSet.remove d live | None -> live
+      in
+      List.fold_left (fun s r -> IntSet.add r s) live (Types.uses ins))
+    live (List.rev blk.instrs)
+
+let compute (fn : Prog.func) : t =
+  let n = Array.length fn.blocks in
+  let live_out = Array.make n IntSet.empty in
+  let live_in = Array.make n IntSet.empty in
+  let preds = Cfg.predecessors fn in
+  let changed = ref true in
+  (* iterate in postorder (reverse of RPO) for fast convergence *)
+  let order = List.rev (Cfg.reverse_postorder fn) in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bi ->
+        let out =
+          List.fold_left
+            (fun acc s -> IntSet.union acc live_in.(s))
+            IntSet.empty (Cfg.successors fn bi)
+        in
+        let inn = block_transfer fn.blocks.(bi) out in
+        if not (IntSet.equal out live_out.(bi)) then begin
+          live_out.(bi) <- out;
+          changed := true
+        end;
+        if not (IntSet.equal inn live_in.(bi)) then begin
+          live_in.(bi) <- inn;
+          changed := true
+        end;
+        ignore preds)
+      order
+  done;
+  { fn; live_out }
+
+(** Live registers immediately before instruction [ii] of block [bi]
+    (an index equal to the instruction count addresses the point just
+    before the terminator). *)
+let live_before (t : t) ~bi ~ii =
+  let blk = t.fn.blocks.(bi) in
+  let ninstrs = List.length blk.instrs in
+  if ii < 0 || ii > ninstrs then invalid_arg "Liveness.live_before: bad index";
+  let live =
+    List.fold_left
+      (fun s r -> IntSet.add r s)
+      t.live_out.(bi)
+      (Types.term_uses blk.term)
+  in
+  (* walk backward from the terminator to position ii *)
+  let rec walk live instrs pos =
+    if pos < ii then live
+    else
+      match instrs with
+      | [] -> live
+      | ins :: rest ->
+        let live =
+          if pos >= ii then
+            let live =
+              match Types.def ins with
+              | Some d -> IntSet.remove d live
+              | None -> live
+            in
+            List.fold_left (fun s r -> IntSet.add r s) live (Types.uses ins)
+          else live
+        in
+        walk live rest (pos - 1)
+  in
+  walk live (List.rev blk.instrs) (ninstrs - 1)

@@ -1,0 +1,18 @@
+(** Classic backward liveness dataflow. The checkpoint passes query
+    [live_before] at region-boundary positions: cWSP checkpoints exactly
+    the registers live across each boundary (Section IV-B). *)
+
+open Cwsp_ir
+module IntSet : Set.S with type elt = int
+
+type t = {
+  fn : Prog.func;
+  live_out : IntSet.t array; (** per block: live at block exit *)
+}
+
+val compute : Prog.func -> t
+
+(** Live registers immediately before instruction [ii] of block [bi]
+    (an index equal to the instruction count addresses the point just
+    before the terminator). *)
+val live_before : t -> bi:int -> ii:int -> IntSet.t

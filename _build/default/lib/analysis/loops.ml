@@ -1,0 +1,27 @@
+(** Back-edge / loop-header detection.
+
+    cWSP inserts a region boundary at the header of each loop so that every
+    iteration forms its own region (Section IV-A). Builder-generated CFGs
+    are reducible, for which the DFS back-edge criterion identifies exactly
+    the natural-loop headers. *)
+
+open Cwsp_ir
+
+(** Blocks that are the target of a back edge. *)
+let headers (fn : Prog.func) : bool array =
+  let n = Array.length fn.blocks in
+  let state = Array.make n `White in
+  let is_header = Array.make n false in
+  let rec dfs bi =
+    state.(bi) <- `Gray;
+    List.iter
+      (fun s ->
+        match state.(s) with
+        | `Gray -> is_header.(s) <- true (* back edge bi -> s *)
+        | `White -> dfs s
+        | `Black -> ())
+      (Cfg.successors fn bi);
+    state.(bi) <- `Black
+  in
+  if n > 0 then dfs 0;
+  is_header

@@ -1,0 +1,8 @@
+(** Back-edge / loop-header detection (DFS criterion; builder-generated
+    CFGs are reducible). cWSP places a region boundary at every loop
+    header so each iteration is its own region (Section IV-A). *)
+
+open Cwsp_ir
+
+(** Per block: is it the target of a back edge? *)
+val headers : Prog.func -> bool array

@@ -1,0 +1,1 @@
+lib/ckpt/pass.ml: Array Cwsp_analysis Cwsp_ir Hashtbl Int List Liveness Option Prog Regions Set Slice Types

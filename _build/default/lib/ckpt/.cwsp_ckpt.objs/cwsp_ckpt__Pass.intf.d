@@ -1,0 +1,1 @@
+lib/ckpt/pass.mli: Cwsp_ir Hashtbl Prog Slice

@@ -1,0 +1,1 @@
+lib/ckpt/regions.ml: Array Cwsp_analysis Cwsp_ir Hashtbl Int List Prog Set Types

@@ -1,0 +1,1 @@
+lib/ckpt/slice.ml: Cwsp_ir Eval List Pp Printf String Types

@@ -1,0 +1,1 @@
+lib/ckpt/slice.mli: Cwsp_ir Types

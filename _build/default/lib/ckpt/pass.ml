@@ -1,0 +1,457 @@
+(** Live-out register checkpointing and optimal checkpoint pruning
+    (Sections IV-B and IV-C; pruning follows Penny's reconstruction idea).
+
+    Step 1 inserts [Ckpt r] immediately before every region boundary for
+    every register live across it, so that the NVM slot of each live-in of
+    each region holds its entry value once the preceding region persists.
+
+    Step 2 prunes. For each boundary [k] and live register [r] the
+    analysis computes a recovery plan — how the recovery slice of a region
+    starting at [k] obtains [r]:
+
+    - [VSlot]: read [r]'s checkpoint slot (either a checkpoint is kept at
+      [k], or an earlier kept checkpoint still holds the value);
+    - [VRemat e]: evaluate [e] over immediates, global addresses and the
+      slots of other checkpointed registers — the Fig. 4(b) recovery-slice
+      construction.
+
+    A checkpoint at [k] is removed whenever the plan does not need it:
+    the value is unchanged since all predecessor boundaries and they agree
+    on the plan, or the defining instruction sits in [k]'s segment or in a
+    single predecessor's block suffix and can be re-evaluated. Any
+    disagreement, unresolved dependency or stale slot reference falls back
+    to keeping the checkpoint, which is always sound because the kept
+    [Ckpt] refreshes the slot with exactly the value the slice reads. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+module IntSet = Set.Make (Int)
+
+(* ---- step 1: insertion ---- *)
+
+let assert_no_ckpt (fn : Prog.func) =
+  Prog.iter_instrs
+    (fun _ _ ins ->
+      match ins with
+      | Types.Ckpt _ -> invalid_arg "Ckpt.Pass: function already has checkpoints"
+      | _ -> ())
+    fn
+
+let insert_checkpoints (fn : Prog.func) : Prog.func * int =
+  assert_no_ckpt fn;
+  let live = Liveness.compute fn in
+  let inserted = ref 0 in
+  let blocks =
+    Array.mapi
+      (fun bi (blk : Prog.block) ->
+        let rec rebuild ii instrs acc =
+          match instrs with
+          | [] -> List.rev acc
+          | (Types.Boundary _ as b) :: rest ->
+            let live_set = Liveness.live_before live ~bi ~ii in
+            let ckpts =
+              Liveness.IntSet.elements live_set
+              |> List.map (fun r ->
+                     incr inserted;
+                     Types.Ckpt r)
+            in
+            rebuild (ii + 1) rest (b :: List.rev_append ckpts acc)
+          | ins :: rest -> rebuild (ii + 1) rest (ins :: acc)
+        in
+        { blk with instrs = rebuild 0 blk.instrs [] })
+      fn.blocks
+  in
+  ({ fn with blocks }, !inserted)
+
+(* ---- step 2: the plan analysis ---- *)
+
+type plan = Top | VSlot | VRemat of Slice.expr
+
+let plan_equal a b =
+  match (a, b) with
+  | Top, Top | VSlot, VSlot -> true
+  | VRemat e1, VRemat e2 -> e1 = e2
+  | _ -> false
+
+(* How boundary [k] recovers register [r] as a function of predecessors. *)
+type via =
+  | Inherit of int * IntSet.t
+    (* unchanged along the paths from this pred; the set is that path's
+       defs (suffix + intermediates + segment), used to re-validate slot
+       references of inherited remat expressions *)
+  | Fixed of Slice.expr (* rematerialized in the pred's suffix or segment *)
+  | Blocked             (* unanalyzable: keep the checkpoint *)
+
+type template =
+  | Seg of Slice.expr option (* defined in k's segment: remat or keep *)
+  | Vias of via list         (* not defined in the segment *)
+
+type analysis = {
+  rg : Regions.t;
+  nbounds : int;
+  nparams : int;
+  live_at : IntSet.t array;
+  infos : Regions.info array;
+  templates : (int * int, template) Hashtbl.t;
+  out : (int * int, plan) Hashtbl.t;
+  keep : (int * int, unit) Hashtbl.t;
+  pinned : (int * int, unit) Hashtbl.t;
+}
+
+let get_plan a k r = Option.value ~default:Top (Hashtbl.find_opt a.out (k, r))
+let set_keep a k r = Hashtbl.replace a.keep (k, r) ()
+let is_keep a k r = Hashtbl.mem a.keep (k, r)
+
+let pin a k r =
+  Hashtbl.replace a.pinned (k, r) ();
+  set_keep a k r
+
+(* A slot reference is permanently valid when the register is a parameter
+   that is never redefined: its prologue checkpoint (always kept — the
+   entry boundary has no predecessors) holds its value for the whole
+   activation. *)
+let permanent_slot a r = r < a.nparams && a.rg.never_defined.(r)
+
+let max_remat_depth = 40
+let max_expr_size = 64
+
+exception Remat_fail
+
+(** Rematerialize the value of [r] at boundary [k] when its definition
+    lies in the given chain of spans (earliest first, ending just before
+    [k]). [gap_defs] are registers defined in code between the spans
+    (intermediate boundary-free blocks), which invalidates slot pinning
+    for them.
+
+    Slot references come in three flavours:
+    - permanent: never-redefined parameters (prologue checkpoint);
+    - pinned at [k]: the register's value is unchanged from the reference
+      point to [k], so keeping its checkpoint at [k] makes the slot hold
+      exactly the needed value;
+    - pinned at the chain's opening boundary [chain_pred] (with
+      [pre_defs] the registers possibly redefined between that boundary
+      and the chain, e.g. in the predecessor's suffix or intermediate
+      blocks): the slot then holds the *region-entry* value — this is the
+      paper's Fig. 4(b) pattern, where Rg2's slice shifts the value
+      checkpointed back in region Rg0. *)
+let remat (a : analysis) (k : int) (r : int) ~(chain : Regions.span list)
+    ~(gap_defs : IntSet.t) ~(chain_pred : int option) ~(pre_defs : IntSet.t) :
+    Slice.expr option =
+  let spans = Array.of_list chain in
+  let nspans = Array.length spans in
+  let instr si j = a.rg.code.(spans.(si).sbi).(j) in
+  (* last def of [reg] strictly before (si, pos) within the chain *)
+  let find_def reg ~si ~pos =
+    let rec scan si j =
+      if j < spans.(si).lo then if si = 0 then None else scan (si - 1) (spans.(si - 1).hi - 1)
+      else if Types.def (instr si j) = Some reg then Some (si, j)
+      else scan si (j - 1)
+    in
+    if nspans = 0 then None else scan si (pos - 1)
+  in
+  let no_def_from reg ~si ~pos =
+    (* no def of [reg] at or after (si, pos) through the end of the chain,
+       nor in the inter-span gap code *)
+    (not (IntSet.mem reg gap_defs))
+    &&
+    let rec scan si j =
+      if si >= nspans then true
+      else if j >= spans.(si).hi then scan (si + 1) (if si + 1 < nspans then spans.(si + 1).lo else 0)
+      else if Types.def (instr si j) = Some reg then false
+      else scan si (j + 1)
+    in
+    scan si pos
+  in
+  let rec expr_of_def (si, j) depth : Slice.expr =
+    match instr si j with
+    | Types.Mov (_, Imm v) -> EImm v
+    | Types.Mov (_, Reg r2) -> resolve r2 ~si ~pos:j depth
+    | Types.La (_, g) -> EAddr g
+    | Types.Bin (op, _, x, y) ->
+      EBin (op, resolve_operand x ~si ~pos:j depth, resolve_operand y ~si ~pos:j depth)
+    | Types.Cmp (op, _, x, y) ->
+      ECmp (op, resolve_operand x ~si ~pos:j depth, resolve_operand y ~si ~pos:j depth)
+    | Types.Load _ | Types.Call _ | Types.Atomic_rmw _ | Types.Cas _
+    | Types.Store _ | Types.Fence | Types.Ckpt _ | Types.Boundary _ ->
+      raise Remat_fail
+  and resolve_operand o ~si ~pos depth =
+    match o with
+    | Types.Imm v -> Slice.EImm v
+    | Types.Reg r2 -> resolve r2 ~si ~pos depth
+  and resolve r2 ~si ~pos depth : Slice.expr =
+    if depth <= 0 then raise Remat_fail;
+    match find_def r2 ~si ~pos with
+    | Some d -> expr_of_def d (depth - 1)
+    | None ->
+      if permanent_slot a r2 then Slice.ESlot r2
+      else if
+        (* unique operand-free defs dominating this use are constants *)
+        (match Regions.constant_at a.rg r2 ~bi:spans.(si).sbi ~ii:pos with
+        | Some _ -> true
+        | None -> false)
+      then (
+        match Regions.constant_at a.rg r2 ~bi:spans.(si).sbi ~ii:pos with
+        | Some (Types.La (_, g)) -> Slice.EAddr g
+        | Some (Types.Mov (_, Types.Imm v)) -> Slice.EImm v
+        | Some _ | None -> raise Remat_fail)
+      else if IntSet.mem r2 a.live_at.(k) && no_def_from r2 ~si ~pos then begin
+        pin a k r2;
+        Slice.ESlot r2
+      end
+      else begin
+        (* Region-entry slot: r2's value at the chain's opening boundary
+           [p]. Sound only when no checkpoint of r2 can overwrite the
+           slot after [p]'s: checkpoints live only at boundaries, the
+           region p->k has none inside, and r2 being *dead* at [k] means
+           no checkpoint of it exists at [k] either. (A live-at-[k] r2
+           whose value is unchanged is already covered by the pin-at-[k]
+           case above.) *)
+        match chain_pred with
+        | Some p
+          when (not (IntSet.mem r2 a.live_at.(k)))
+               && (not (IntSet.mem r2 pre_defs))
+               && (not (IntSet.mem r2 gap_defs))
+               && IntSet.mem r2 a.live_at.(p) ->
+          pin a p r2;
+          Slice.ESlot r2
+        | Some _ | None -> raise Remat_fail
+      end
+  in
+  match find_def r ~si:(nspans - 1) ~pos:spans.(nspans - 1).hi with
+  | None -> None
+  | Some d -> (
+    try
+      let e = expr_of_def d max_remat_depth in
+      if Slice.expr_size e > max_expr_size then None else Some e
+    with Remat_fail -> None)
+
+(* Build the iteration-invariant template for (k, r). *)
+let template_of (a : analysis) (k : int) (r : int) : template =
+  let info = a.infos.(k) in
+  if IntSet.mem r info.segment_defs then begin
+    (* the opening boundary of the segment chain, when unambiguous *)
+    let chain_pred, pre_defs =
+      match info.pred_entries with
+      | [ pe ] ->
+        ( Some pe.pe_pred,
+          IntSet.union (Regions.span_defs a.rg pe.pe_suffix) info.intermediate_defs )
+      | [] | _ :: _ :: _ -> (None, IntSet.empty)
+    in
+    Seg
+      (remat a k r ~chain:[ info.segment ] ~gap_defs:IntSet.empty ~chain_pred
+         ~pre_defs)
+  end
+  else begin
+    let vias =
+      List.map
+        (fun (pe : Regions.pred_entry) ->
+          let sdefs = Regions.span_defs a.rg pe.pe_suffix in
+          let path_defs =
+            IntSet.union sdefs (IntSet.union info.intermediate_defs info.segment_defs)
+          in
+          if not (IntSet.mem r path_defs) then Inherit (pe.pe_pred, path_defs)
+          else if IntSet.mem r sdefs && not (IntSet.mem r info.intermediate_defs)
+          then
+            match
+              remat a k r
+                ~chain:[ pe.pe_suffix; info.segment ]
+                ~gap_defs:info.intermediate_defs
+                ~chain_pred:(Some pe.pe_pred) ~pre_defs:IntSet.empty
+            with
+            | Some e -> Fixed e
+            | None -> Blocked
+          else Blocked)
+        info.pred_entries
+    in
+    Vias vias
+  end
+
+(* [Keep_it] aborts a meet: the checkpoint must stay. *)
+exception Keep_it
+
+let analyze (fn : Prog.func) : analysis =
+  let rg = Regions.build fn in
+  let live = Liveness.compute fn in
+  let nbounds = Array.length rg.bounds in
+  let live_at =
+    Array.map
+      (fun (b : Regions.bpos) ->
+        Liveness.live_before live ~bi:b.bi ~ii:b.ii
+        |> Liveness.IntSet.elements |> IntSet.of_list)
+      rg.bounds
+  in
+  let infos = Array.init nbounds (fun k -> Regions.info rg k) in
+  let a =
+    {
+      rg;
+      nbounds;
+      nparams = fn.nparams;
+      live_at;
+      infos;
+      templates = Hashtbl.create 64;
+      out = Hashtbl.create 64;
+      keep = Hashtbl.create 64;
+      pinned = Hashtbl.create 16;
+    }
+  in
+  (* Prepass: templates (iteration-invariant; remat attempts pin slots). *)
+  for k = 0 to nbounds - 1 do
+    IntSet.iter
+      (fun r -> Hashtbl.replace a.templates (k, r) (template_of a k r))
+      a.live_at.(k)
+  done;
+  (* Fixpoint. Values move Top -> concrete -> VSlot(keep); keep is sticky. *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > 4 * (nbounds + 2) then failwith "Ckpt.Pass: plan fixpoint diverged";
+    for k = 0 to nbounds - 1 do
+      IntSet.iter
+        (fun r ->
+          let v =
+            if Hashtbl.mem a.pinned (k, r) || is_keep a k r then begin
+              set_keep a k r;
+              VSlot
+            end
+            else
+              match Hashtbl.find a.templates (k, r) with
+              | Seg (Some e) -> VRemat e
+              | Seg None ->
+                set_keep a k r;
+                VSlot
+              | Vias [] ->
+                set_keep a k r;
+                VSlot
+              | Vias vias -> (
+                try
+                  let m =
+                    List.fold_left
+                      (fun acc via ->
+                        let v =
+                          match via with
+                          | Fixed e -> VRemat e
+                          | Blocked -> raise Keep_it
+                          | Inherit (p, path_defs) -> (
+                            match get_plan a p r with
+                            | Top -> Top
+                            | VSlot -> VSlot
+                            | VRemat e ->
+                              (* inherited remat: every pinned slot it reads
+                                 must still be valid at k *)
+                              let ok =
+                                List.for_all
+                                  (fun r2 ->
+                                    permanent_slot a r2
+                                    || ((not (IntSet.mem r2 path_defs))
+                                       && plan_equal (get_plan a k r2) VSlot))
+                                  (Slice.slot_refs e)
+                              in
+                              if ok then VRemat e else raise Keep_it)
+                        in
+                        match (acc, v) with
+                        | Top, x | x, Top -> x
+                        | x, y when plan_equal x y -> x
+                        | _ -> raise Keep_it)
+                      Top vias
+                  in
+                  m
+                with Keep_it ->
+                  set_keep a k r;
+                  VSlot)
+          in
+          if not (plan_equal v (get_plan a k r)) then begin
+            Hashtbl.replace a.out (k, r) v;
+            changed := true
+          end)
+        a.live_at.(k)
+    done
+  done;
+  (* Any value still Top (e.g. unreachable cycles) keeps its checkpoint. *)
+  for k = 0 to nbounds - 1 do
+    IntSet.iter
+      (fun r ->
+        match get_plan a k r with
+        | Top ->
+          Hashtbl.replace a.out (k, r) VSlot;
+          set_keep a k r
+        | VSlot | VRemat _ -> ())
+      a.live_at.(k)
+  done;
+  a
+
+(* ---- step 3: apply pruning and build slices ---- *)
+
+let remove_pruned (a : analysis) (fn : Prog.func) : Prog.func * int =
+  let kept = ref 0 in
+  let blocks =
+    Array.mapi
+      (fun bi (blk : Prog.block) ->
+        (* reverse walk: a Ckpt belongs to the next Boundary after it *)
+        let rev = List.rev blk.instrs in
+        let rec walk instrs current acc =
+          match instrs with
+          | [] -> acc
+          | (Types.Boundary _ as b) :: rest ->
+            let ii = List.length rest in
+            let k = Regions.boundary_index a.rg ~bi ~ii in
+            walk rest (Some k) (b :: acc)
+          | (Types.Ckpt r as c) :: rest -> (
+            match current with
+            | Some k when is_keep a k r ->
+              incr kept;
+              walk rest current (c :: acc)
+            | Some _ -> walk rest current acc (* pruned *)
+            | None -> failwith "Ckpt.Pass: dangling checkpoint")
+          | ins :: rest -> walk rest None (ins :: acc)
+        in
+        { blk with instrs = walk rev None [] })
+      fn.blocks
+  in
+  ({ fn with blocks }, !kept)
+
+let slices_of (a : analysis) : (int, Slice.t) Hashtbl.t =
+  let tbl = Hashtbl.create (max 4 a.nbounds) in
+  Array.iteri
+    (fun k (b : Regions.bpos) ->
+      let slice =
+        IntSet.elements a.live_at.(k)
+        |> List.map (fun r ->
+               match get_plan a k r with
+               | VSlot | Top -> (r, Slice.ESlot r)
+               | VRemat e -> (r, e))
+      in
+      Hashtbl.replace tbl b.id slice)
+    a.rg.bounds;
+  tbl
+
+type result = {
+  fn : Prog.func;
+  slices : (int, Slice.t) Hashtbl.t; (* boundary id -> recovery slice *)
+  inserted : int;                    (* checkpoints inserted before pruning *)
+  kept : int;                        (* checkpoints surviving pruning *)
+}
+
+(** Full checkpoint pass over one region-formed function. With
+    [prune = false] every inserted checkpoint is kept (the iDO-like
+    configuration used by the ablation study, Fig. 15). *)
+let run_func ?(prune = true) (fn : Prog.func) : result =
+  let fn1, inserted = insert_checkpoints fn in
+  let a = analyze fn1 in
+  if prune then begin
+    let fn2, kept = remove_pruned a fn1 in
+    { fn = fn2; slices = slices_of a; inserted; kept }
+  end
+  else begin
+    let tbl = Hashtbl.create (max 4 a.nbounds) in
+    Array.iter
+      (fun (b : Regions.bpos) ->
+        let k = Regions.boundary_index a.rg ~bi:b.bi ~ii:b.ii in
+        let slice =
+          IntSet.elements a.live_at.(k) |> List.map (fun r -> (r, Slice.ESlot r))
+        in
+        Hashtbl.replace tbl b.id slice)
+      a.rg.bounds;
+    { fn = fn1; slices = tbl; inserted; kept = inserted }
+  end

@@ -1,0 +1,26 @@
+(** Live-out register checkpointing and checkpoint pruning
+    (Sections IV-B, IV-C; pruning follows Penny's reconstruction idea).
+
+    Step 1 inserts [Ckpt r] before every region boundary for every
+    register live across it. Step 2 computes, per (boundary, register), a
+    recovery plan — read the slot, or rematerialize from immediates,
+    global addresses and other checkpointed registers — and removes every
+    checkpoint the plans do not need. Any join disagreement, unresolved
+    dependency or potentially-stale slot reference falls back to keeping
+    the checkpoint, which is always sound. The soundness argument for the
+    three slot-reference flavours is in DESIGN.md §5b. *)
+
+open Cwsp_ir
+
+type result = {
+  fn : Prog.func;
+  slices : (int, Slice.t) Hashtbl.t; (** boundary id -> recovery slice *)
+  inserted : int;                    (** checkpoints before pruning *)
+  kept : int;                        (** checkpoints surviving pruning *)
+}
+
+(** Full checkpoint pass over one region-formed function (which must not
+    already contain checkpoints). With [prune = false] every inserted
+    checkpoint is kept — the iDO-like configuration of the Fig. 15
+    ablation. *)
+val run_func : ?prune:bool -> Prog.func -> result

@@ -1,0 +1,186 @@
+(** Static region (boundary) graph utilities for the checkpoint passes.
+
+    The pruning analysis reasons per boundary [k] about the region that
+    *precedes* it. That region is decomposed into three parts:
+
+    - the *segment*: the straight-line instructions in [k]'s own block
+      between the previous boundary (or block start) and [k] — common to
+      every path into [k];
+    - per region-predecessor boundary [p], the *suffix* of [p]'s block
+      after [p];
+    - the *intermediate* boundary-free blocks traversed between
+      predecessors' blocks and [k]'s block (conservatively shared across
+      all predecessors).
+
+    Rematerialization is possible exactly when a register's defining
+    instruction is pinned to the segment or to one predecessor's suffix
+    with no other definition downstream — which is what this module's
+    def-set decomposition lets the pass decide. *)
+
+open Cwsp_ir
+module IntSet = Set.Make (Int)
+
+type bpos = { bi : int; ii : int; id : int }
+
+let boundaries (fn : Prog.func) : bpos array =
+  let out = ref [] in
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      List.iteri
+        (fun ii ins ->
+          match ins with
+          | Types.Boundary id -> out := { bi; ii; id } :: !out
+          | _ -> ())
+        blk.instrs)
+    fn.blocks;
+  Array.of_list (List.rev !out)
+
+type t = {
+  fn : Prog.func;
+  code : Types.instr array array;
+  bounds : bpos array;
+  index_of : (int * int, int) Hashtbl.t; (* (bi, ii) -> boundary index *)
+  preds : int list array;                (* CFG preds per block *)
+  never_defined : bool array;            (* per register: no def anywhere *)
+  constant_def : (Types.instr * int * int) option array;
+    (* registers with exactly one static, operand-free def (La /
+       Mov-immediate): (instr, block, index). The value is
+       rematerializable at any program point the def dominates. *)
+  doms : Cwsp_analysis.Dominators.t;
+}
+
+let build (fn : Prog.func) : t =
+  let code = Array.map (fun (b : Prog.block) -> Array.of_list b.instrs) fn.blocks in
+  let bounds = boundaries fn in
+  let index_of = Hashtbl.create (max 4 (Array.length bounds)) in
+  Array.iteri (fun k (b : bpos) -> Hashtbl.replace index_of (b.bi, b.ii) k) bounds;
+  let never_defined = Array.make (max 1 fn.nregs) true in
+  let def_count = Array.make (max 1 fn.nregs) 0 in
+  Array.iter
+    (Array.iter (fun ins ->
+         match Types.def ins with
+         | Some d ->
+           never_defined.(d) <- false;
+           def_count.(d) <- def_count.(d) + 1
+         | None -> ()))
+    code;
+  let constant_def = Array.make (max 1 fn.nregs) None in
+  Array.iteri
+    (fun bi blk ->
+      Array.iteri
+        (fun ii ins ->
+          match (ins, Types.def ins) with
+          | (Types.La _ | Types.Mov (_, Types.Imm _)), Some d
+            when def_count.(d) = 1 ->
+            constant_def.(d) <- Some (ins, bi, ii)
+          | _ -> ())
+        blk)
+    code;
+  { fn; code; bounds; index_of; preds = Cwsp_analysis.Cfg.predecessors fn;
+    never_defined; constant_def; doms = Cwsp_analysis.Dominators.compute fn }
+
+let boundary_index t ~bi ~ii = Hashtbl.find t.index_of (bi, ii)
+
+(* Nearest boundary strictly before index [ii] in block [bi], if any. *)
+let nearest_boundary_before t ~bi ~ii =
+  let code = t.code.(bi) in
+  let rec scan j =
+    if j < 0 then None
+    else match code.(j) with Types.Boundary _ -> Some j | _ -> scan (j - 1)
+  in
+  scan (ii - 1)
+
+let last_boundary t bi =
+  nearest_boundary_before t ~bi ~ii:(Array.length t.code.(bi))
+
+let defs_in t bi lo hi =
+  let code = t.code.(bi) in
+  let s = ref IntSet.empty in
+  for j = lo to hi do
+    match Types.def code.(j) with
+    | Some d -> s := IntSet.add d !s
+    | None -> ()
+  done;
+  !s
+
+(** One straight-line piece of code: block [sbi], positions [lo, hi). *)
+type span = { sbi : int; lo : int; hi : int }
+
+let span_defs t (s : span) = defs_in t s.sbi s.lo (s.hi - 1)
+
+type pred_entry = {
+  pe_pred : int;     (* index into [bounds] *)
+  pe_suffix : span;  (* the predecessor's block suffix after its boundary *)
+}
+
+type info = {
+  segment : span;               (* k's own pre-boundary straight line *)
+  segment_defs : IntSet.t;
+  pred_entries : pred_entry list;
+  intermediate_defs : IntSet.t; (* defs in traversed boundary-free blocks *)
+}
+
+(** Can the unique operand-free definition of [r] be re-evaluated at
+    position (bi, ii)? Requires the def's block to dominate the use (so
+    every path executed it), with in-block ordering when they coincide. *)
+let constant_at t r ~bi ~ii =
+  match t.constant_def.(r) with
+  | Some (ins, dbi, dii)
+    when (dbi = bi && dii < ii)
+         || (dbi <> bi && Cwsp_analysis.Dominators.dominates t.doms ~a:dbi ~b:bi)
+    ->
+    Some ins
+  | Some _ | None -> None
+
+(** Decompose the region preceding boundary [k]. *)
+let info (t : t) (k : int) : info =
+  let b = t.bounds.(k) in
+  let seg_lo =
+    match nearest_boundary_before t ~bi:b.bi ~ii:b.ii with
+    | Some j -> j + 1
+    | None -> 0
+  in
+  let segment = { sbi = b.bi; lo = seg_lo; hi = b.ii } in
+  let segment_defs = span_defs t segment in
+  if seg_lo > 0 then
+    (* a boundary precedes k in its own block: single same-block pred with
+       an empty suffix (the segment plays the suffix's role) *)
+    {
+      segment;
+      segment_defs;
+      pred_entries =
+        [ { pe_pred = boundary_index t ~bi:b.bi ~ii:(seg_lo - 1);
+            pe_suffix = { sbi = b.bi; lo = seg_lo; hi = seg_lo } } ];
+      intermediate_defs = IntSet.empty;
+    }
+  else begin
+    (* walk CFG predecessors through boundary-free blocks *)
+    let pred_entries = ref [] in
+    let intermediate_defs = ref IntSet.empty in
+    let visited = Array.make (Array.length t.fn.blocks) false in
+    let rec walk bi =
+      if not visited.(bi) then begin
+        visited.(bi) <- true;
+        match last_boundary t bi with
+        | Some j ->
+          let p = boundary_index t ~bi ~ii:j in
+          if not (List.exists (fun e -> e.pe_pred = p) !pred_entries) then
+            pred_entries :=
+              { pe_pred = p;
+                pe_suffix = { sbi = bi; lo = j + 1; hi = Array.length t.code.(bi) } }
+              :: !pred_entries
+        | None ->
+          intermediate_defs :=
+            IntSet.union !intermediate_defs
+              (defs_in t bi 0 (Array.length t.code.(bi) - 1));
+          List.iter walk t.preds.(bi)
+      end
+    in
+    List.iter walk t.preds.(b.bi);
+    {
+      segment;
+      segment_defs;
+      pred_entries = List.rev !pred_entries;
+      intermediate_defs = !intermediate_defs;
+    }
+  end

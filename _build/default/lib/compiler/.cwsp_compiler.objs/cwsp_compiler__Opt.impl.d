@@ -1,0 +1,1 @@
+lib/compiler/opt.ml: Array Cwsp_analysis Cwsp_ir Eval Fun List Prog Types

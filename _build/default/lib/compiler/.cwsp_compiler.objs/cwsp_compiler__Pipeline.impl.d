@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Array Buffer Cwsp_ckpt Cwsp_idem Cwsp_ir Hashtbl List Opt Option Pass Printf Prog Region_form Slice Types Validate

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Cwsp_ckpt Cwsp_ir Prog Slice

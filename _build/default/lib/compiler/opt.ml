@@ -1,0 +1,160 @@
+(** Classic scalar optimizations run before region formation — the
+    paper's toolchain compiles everything at -O3 (Section IX), and the
+    quality of the downstream passes depends on it: fewer dead moves
+    means smaller live sets (fewer checkpoints), and folded constants
+    feed the recovery-slice rematerializer directly.
+
+    The passes are deliberately local (per basic block) for transfer
+    functions and global only where the classic formulation is (liveness
+    for dead-code elimination); they iterate to a bounded fixpoint. *)
+
+open Cwsp_ir
+open Types
+
+(* ---- per-block copy propagation + constant folding ---- *)
+
+(* Lattice value per register within a block. *)
+type cell = Unknown | Const of int | Copy of reg
+
+let transfer_operand env op =
+  match op with
+  | Imm _ -> op
+  | Reg r -> (
+    match env.(r) with
+    | Const v -> Imm v
+    | Copy r2 -> Reg r2
+    | Unknown -> op)
+
+(* invalidate every Copy that reads [d] *)
+let kill env d =
+  env.(d) <- Unknown;
+  Array.iteri (fun i c -> match c with Copy r when r = d -> env.(i) <- Unknown | _ -> ()) env
+
+let fold_block (nregs : int) (blk : Prog.block) : Prog.block * bool =
+  let env = Array.make (max 1 nregs) Unknown in
+  let changed = ref false in
+  let rewrite ins =
+    let ins' =
+      match ins with
+      | Bin (op, d, a, b) -> (
+        let a = transfer_operand env a and b = transfer_operand env b in
+        match (a, b) with
+        | Imm x, Imm y -> Mov (d, Imm (Eval.binop op x y))
+        | _ -> Bin (op, d, a, b))
+      | Cmp (op, d, a, b) -> (
+        let a = transfer_operand env a and b = transfer_operand env b in
+        match (a, b) with
+        | Imm x, Imm y -> Mov (d, Imm (Eval.cmpop op x y))
+        | _ -> Cmp (op, d, a, b))
+      | Mov (d, src) -> Mov (d, transfer_operand env src)
+      | Load (d, base, off) -> Load (d, base, off)
+      | Store (base, off, src) -> Store (base, off, transfer_operand env src)
+      | Call (f, args, ret) -> Call (f, List.map (transfer_operand env) args, ret)
+      | Atomic_rmw (op, d, base, off, src) ->
+        Atomic_rmw (op, d, base, off, transfer_operand env src)
+      | Cas (d, base, off, e, v) ->
+        Cas (d, base, off, transfer_operand env e, transfer_operand env v)
+      | La _ | Fence | Ckpt _ | Boundary _ -> ins
+    in
+    if ins' <> ins then changed := true;
+    (* update the environment with the (rewritten) instruction's effect *)
+    (match Types.def ins' with Some d -> kill env d | None -> ());
+    (match ins' with
+    | Mov (d, Imm v) -> env.(d) <- Const v
+    | Mov (d, Reg s) -> if s <> d then env.(d) <- Copy s
+    | _ -> ());
+    ins'
+  in
+  let instrs = List.map rewrite blk.instrs in
+  (* rewrite branch conditions that became constant *)
+  let term, tchanged =
+    match blk.term with
+    | Br (c, ifso, ifnot) -> (
+      match env.(c) with
+      | Const v -> ((if v <> 0 then Jmp ifso else Jmp ifnot), true)
+      | Copy r2 -> (Br (r2, ifso, ifnot), true)
+      | Unknown -> (blk.term, false))
+    | Jmp _ | Ret _ -> (blk.term, false)
+  in
+  ({ instrs; term }, !changed || tchanged)
+
+let fold_func (fn : Prog.func) : Prog.func * bool =
+  let changed = ref false in
+  let blocks =
+    Array.map
+      (fun blk ->
+        let blk', c = fold_block fn.nregs blk in
+        if c then changed := true;
+        blk')
+      fn.blocks
+  in
+  ({ fn with blocks }, !changed)
+
+(* ---- dead code elimination ---- *)
+
+(* Instructions safe to delete when their result is dead. Loads are pure
+   in this IR (no faults), so dead loads go too. *)
+let removable_when_dead = function
+  | Bin _ | Cmp _ | Mov _ | La _ | Load _ -> true
+  | Store _ | Call _ | Atomic_rmw _ | Cas _ | Fence | Ckpt _ | Boundary _ ->
+    false
+
+let dce_func (fn : Prog.func) : Prog.func * bool =
+  let live = Cwsp_analysis.Liveness.compute fn in
+  let changed = ref false in
+  let blocks =
+    Array.mapi
+      (fun bi (blk : Prog.block) ->
+        (* walk backwards with the running live set *)
+        let live_set =
+          ref
+            (List.fold_left
+               (fun s r -> Cwsp_analysis.Liveness.IntSet.add r s)
+               live.live_out.(bi)
+               (Types.term_uses blk.term))
+        in
+        let keep =
+          List.rev_map
+            (fun ins ->
+              let dead =
+                match Types.def ins with
+                | Some d ->
+                  (not (Cwsp_analysis.Liveness.IntSet.mem d !live_set))
+                  && removable_when_dead ins
+                | None -> false
+              in
+              if dead then begin
+                changed := true;
+                None
+              end
+              else begin
+                (match Types.def ins with
+                | Some d ->
+                  live_set := Cwsp_analysis.Liveness.IntSet.remove d !live_set
+                | None -> ());
+                List.iter
+                  (fun r -> live_set := Cwsp_analysis.Liveness.IntSet.add r !live_set)
+                  (Types.uses ins);
+                Some ins
+              end)
+            (List.rev blk.instrs)
+        in
+        { blk with instrs = List.filter_map Fun.id keep })
+      fn.blocks
+  in
+  ({ fn with blocks }, !changed)
+
+(** Run folding + DCE to a bounded fixpoint over one function. *)
+let run_func (fn : Prog.func) : Prog.func =
+  let rec go fn n =
+    if n = 0 then fn
+    else begin
+      let fn, c1 = fold_func fn in
+      let fn, c2 = dce_func fn in
+      if c1 || c2 then go fn (n - 1) else fn
+    end
+  in
+  go fn 8
+
+(** Optimize every function of a program. *)
+let run (p : Prog.t) : Prog.t = Prog.map_funcs run_func p

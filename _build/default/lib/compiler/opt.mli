@@ -1,0 +1,11 @@
+(** Classic scalar optimizations run before region formation: per-block
+    copy propagation and constant folding (including branch folding) plus
+    global liveness-based dead-code elimination, iterated to a bounded
+    fixpoint. Loads are pure in this IR, so dead loads are removed;
+    stores, calls, atomics, fences, checkpoints and boundaries never
+    are. *)
+
+open Cwsp_ir
+
+val run_func : Prog.func -> Prog.func
+val run : Prog.t -> Prog.t

@@ -1,0 +1,169 @@
+(** The cWSP compiler driver: region formation, checkpoint insertion,
+    checkpoint pruning, and global boundary-id renumbering.
+
+    Different persistence schemes consume different compile configurations:
+    the plain baseline runs the uninstrumented binary, iDO-style schemes
+    run without checkpoint pruning, and cWSP runs the full pipeline —
+    mirroring how the paper builds one binary per scheme from the same
+    source (Section IX). *)
+
+open Cwsp_ir
+open Cwsp_idem
+open Cwsp_ckpt
+
+type config = {
+  optimize : bool; (* -O3-style scalar opts before region formation *)
+  region_formation : bool;
+  checkpoints : bool;
+  pruning : bool;
+}
+
+let baseline =
+  { optimize = true; region_formation = false; checkpoints = false; pruning = false }
+
+let regions_only =
+  { optimize = true; region_formation = true; checkpoints = false; pruning = false }
+
+let cwsp_no_prune =
+  { optimize = true; region_formation = true; checkpoints = true; pruning = false }
+
+let cwsp =
+  { optimize = true; region_formation = true; checkpoints = true; pruning = true }
+
+let config_name c =
+  let base =
+    match (c.region_formation, c.checkpoints, c.pruning) with
+    | false, _, _ -> "baseline"
+    | true, false, _ -> "regions-only"
+    | true, true, false -> "cwsp-no-prune"
+    | true, true, true -> "cwsp"
+  in
+  if c.optimize then base else base ^ "-noopt"
+
+type func_report = {
+  fr_name : string;
+  static_instrs : int;
+  static_regions : int;
+  ckpts_inserted : int;
+  ckpts_kept : int;
+}
+
+type compiled = {
+  prog : Prog.t;
+  cconfig : config;
+  (* recovery slices indexed by *global* boundary id; empty when the
+     configuration has no checkpoints *)
+  slices : Slice.t array;
+  boundary_owner : string array; (* owning function per global boundary id *)
+  reports : func_report list;
+}
+
+let nboundaries (c : compiled) = Array.length c.slices
+
+(* Renumber boundary ids globally (dense, program-wide) and rekey the
+   per-function slice tables accordingly. *)
+let renumber (funcs : (string * Prog.func * (int, Slice.t) Hashtbl.t) list) :
+    Prog.func list * Slice.t array * string array =
+  let next = ref 0 in
+  let slices = ref [] and owners = ref [] in
+  let funcs' =
+    List.map
+      (fun (name, (fn : Prog.func), tbl) ->
+        let blocks =
+          Array.map
+            (fun (blk : Prog.block) ->
+              let instrs =
+                List.map
+                  (fun ins ->
+                    match ins with
+                    | Types.Boundary old_id ->
+                      let gid = !next in
+                      incr next;
+                      let slice =
+                        Option.value ~default:[] (Hashtbl.find_opt tbl old_id)
+                      in
+                      slices := slice :: !slices;
+                      owners := name :: !owners;
+                      Types.Boundary gid
+                    | _ -> ins)
+                  blk.instrs
+              in
+              { blk with instrs })
+            fn.blocks
+        in
+        { fn with blocks })
+      funcs
+  in
+  (funcs', Array.of_list (List.rev !slices), Array.of_list (List.rev !owners))
+
+let compile ?(config = cwsp) (p : Prog.t) : compiled =
+  Validate.check_exn p;
+  let p = if config.optimize then Opt.run p else p in
+  Validate.check_exn p;
+  if not config.region_formation then
+    {
+      prog = p;
+      cconfig = config;
+      slices = [||];
+      boundary_owner = [||];
+      reports =
+        List.map
+          (fun (n, f) ->
+            {
+              fr_name = n;
+              static_instrs = Prog.instr_count f;
+              static_regions = 0;
+              ckpts_inserted = 0;
+              ckpts_kept = 0;
+            })
+          p.funcs;
+    }
+  else begin
+    let reports = ref [] in
+    let processed =
+      List.map
+        (fun (name, fn) ->
+          let fn_regions = Region_form.run_func fn in
+          let fn_final, tbl, inserted, kept =
+            if config.checkpoints then begin
+              let r = Pass.run_func ~prune:config.pruning fn_regions in
+              (r.fn, r.slices, r.inserted, r.kept)
+            end
+            else (fn_regions, Hashtbl.create 0, 0, 0)
+          in
+          reports :=
+            {
+              fr_name = name;
+              static_instrs = Prog.instr_count fn_final;
+              static_regions = Region_form.boundary_count fn_final;
+              ckpts_inserted = inserted;
+              ckpts_kept = kept;
+            }
+            :: !reports;
+          (name, fn_final, tbl))
+        p.funcs
+    in
+    let funcs', slices, owners = renumber processed in
+    let prog =
+      { p with funcs = List.map (fun (f : Prog.func) -> (f.name, f)) funcs' }
+    in
+    Validate.check_exn prog;
+    { prog; cconfig = config; slices; boundary_owner = owners; reports = List.rev !reports }
+  end
+
+let report_to_string (c : compiled) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "compile config: %s\n" (config_name c.cconfig);
+  Printf.bprintf buf "global regions: %d\n" (nboundaries c);
+  List.iter
+    (fun r ->
+      Printf.bprintf buf
+        "  %-24s instrs=%-6d regions=%-5d ckpts: %d inserted, %d kept (%.0f%% pruned)\n"
+        r.fr_name r.static_instrs r.static_regions r.ckpts_inserted r.ckpts_kept
+        (if r.ckpts_inserted = 0 then 0.0
+         else
+           100.0
+           *. float_of_int (r.ckpts_inserted - r.ckpts_kept)
+           /. float_of_int r.ckpts_inserted))
+    c.reports;
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** The cWSP compiler driver: scalar optimizations, region formation,
+    checkpoint insertion, checkpoint pruning, and global boundary-id
+    renumbering. Different persistence schemes consume different compile
+    configurations (Section IX). *)
+
+open Cwsp_ir
+open Cwsp_ckpt
+
+type config = {
+  optimize : bool; (** -O3-style scalar opts before region formation *)
+  region_formation : bool;
+  checkpoints : bool;
+  pruning : bool;
+}
+
+(** Uninstrumented (but optimized) binary. *)
+val baseline : config
+
+(** Boundaries only — the Capri-style compile. *)
+val regions_only : config
+
+(** Boundaries + all checkpoints — the iDO-style compile (Fig. 15). *)
+val cwsp_no_prune : config
+
+(** The full pipeline. *)
+val cwsp : config
+
+(** Stable name used as a memoization key. *)
+val config_name : config -> string
+
+type func_report = {
+  fr_name : string;
+  static_instrs : int;
+  static_regions : int;
+  ckpts_inserted : int;
+  ckpts_kept : int;
+}
+
+type compiled = {
+  prog : Prog.t;
+  cconfig : config;
+  slices : Slice.t array;
+    (** recovery slices indexed by {e global} boundary id; empty when the
+        configuration has no checkpoints *)
+  boundary_owner : string array; (** owning function per global boundary id *)
+  reports : func_report list;
+}
+
+(** Total region count of the compiled program. *)
+val nboundaries : compiled -> int
+
+(** Run the configured pipeline; validates before and after. *)
+val compile : ?config:config -> Prog.t -> compiled
+
+val report_to_string : compiled -> string

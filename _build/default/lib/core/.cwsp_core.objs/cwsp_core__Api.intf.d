@@ -1,0 +1,1 @@
+lib/core/api.mli: Config Cwsp_compiler Cwsp_interp Cwsp_recovery Cwsp_schemes Cwsp_sim Cwsp_workloads Defs Pipeline Stats Trace

@@ -1,0 +1,79 @@
+(** The public one-stop API: compile a workload, trace it once, replay the
+    trace under any scheme/platform, and compare against the baseline.
+
+    Compiled binaries and traces are memoized per (workload, compile
+    config, scale): the trace/timing split from DESIGN.md §5. Timing
+    statistics are memoized per (workload, scheme, platform label, scale),
+    where the label names the platform variant an experiment runs
+    ("default", "l3", "bw-1GB", ...) — platform records themselves are
+    not hashed. *)
+
+open Cwsp_interp
+open Cwsp_compiler
+open Cwsp_sim
+open Cwsp_workloads
+
+let compiled_cache : (string * string, Pipeline.compiled) Hashtbl.t =
+  Hashtbl.create 64
+
+let trace_cache : (string * string * int, Trace.t) Hashtbl.t = Hashtbl.create 64
+let stats_cache : (string * string * string * int, Stats.t) Hashtbl.t =
+  Hashtbl.create 256
+
+(** Compile a workload under a compile configuration (memoized). *)
+let compiled ?(scale = 1) (w : Defs.t) (cc : Pipeline.config) :
+    Pipeline.compiled =
+  let key = (w.name ^ "@" ^ string_of_int scale, Pipeline.config_name cc) in
+  match Hashtbl.find_opt compiled_cache key with
+  | Some c -> c
+  | None ->
+    let c = Pipeline.compile ~config:cc (w.build ~scale) in
+    Hashtbl.add compiled_cache key c;
+    c
+
+(** Functional commit trace of a workload under a compile configuration
+    (memoized). *)
+let trace ?(scale = 1) (w : Defs.t) (cc : Pipeline.config) : Trace.t =
+  let key = (w.name, Pipeline.config_name cc, scale) in
+  match Hashtbl.find_opt trace_cache key with
+  | Some t -> t
+  | None ->
+    let c = compiled ~scale w cc in
+    let _, t = Machine.trace_of_program c.prog in
+    Hashtbl.add trace_cache key t;
+    t
+
+(** Timing statistics of a workload under a scheme on a platform.
+    [label] must uniquely identify [cfg] within the experiment space. *)
+let stats ?(scale = 1) ?(label = "default") (w : Defs.t)
+    (s : Cwsp_schemes.Schemes.t) (cfg : Config.t) : Stats.t =
+  let key = (w.name, s.s_name, label, scale) in
+  match Hashtbl.find_opt stats_cache key with
+  | Some st -> st
+  | None ->
+    let tr = trace ~scale w s.s_compile in
+    let st = Engine.run_trace (s.s_reconfig cfg) s.s_engine tr in
+    Hashtbl.add stats_cache key st;
+    st
+
+(** Normalized slowdown of [scheme] against the uninstrumented baseline on
+    the *same* platform (the baseline never gets the scheme's platform
+    restriction — e.g. ideal PSP is normalized against the DRAM-cache
+    baseline, as in Fig. 18). *)
+let slowdown ?(scale = 1) ?(label = "default") (w : Defs.t)
+    ~(scheme : Cwsp_schemes.Schemes.t) (cfg : Config.t) : float =
+  let base = stats ~scale ~label w Cwsp_schemes.Schemes.baseline cfg in
+  let st = stats ~scale ~label w scheme cfg in
+  Stats.slowdown st ~baseline:base
+
+(** Clear all memoized state (used by tests that tweak workload scale). *)
+let reset_caches () =
+  Hashtbl.reset compiled_cache;
+  Hashtbl.reset trace_cache;
+  Hashtbl.reset stats_cache
+
+(** End-to-end crash-consistency validation of a workload (compile with
+    the full cWSP pipeline, inject a power failure, recover, compare NVM
+    states). *)
+let validate_recovery ?(scale = 1) ~seed ~crash_at (w : Defs.t) =
+  Cwsp_recovery.Harness.validate ~seed ~crash_at (compiled ~scale w Pipeline.cwsp)

@@ -1,0 +1,52 @@
+(** The public one-stop API: compile a workload, trace it once, replay
+    the trace under any scheme/platform, compare against the baseline,
+    and validate crash recovery.
+
+    Compiled binaries and traces are memoized per (workload, compile
+    config, scale); timing statistics per (workload, scheme, platform
+    label, scale) — [label] must uniquely name the platform variant an
+    experiment runs ("default", "fig21-4", ...). *)
+
+open Cwsp_interp
+open Cwsp_compiler
+open Cwsp_sim
+open Cwsp_workloads
+
+(** Compile a workload under a compile configuration (memoized). *)
+val compiled : ?scale:int -> Defs.t -> Pipeline.config -> Pipeline.compiled
+
+(** Functional commit trace (memoized). *)
+val trace : ?scale:int -> Defs.t -> Pipeline.config -> Trace.t
+
+(** Timing statistics of a workload under a scheme on a platform. *)
+val stats :
+  ?scale:int ->
+  ?label:string ->
+  Defs.t ->
+  Cwsp_schemes.Schemes.t ->
+  Config.t ->
+  Stats.t
+
+(** Normalized slowdown against the uninstrumented baseline on the same
+    platform; the baseline never gets the scheme's platform restriction
+    (e.g. ideal PSP is normalized against the DRAM-cache baseline, as in
+    Fig. 18). *)
+val slowdown :
+  ?scale:int ->
+  ?label:string ->
+  Defs.t ->
+  scheme:Cwsp_schemes.Schemes.t ->
+  Config.t ->
+  float
+
+(** Clear all memoized state. *)
+val reset_caches : unit -> unit
+
+(** End-to-end crash-consistency validation: compile with the full cWSP
+    pipeline, inject a power failure at [crash_at], recover, compare. *)
+val validate_recovery :
+  ?scale:int ->
+  seed:int ->
+  crash_at:int ->
+  Defs.t ->
+  (Cwsp_recovery.Harness.crash_report, string) result

@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Cwsp_core Cwsp_schemes Cwsp_util Cwsp_workloads Defs List Printf Registry Stats String Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Config Cwsp_compiler Cwsp_core Cwsp_schemes Cwsp_sim Cwsp_workloads Engine Exp Pipeline Stats

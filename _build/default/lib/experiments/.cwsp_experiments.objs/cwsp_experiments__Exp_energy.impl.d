@@ -1,0 +1,1 @@
+lib/experiments/exp_energy.ml: Config Cwsp_sim Cwsp_util Energy Exp List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_mp.ml: Cwsp_compiler Cwsp_interp Cwsp_sim Cwsp_util Cwsp_workloads Exp List Printf

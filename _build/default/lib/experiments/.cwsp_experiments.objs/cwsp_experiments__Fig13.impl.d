@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Cwsp_core Cwsp_schemes Cwsp_sim Exp Printf

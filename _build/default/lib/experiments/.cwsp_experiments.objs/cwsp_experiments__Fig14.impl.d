@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Config Cwsp_core Cwsp_schemes Cwsp_sim Cwsp_workloads Exp Printf Schemes

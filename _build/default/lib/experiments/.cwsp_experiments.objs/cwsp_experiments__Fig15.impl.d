@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Cwsp_core Cwsp_schemes Cwsp_sim Exp List

@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Config Cwsp_core Cwsp_schemes Cwsp_sim Cwsp_util Cwsp_workloads Defs Exp List Nvm Printf Registry

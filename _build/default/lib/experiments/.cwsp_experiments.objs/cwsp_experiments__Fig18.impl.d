@@ -1,0 +1,1 @@
+lib/experiments/fig18.ml: Cwsp_core Cwsp_schemes Cwsp_sim Cwsp_workloads Exp Registry

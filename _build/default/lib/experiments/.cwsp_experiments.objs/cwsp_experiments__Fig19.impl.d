@@ -1,0 +1,1 @@
+lib/experiments/fig19.ml: Cwsp_compiler Cwsp_core Cwsp_interp Cwsp_workloads Exp List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig23.ml: Config Cwsp_sim Exp List Printf

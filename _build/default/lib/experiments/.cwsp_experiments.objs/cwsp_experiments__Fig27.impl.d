@@ -1,0 +1,1 @@
+lib/experiments/fig27.ml: Config Cwsp_sim Exp List Nvm

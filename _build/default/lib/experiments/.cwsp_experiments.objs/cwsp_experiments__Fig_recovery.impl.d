@@ -1,0 +1,1 @@
+lib/experiments/fig_recovery.ml: Cwsp_compiler Cwsp_core Cwsp_interp Cwsp_util Cwsp_workloads Defs Exp List Printf Registry

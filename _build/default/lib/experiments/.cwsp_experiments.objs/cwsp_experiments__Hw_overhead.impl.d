@@ -1,0 +1,1 @@
+lib/experiments/hw_overhead.ml: Cwsp_sim Cwsp_util Exp Printf

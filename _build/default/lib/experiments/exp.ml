@@ -1,0 +1,95 @@
+(** Shared infrastructure for the per-figure experiment drivers.
+
+    Conventions: every driver prints the same series the paper's figure
+    plots — per-workload values with per-suite and overall geometric
+    means, or per-suite series for the sweeps — and returns the headline
+    number(s) so the integration tests can assert the reproduced *shape*
+    (who wins, by roughly what factor). *)
+
+open Cwsp_util
+open Cwsp_workloads
+
+let workloads = Registry.all
+
+(* Occupancy-style series contain zeros; slowdown-style series use the
+   geometric mean like the paper. *)
+type agg = Gmean | Mean
+
+let aggregate agg xs =
+  match agg with Gmean -> Stats.gmean xs | Mean -> Stats.mean xs
+
+let banner title =
+  let line = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title line
+
+(** Per-workload table: one row per workload, one column per series, plus
+    per-suite gmean rows and an overall gmean row. [series] pairs a column
+    header with an evaluation function. Returns the overall gmeans in
+    series order. *)
+let per_workload_table ?(subset = workloads) ?(agg = Gmean) ~series () =
+  let headers = "workload" :: "suite" :: List.map fst series in
+  let values =
+    List.map (fun (w : Defs.t) -> (w, List.map (fun (_, f) -> f w) series)) subset
+  in
+  let row_of (w : Defs.t) vs =
+    w.name :: Defs.suite_name w.suite :: List.map Table.f2 vs
+  in
+  let suite_rows =
+    Defs.all_suites
+    |> List.filter_map (fun suite ->
+           let vs = List.filter (fun ((w : Defs.t), _) -> w.suite = suite) values in
+           if vs = [] then None
+           else
+             let gm i = aggregate agg (List.map (fun (_, v) -> List.nth v i) vs) in
+             Some
+               ("gmean" :: Defs.suite_name suite
+               :: List.mapi (fun i _ -> Table.f2 (gm i)) series))
+  in
+  let overall =
+    List.mapi
+      (fun i _ -> aggregate agg (List.map (fun (_, v) -> List.nth v i) values))
+      series
+  in
+  let all_row = "gmean" :: "All" :: List.map Table.f2 overall in
+  let rows =
+    List.map (fun (w, vs) -> row_of w vs) values @ suite_rows @ [ all_row ]
+  in
+  Table.print ~headers rows;
+  overall
+
+(** Per-suite table for the sweeps: one row per suite plus All; one column
+    per series. Returns the All-gmean per series. *)
+let per_suite_table ?(subset = workloads) ~series () =
+  let headers = "suite" :: List.map fst series in
+  let values =
+    List.map (fun (w : Defs.t) -> (w, List.map (fun (_, f) -> f w) series)) subset
+  in
+  let suite_row suite =
+    let vs = List.filter (fun ((w : Defs.t), _) -> w.suite = suite) values in
+    if vs = [] then None
+    else
+      let gm i = Stats.gmean (List.map (fun (_, v) -> List.nth v i) vs) in
+      Some (Defs.suite_name suite :: List.mapi (fun i _ -> Table.f2 (gm i)) series)
+  in
+  let overall =
+    List.mapi (fun i _ -> Stats.gmean (List.map (fun (_, v) -> List.nth v i) values)) series
+  in
+  let rows =
+    List.filter_map suite_row Defs.all_suites
+    @ [ "All" :: List.map Table.f2 overall ]
+  in
+  Table.print ~headers rows;
+  overall
+
+(** A cWSP-slowdown sweep over platform variants: [variants] are
+    (column header, platform label, config). *)
+let cwsp_sweep ~variants () =
+  let series =
+    List.map
+      (fun (name, label, cfg) ->
+        ( name,
+          fun (w : Defs.t) ->
+            Cwsp_core.Api.slowdown ~label w ~scheme:Cwsp_schemes.Schemes.cwsp cfg ))
+      variants
+  in
+  per_suite_table ~series ()

@@ -1,0 +1,34 @@
+(** Figure 1 (motivation): normalized slowdown of CXL PMEM main memory
+    against CXL DRAM main memory, as the cache hierarchy deepens from 2 to
+    5 levels (the 5th is the DRAM cache). Paper: 2.14x at 2 levels
+    shrinking to 1.34x at 5 levels, over memory-intensive applications.
+    No persistence scheme is involved — this is the case for WSP's
+    deep-hierarchy premise. *)
+
+open Cwsp_sim
+open Cwsp_workloads
+
+let title = "Fig 1: CXL-PMEM vs CXL-DRAM slowdown, 2..5 cache levels"
+
+let slowdown_at_levels levels (w : Defs.t) =
+  let base = Config.fig1_levels levels in
+  let pmem_cfg = { base with mem = Nvm.cxl_pmem } in
+  let dram_cfg = { base with mem = Nvm.cxl_dram } in
+  let label n = Printf.sprintf "fig1-%d-%s" levels n in
+  let st_pmem =
+    Cwsp_core.Api.stats ~label:(label "pmem") w Cwsp_schemes.Schemes.baseline pmem_cfg
+  in
+  let st_dram =
+    Cwsp_core.Api.stats ~label:(label "dram") w Cwsp_schemes.Schemes.baseline dram_cfg
+  in
+  Stats.slowdown st_pmem ~baseline:st_dram
+
+let run () =
+  Exp.banner title;
+  let series =
+    List.map
+      (fun levels ->
+        (Printf.sprintf "%d levels" levels, slowdown_at_levels levels))
+      [ 2; 3; 4; 5 ]
+  in
+  Exp.per_workload_table ~subset:Registry.memory_intensive ~series ()

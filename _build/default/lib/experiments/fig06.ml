@@ -1,0 +1,21 @@
+(** Figure 6: average occupancy of the L1D write buffer, baseline vs cWSP.
+    Paper: both average ~0.39 entries — delaying WB writebacks for
+    stale-read prevention puts no pressure on the WB. *)
+
+open Cwsp_sim
+
+let title = "Fig 6: average L1D write-buffer occupancy"
+
+let occupancy scheme (w : Cwsp_workloads.Defs.t) =
+  let st = Cwsp_core.Api.stats w scheme Config.default in
+  Cwsp_util.Stats.Acc.mean st.wb_occupancy
+
+let run () =
+  Exp.banner title;
+  let series =
+    [
+      ("baseline", occupancy Cwsp_schemes.Schemes.baseline);
+      ("cWSP", occupancy Cwsp_schemes.Schemes.cwsp);
+    ]
+  in
+  Exp.per_workload_table ~agg:Exp.Mean ~series ()

@@ -1,0 +1,17 @@
+(** Figure 8: WPQ hits per one million instructions under cWSP.
+    Paper: 0.98 on average — loads that reach main memory while the
+    target word is still pending in a WPQ are vanishingly rare, which is
+    why delaying them (Section V-A2) is free. *)
+
+open Cwsp_sim
+
+let title = "Fig 8: WPQ hits per 1M instructions (cWSP)"
+
+let hpmi (w : Cwsp_workloads.Defs.t) =
+  let st = Cwsp_core.Api.stats w Cwsp_schemes.Schemes.cwsp Config.default in
+  Stats.wpq_hits_per_minstr st
+
+let run () =
+  Exp.banner title;
+  let series = [ ("WPQ-HPMI", hpmi) ] in
+  Exp.per_workload_table ~agg:Exp.Mean ~series ()

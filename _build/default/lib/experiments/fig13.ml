@@ -1,0 +1,17 @@
+(** Figure 13: normalized slowdown of cWSP to the baseline at 4GB/s
+    persist-path bandwidth. Paper: 6% average; SPLASH3 is the worst suite
+    (short regions, sequential/repeated writes). *)
+
+let title = "Fig 13: cWSP slowdown vs baseline (4GB/s persist path)"
+
+let run () =
+  Exp.banner title;
+  let cfg = Cwsp_sim.Config.default in
+  let series =
+    [ ("cWSP", fun w -> Cwsp_core.Api.slowdown w ~scheme:Cwsp_schemes.Schemes.cwsp cfg) ]
+  in
+  match Exp.per_workload_table ~series () with
+  | [ overall ] ->
+    Printf.printf "paper: 1.06 overall; measured: %.2f\n" overall;
+    overall
+  | _ -> assert false

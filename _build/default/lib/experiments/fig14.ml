@@ -1,0 +1,29 @@
+(** Figure 14: cWSP against prior WSP schemes — ReplayCache and Capri —
+    at 4GB/s (practical) and 32GB/s (ideal) persist-path bandwidth.
+    Paper: ReplayCache ~4.3x, Capri-4GB ~1.27, cWSP-4GB ~1.06; Capri only
+    matches cWSP with the ideal path. *)
+
+open Cwsp_sim
+open Cwsp_schemes
+
+let title = "Fig 14: cWSP vs ReplayCache and Capri (4GB/s and 32GB/s)"
+
+let cfg_bw bw = { Config.default with path_bandwidth_gbs = bw }
+
+let slowdown scheme bw (w : Cwsp_workloads.Defs.t) =
+  Cwsp_core.Api.slowdown
+    ~label:(Printf.sprintf "fig14-bw%g" bw)
+    w ~scheme (cfg_bw bw)
+
+let run () =
+  Exp.banner title;
+  let series =
+    [
+      ("ReplayCache", slowdown Schemes.replaycache 4.0);
+      ("Capri-4GB", slowdown Schemes.capri 4.0);
+      ("Capri-32GB", slowdown Schemes.capri 32.0);
+      ("cWSP-4GB", slowdown Schemes.cwsp 4.0);
+      ("cWSP-32GB", slowdown Schemes.cwsp 32.0);
+    ]
+  in
+  Exp.per_suite_table ~series ()

@@ -1,0 +1,16 @@
+(** Figure 15: cumulative impact of each cWSP optimization.
+    Paper: +RegionFormation 4%, +PersistPath 10%, +MCSpeculation /
+    +WBDelay / +WPQDelay flat, +Pruning drops to 6% overall. *)
+
+let title = "Fig 15: per-optimization ablation (cumulative stages)"
+
+let run () =
+  Exp.banner title;
+  let cfg = Cwsp_sim.Config.default in
+  let series =
+    List.map
+      (fun (name, scheme) ->
+        (name, fun w -> Cwsp_core.Api.slowdown ~label:"fig15" w ~scheme cfg))
+      Cwsp_schemes.Schemes.fig15_stages
+  in
+  Exp.per_suite_table ~series ()

@@ -1,0 +1,25 @@
+(** Figure 18: cWSP against ideal partial-system persistence
+    (BBB/eADR/LightPC — no persist cost, but the DRAM cache cannot be
+    enabled). Paper: cWSP ~3%, ideal PSP ~52% slowdown on the
+    memory-intensive subset — the case for whole-system persistence. *)
+
+open Cwsp_workloads
+
+let title = "Fig 18: cWSP vs ideal PSP (BBB/eADR/LightPC)"
+
+let run () =
+  Exp.banner title;
+  let cfg = Cwsp_sim.Config.default in
+  let series =
+    [
+      ( "cWSP",
+        fun w ->
+          Cwsp_core.Api.slowdown ~label:"fig18" w
+            ~scheme:Cwsp_schemes.Schemes.cwsp cfg );
+      ( "idealPSP",
+        fun w ->
+          Cwsp_core.Api.slowdown ~label:"fig18" w
+            ~scheme:Cwsp_schemes.Schemes.psp_ideal cfg );
+    ]
+  in
+  Exp.per_workload_table ~subset:Registry.memory_intensive ~series ()

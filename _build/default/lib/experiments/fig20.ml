@@ -1,0 +1,17 @@
+(** Figure 20: cWSP on a deeper SRAM hierarchy (private L2 + shared L3 in
+    front of the DRAM cache). Paper: 8% average overhead. *)
+
+let title = "Fig 20: cWSP slowdown with an added L3"
+
+let run () =
+  Exp.banner title;
+  let cfg = Cwsp_sim.Config.with_l3 in
+  let series =
+    [
+      ( "cWSP-L3",
+        fun w ->
+          Cwsp_core.Api.slowdown ~label:"fig20" w
+            ~scheme:Cwsp_schemes.Schemes.cwsp cfg );
+    ]
+  in
+  Exp.per_workload_table ~series ()

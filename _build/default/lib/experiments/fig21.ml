@@ -1,0 +1,19 @@
+(** Figure 21: sensitivity to persist-path bandwidth (1..32 GB/s).
+    Paper: overhead falls with bandwidth and flattens beyond 10GB/s —
+    the 8-byte persist granularity keeps the demand low. *)
+
+open Cwsp_sim
+
+let title = "Fig 21: persist-path bandwidth sweep"
+
+let run () =
+  Exp.banner title;
+  let variants =
+    List.map
+      (fun bw ->
+        ( Printf.sprintf "%gGB" bw,
+          Printf.sprintf "fig21-%g" bw,
+          { Config.default with path_bandwidth_gbs = bw } ))
+      [ 1.0; 2.0; 4.0; 10.0; 20.0; 32.0 ]
+  in
+  Exp.cwsp_sweep ~variants ()

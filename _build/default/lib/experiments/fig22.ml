@@ -1,0 +1,19 @@
+(** Figure 22: sensitivity to RBT size (8/16/32 entries).
+    Paper: 11% at 8 entries (short SPLASH3 regions stall), 6% at 16,
+    4% at 32. *)
+
+open Cwsp_sim
+
+let title = "Fig 22: region boundary table (RBT) size sweep"
+
+let run () =
+  Exp.banner title;
+  let variants =
+    List.map
+      (fun n ->
+        ( Printf.sprintf "RBT-%d" n,
+          Printf.sprintf "fig22-%d" n,
+          { Config.default with rbt_entries = n } ))
+      [ 8; 16; 32 ]
+  in
+  Exp.cwsp_sweep ~variants ()

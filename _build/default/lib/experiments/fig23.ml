@@ -1,0 +1,19 @@
+(** Figure 23: sensitivity to persist-path latency (10..40ns).
+    Paper: flat — region execution overlaps the path latency thanks to
+    the RBT. *)
+
+open Cwsp_sim
+
+let title = "Fig 23: persist-path latency sweep"
+
+let run () =
+  Exp.banner title;
+  let variants =
+    List.map
+      (fun lat ->
+        ( Printf.sprintf "Lat-%g" lat,
+          Printf.sprintf "fig23-%g" lat,
+          { Config.default with path_latency_ns = lat } ))
+      [ 10.0; 20.0; 30.0; 40.0 ]
+  in
+  Exp.cwsp_sweep ~variants ()

@@ -1,0 +1,19 @@
+(** Figure 24: sensitivity to L1D write-buffer size (8/16/32 entries).
+    Paper: flat — the persist path is fast enough that delayed writebacks
+    never back the WB up. *)
+
+open Cwsp_sim
+
+let title = "Fig 24: L1D write-buffer size sweep"
+
+let run () =
+  Exp.banner title;
+  let variants =
+    List.map
+      (fun n ->
+        ( Printf.sprintf "WB-%d" n,
+          Printf.sprintf "fig24-%d" n,
+          { Config.default with wb_entries = n } ))
+      [ 8; 16; 32 ]
+  in
+  Exp.cwsp_sweep ~variants ()

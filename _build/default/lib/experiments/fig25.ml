@@ -1,0 +1,18 @@
+(** Figure 25: sensitivity to persist-buffer size (20/40/50/60 entries).
+    Paper: insensitive; only 7% even at 20 entries. *)
+
+open Cwsp_sim
+
+let title = "Fig 25: persist buffer (PB) size sweep"
+
+let run () =
+  Exp.banner title;
+  let variants =
+    List.map
+      (fun n ->
+        ( Printf.sprintf "PB-%d" n,
+          Printf.sprintf "fig25-%d" n,
+          { Config.default with pb_entries = n } ))
+      [ 20; 40; 50; 60 ]
+  in
+  Exp.cwsp_sweep ~variants ()

@@ -1,0 +1,19 @@
+(** Figure 26: sensitivity to per-MC WPQ size (8/16/24/32 entries).
+    Paper: 11% average at 8 entries (up to 31% for write-heavy SPLASH3),
+    stable from 24 up. *)
+
+open Cwsp_sim
+
+let title = "Fig 26: NVM WPQ size sweep"
+
+let run () =
+  Exp.banner title;
+  let variants =
+    List.map
+      (fun n ->
+        ( Printf.sprintf "WPQ-%d" n,
+          Printf.sprintf "fig26-%d" n,
+          { Config.default with wpq_entries = n } ))
+      [ 8; 16; 24; 32 ]
+  in
+  Exp.cwsp_sweep ~variants ()

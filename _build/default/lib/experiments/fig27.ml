@@ -1,0 +1,17 @@
+(** Figure 27: sensitivity to NVM technology (PMEM / STT-MRAM / ReRAM).
+    Paper: ~8% regardless of technology; faster NVM shows marginally
+    higher *normalized* overhead because the baseline speeds up more. *)
+
+open Cwsp_sim
+
+let title = "Fig 27: NVM technology sweep"
+
+let run () =
+  Exp.banner title;
+  let variants =
+    List.map
+      (fun (tech : Nvm.t) ->
+        (tech.mem_name, "fig27-" ^ tech.mem_name, { Config.default with mem = tech }))
+      Nvm.all_techs
+  in
+  Exp.cwsp_sweep ~variants ()

@@ -1,0 +1,36 @@
+(** Experiment index: id -> driver. [bench/main.exe] runs these. *)
+
+type entry = { id : string; etitle : string; erun : unit -> unit }
+
+let e id etitle erun = { id; etitle; erun }
+
+let all : entry list =
+  [
+    e "fig1" Fig01.title (fun () -> ignore (Fig01.run ()));
+    e "fig6" Fig06.title (fun () -> ignore (Fig06.run ()));
+    e "fig8" Fig08.title (fun () -> ignore (Fig08.run ()));
+    e "fig13" Fig13.title (fun () -> ignore (Fig13.run ()));
+    e "fig14" Fig14.title (fun () -> ignore (Fig14.run ()));
+    e "fig15" Fig15.title (fun () -> ignore (Fig15.run ()));
+    e "fig17" Fig17.title (fun () -> ignore (Fig17.run ()));
+    e "fig18" Fig18.title (fun () -> ignore (Fig18.run ()));
+    e "fig19" Fig19.title (fun () -> ignore (Fig19.run ()));
+    e "fig20" Fig20.title (fun () -> ignore (Fig20.run ()));
+    e "fig21" Fig21.title (fun () -> ignore (Fig21.run ()));
+    e "fig22" Fig22.title (fun () -> ignore (Fig22.run ()));
+    e "fig23" Fig23.title (fun () -> ignore (Fig23.run ()));
+    e "fig24" Fig24.title (fun () -> ignore (Fig24.run ()));
+    e "fig25" Fig25.title (fun () -> ignore (Fig25.run ()));
+    e "fig26" Fig26.title (fun () -> ignore (Fig26.run ()));
+    e "fig27" Fig27.title (fun () -> ignore (Fig27.run ()));
+    e "hw" Hw_overhead.title (fun () -> ignore (Hw_overhead.run ()));
+    e "recovery" Fig_recovery.title (fun () -> ignore (Fig_recovery.run ()));
+    e "mp" Exp_mp.title (fun () -> ignore (Exp_mp.run ()));
+    e "energy" Exp_energy.title (fun () -> ignore (Exp_energy.run ()));
+    e "breakdown" Exp_breakdown.title (fun () -> ignore (Exp_breakdown.run ()));
+    e "ablation" Exp_ablation.title (fun () -> ignore (Exp_ablation.run ()));
+  ]
+
+let find id = List.find_opt (fun x -> x.id = id) all
+
+let run_all () = List.iter (fun x -> x.erun ()) all

@@ -1,0 +1,1 @@
+lib/idem/antidep.ml: Alias Array Cfg Cwsp_analysis Cwsp_ir List Printf Prog Types

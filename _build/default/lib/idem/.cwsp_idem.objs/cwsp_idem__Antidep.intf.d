@@ -1,0 +1,1 @@
+lib/idem/antidep.mli: Alias Cwsp_analysis Cwsp_ir Prog

@@ -1,0 +1,1 @@
+lib/idem/hitting.mli:

@@ -1,0 +1,1 @@
+lib/idem/region_form.ml: Antidep Array Cwsp_analysis Cwsp_ir Hashtbl Hitting List Loops Option Printf Prog Types

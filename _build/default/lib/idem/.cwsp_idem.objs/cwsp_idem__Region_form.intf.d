@@ -1,0 +1,1 @@
+lib/idem/region_form.mli: Cwsp_ir Prog

@@ -1,0 +1,103 @@
+(** Memory-antidependence detection in the presence of region boundaries.
+
+    A pair (load L, store S) is a *violation* when S may alias L and S can
+    execute after L without a region boundary committing in between — that
+    is exactly the situation that breaks idempotent re-execution
+    (Section IV-A of the paper). [violations] is used both by the region
+    formation pass (to decide where to cut) and by tests as an independent
+    soundness checker. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+
+type position = { p_bi : int; p_ii : int }
+
+type pair = {
+  load : position;
+  store : position;
+  load_sym : Alias.sym;
+  store_sym : Alias.sym;
+}
+
+let is_boundary = function Types.Boundary _ -> true | _ -> false
+
+(* For each block: indices of boundary instructions, ascending. *)
+let boundary_positions (fn : Prog.func) : int list array =
+  Array.map
+    (fun (blk : Prog.block) ->
+      let r = ref [] in
+      List.iteri (fun ii ins -> if is_boundary ins then r := ii :: !r) blk.instrs;
+      List.rev !r)
+    fn.blocks
+
+(** Blocks enterable from the successors of [src] through boundary-free
+    intermediate blocks. A returned block may itself contain boundaries;
+    whether the target access sits before its first boundary is the
+    caller's check. *)
+let reachable_boundary_free (fn : Prog.func) has_boundary src : bool array =
+  let n = Array.length fn.blocks in
+  let entered = Array.make n false in
+  let rec go bi =
+    if not entered.(bi) then begin
+      entered.(bi) <- true;
+      if not has_boundary.(bi) then List.iter go (Cfg.successors fn bi)
+    end
+  in
+  List.iter go (Cfg.successors fn src);
+  entered
+
+let violations (fn : Prog.func) : pair list =
+  let accesses = Alias.accesses fn in
+  let loads = List.filter (fun (a : Alias.access) -> a.reads) accesses in
+  let stores = List.filter (fun (a : Alias.access) -> a.writes) accesses in
+  if loads = [] || stores = [] then []
+  else begin
+    let boundaries = boundary_positions fn in
+    let has_boundary = Array.map (fun l -> l <> []) boundaries in
+    let n = Array.length fn.blocks in
+    let reach_cache : bool array option array = Array.make n None in
+    let reach bi =
+      match reach_cache.(bi) with
+      | Some r -> r
+      | None ->
+        let r = reachable_boundary_free fn has_boundary bi in
+        reach_cache.(bi) <- Some r;
+        r
+    in
+    let pairs = ref [] in
+    List.iter
+      (fun (l : Alias.access) ->
+        List.iter
+          (fun (s : Alias.access) ->
+            let same_access = l.a_bi = s.a_bi && l.a_ii = s.a_ii in
+            if (not same_access) && Alias.may_alias l.sym s.sym then begin
+              let same_block =
+                l.a_bi = s.a_bi && l.a_ii < s.a_ii
+                && not
+                     (List.exists
+                        (fun b -> b > l.a_ii && b < s.a_ii)
+                        boundaries.(l.a_bi))
+              in
+              let cross_block =
+                (not (List.exists (fun b -> b > l.a_ii) boundaries.(l.a_bi)))
+                && (reach l.a_bi).(s.a_bi)
+                && not (List.exists (fun b -> b < s.a_ii) boundaries.(s.a_bi))
+              in
+              if same_block || cross_block then
+                pairs :=
+                  {
+                    load = { p_bi = l.a_bi; p_ii = l.a_ii };
+                    store = { p_bi = s.a_bi; p_ii = s.a_ii };
+                    load_sym = l.sym;
+                    store_sym = s.sym;
+                  }
+                  :: !pairs
+            end)
+          stores)
+      loads;
+    List.rev !pairs
+  end
+
+let pair_to_string (p : pair) =
+  Printf.sprintf "load@(%d,%d) -> store@(%d,%d)" p.load.p_bi p.load.p_ii
+    p.store.p_bi p.store.p_ii

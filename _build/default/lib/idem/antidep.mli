@@ -1,0 +1,27 @@
+(** Memory-antidependence detection in the presence of region boundaries.
+
+    A pair (load L, store S) is a {e violation} when S may alias L and S
+    can execute after L without a region boundary committing in between —
+    exactly what breaks idempotent re-execution (Section IV-A).
+    [violations] is used both by region formation (to decide where to
+    cut) and by tests as an independent soundness checker. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+
+type position = { p_bi : int; p_ii : int }
+
+type pair = {
+  load : position;
+  store : position;
+  load_sym : Alias.sym;
+  store_sym : Alias.sym;
+}
+
+(** Per-block indices of boundary instructions, ascending. *)
+val boundary_positions : Prog.func -> int list array
+
+(** All remaining antidependence violations of the function. *)
+val violations : Prog.func -> pair list
+
+val pair_to_string : pair -> string

@@ -1,0 +1,28 @@
+(** Interval hitting-set ("stabbing") used to choose in-block cut points.
+
+    An antidependence pair (load at index [lo], store at index [hi]) inside
+    one block is cut by a boundary inserted before any index c with
+    [lo < c <= hi]. Choosing the minimum number of boundaries that cut all
+    pairs is the classic interval-point-cover problem, optimally solved by
+    the greedy sweep below — this is the paper's "hitting set algorithm to
+    find the best partitioning strategy" (Section IV-A) specialized to
+    straight-line code. *)
+
+type interval = { lo : int; hi : int }
+
+(** Returns the chosen cut indices, ascending; every interval [i] satisfies
+    [i.lo < c <= i.hi] for some returned [c]. *)
+let stab (intervals : interval list) : int list =
+  let sorted = List.sort (fun a b -> compare a.hi b.hi) intervals in
+  let cuts = ref [] in
+  let last_cut = ref min_int in
+  List.iter
+    (fun itv ->
+      if itv.lo >= itv.hi + 1 then invalid_arg "Hitting.stab: empty interval";
+      let covered = itv.lo < !last_cut && !last_cut <= itv.hi in
+      if not covered then begin
+        last_cut := itv.hi;
+        cuts := itv.hi :: !cuts
+      end)
+    sorted;
+  List.rev !cuts

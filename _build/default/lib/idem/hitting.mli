@@ -1,0 +1,12 @@
+(** Interval hitting-set ("stabbing") used to choose in-block cut points —
+    the paper's "hitting set algorithm to find the best partitioning
+    strategy" (Section IV-A) specialized to straight-line code. *)
+
+(** An antidependence pair: load at index [lo], store at index [hi]; a
+    boundary before any index c with [lo < c <= hi] cuts it. *)
+type interval = { lo : int; hi : int }
+
+(** Minimum cut indices (greedy sweep, optimal for intervals), ascending;
+    every interval is stabbed. Raises [Invalid_argument] on an empty
+    interval. *)
+val stab : interval list -> int list

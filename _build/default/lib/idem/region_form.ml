@@ -1,0 +1,153 @@
+(** Idempotent region formation (De Kruijf-style, Section IV-A).
+
+    Phase 1 places the initial boundaries: at function entry, at every loop
+    header (one region per iteration), and around every call site and
+    synchronization point (atomics, fences). Phase 2 iteratively cuts any
+    remaining memory antidependence: in-block pairs are cut with the
+    optimal interval hitting set, cross-block pairs by a boundary directly
+    before the offending store. The result is verified with the
+    independent checker [Antidep.violations]. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+
+(* Synchronization points are isolated into their own single-instruction
+   region (boundaries on both sides); call sites only need a boundary
+   *after* the call — the callee's entry boundary already separates the
+   pre-call code, while a boundary after the call cuts any antidependence
+   between the callee's tail and the caller's continuation, which the
+   per-function checker cannot see. *)
+let boundary_before (ins : Types.instr) =
+  match ins with
+  | Atomic_rmw _ | Cas _ | Fence -> true
+  | Call _ | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Store _ | Ckpt _
+  | Boundary _ -> false
+
+let boundary_after (ins : Types.instr) =
+  match ins with
+  | Call _ | Atomic_rmw _ | Cas _ | Fence -> true
+  | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Store _ | Ckpt _ | Boundary _ ->
+    false
+
+(** Insert fresh boundaries before the given (block, index) positions.
+    Indices refer to the function *before* insertion. Boundaries directly
+    adjacent to an existing or just-inserted boundary are skipped — two
+    back-to-back boundaries delimit an empty region and serve no purpose. *)
+let insert_boundaries ~next_id (fn : Prog.func) (positions : (int * int) list) :
+    Prog.func =
+  let by_block = Hashtbl.create 8 in
+  List.iter
+    (fun (bi, ii) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_block bi) in
+      if not (List.mem ii cur) then Hashtbl.replace by_block bi (ii :: cur))
+    positions;
+  let blocks =
+    Array.mapi
+      (fun bi (blk : Prog.block) ->
+        match Hashtbl.find_opt by_block bi with
+        | None -> blk
+        | Some iis ->
+          let iis = List.sort compare iis in
+          let rec rebuild idx instrs pending acc =
+            let insert_here =
+              match pending with p :: _ when p = idx -> true | _ -> false
+            in
+            if insert_here then begin
+              let pending = List.tl pending in
+              (* skip if adjacent to a boundary on either side *)
+              let prev_is_boundary =
+                match acc with Types.Boundary _ :: _ -> true | _ -> false
+              in
+              let next_is_boundary =
+                match instrs with Types.Boundary _ :: _ -> true | _ -> false
+              in
+              if prev_is_boundary || next_is_boundary then
+                rebuild idx instrs pending acc
+              else begin
+                let id = !next_id in
+                incr next_id;
+                rebuild idx instrs pending (Types.Boundary id :: acc)
+              end
+            end
+            else
+              match instrs with
+              | [] -> List.rev acc
+              | ins :: rest -> rebuild (idx + 1) rest pending (ins :: acc)
+          in
+          { blk with instrs = rebuild 0 blk.instrs iis [] })
+      fn.blocks
+  in
+  { fn with blocks }
+
+(* Phase 1: entry, loop headers, around calls and sync points. *)
+let initial_boundaries ~next_id (fn : Prog.func) : Prog.func =
+  let headers = Loops.headers fn in
+  let positions = ref [ (0, 0) ] in
+  Array.iteri
+    (fun bi _ -> if headers.(bi) then positions := (bi, 0) :: !positions)
+    fn.blocks;
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      List.iteri
+        (fun ii ins ->
+          if boundary_before ins then positions := (bi, ii) :: !positions;
+          if boundary_after ins then positions := (bi, ii + 1) :: !positions)
+        blk.instrs)
+    fn.blocks;
+  insert_boundaries ~next_id fn !positions
+
+(* Phase 2: iterative antidependence cutting. *)
+let rec cut_antideps ~next_id ~iter (fn : Prog.func) : Prog.func =
+  match Antidep.violations fn with
+  | [] -> fn
+  | pairs ->
+    if iter > 50 then
+      failwith
+        (Printf.sprintf
+           "Region_form: %s did not converge; %d pairs remain, e.g. %s"
+           fn.name (List.length pairs)
+           (Antidep.pair_to_string (List.hd pairs)));
+    let in_block, cross_block =
+      List.partition
+        (fun (p : Antidep.pair) -> p.load.p_bi = p.store.p_bi)
+        pairs
+    in
+    let positions = ref [] in
+    (* optimal stabbing per block for in-block pairs *)
+    let by_block = Hashtbl.create 8 in
+    List.iter
+      (fun (p : Antidep.pair) ->
+        let cur =
+          Option.value ~default:[] (Hashtbl.find_opt by_block p.load.p_bi)
+        in
+        Hashtbl.replace by_block p.load.p_bi
+          ({ Hitting.lo = p.load.p_ii; hi = p.store.p_ii } :: cur))
+      in_block;
+    Hashtbl.iter
+      (fun bi intervals ->
+        List.iter (fun c -> positions := (bi, c) :: !positions) (Hitting.stab intervals))
+      by_block;
+    (* cut directly before the store for cross-block pairs *)
+    List.iter
+      (fun (p : Antidep.pair) ->
+        positions := (p.store.p_bi, p.store.p_ii) :: !positions)
+      cross_block;
+    let fn' = insert_boundaries ~next_id fn !positions in
+    cut_antideps ~next_id ~iter:(iter + 1) fn'
+
+(** Partition one function into idempotent regions. *)
+let run_func (fn : Prog.func) : Prog.func =
+  let next_id = ref (Prog.max_boundary_id fn + 1) in
+  let fn = initial_boundaries ~next_id fn in
+  cut_antideps ~next_id ~iter:0 fn
+
+(** Partition every function of the program — user code, runtime library
+    and kernel-entry path alike: this is what makes the scheme
+    whole-system (Section IV-D). *)
+let run (p : Prog.t) : Prog.t = Prog.map_funcs run_func p
+
+(** Static region count of a function (= number of boundaries). *)
+let boundary_count (fn : Prog.func) =
+  Prog.fold_instrs
+    (fun n _ _ ins -> match ins with Types.Boundary _ -> n + 1 | _ -> n)
+    0 fn

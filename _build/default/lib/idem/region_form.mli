@@ -1,0 +1,21 @@
+(** Idempotent region formation (De Kruijf-style, Section IV-A).
+
+    Phase 1 places initial boundaries: at function entry, at every loop
+    header (one region per iteration), after call sites and around every
+    synchronization point. Phase 2 iteratively cuts remaining memory
+    antidependences: in-block pairs via the optimal interval hitting set,
+    cross-block pairs by a boundary directly before the offending store.
+    The result satisfies [Antidep.violations fn = []]. *)
+
+open Cwsp_ir
+
+(** Partition one function; pre-existing (manually placed) boundaries are
+    kept. Raises [Failure] if cutting fails to converge. *)
+val run_func : Prog.func -> Prog.func
+
+(** Partition every function of the program — user code, runtime library
+    and kernel-entry path alike (Section IV-D). *)
+val run : Prog.t -> Prog.t
+
+(** Static region count (= number of boundaries). *)
+val boundary_count : Prog.func -> int

@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Cwsp_ir Eval Event Hashtbl Layout List Memory Prog Trace Types

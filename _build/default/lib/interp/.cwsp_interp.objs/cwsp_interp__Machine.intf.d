@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Cwsp_ir Hashtbl Memory Prog Trace Types

@@ -1,0 +1,1 @@
+lib/interp/multi.ml: Array Cwsp_ir Hashtbl List Machine Memory Option Prog Trace

@@ -1,0 +1,1 @@
+lib/interp/multi.mli: Cwsp_ir Machine Memory Prog Trace

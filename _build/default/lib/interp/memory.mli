@@ -1,0 +1,29 @@
+(** Sparse paged word-addressable memory.
+
+    4 KiB pages materialize on first touch; untouched memory reads as
+    zero. Words are native ints (the IR machine word); addresses must be
+    8-byte aligned. *)
+
+type t
+
+val page_words : int
+val page_bytes : int
+
+val create : unit -> t
+
+(** Raise [Invalid_argument] on unaligned or negative addresses. *)
+val read : t -> int -> int
+
+val write : t -> int -> int -> unit
+
+(** Deep copy. *)
+val snapshot : t -> t
+
+(** Structural equality treating absent pages as zero-filled. *)
+val equal : t -> t -> bool
+
+(** First differing (address, left value, right value), if any. *)
+val first_diff : t -> t -> (int * int * int) option
+
+(** Iterate non-zero words as [f addr value]. *)
+val iter : (int -> int -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/ir/parse.pp.ml: Array List Printf Prog String Types

@@ -1,0 +1,1 @@
+lib/ir/parse.pp.mli: Prog

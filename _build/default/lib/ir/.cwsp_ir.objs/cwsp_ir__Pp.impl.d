@@ -1,0 +1,1 @@
+lib/ir/pp.pp.ml: Array Buffer List Printf Prog String Types

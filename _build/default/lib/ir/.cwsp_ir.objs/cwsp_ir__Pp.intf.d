@@ -1,0 +1,1 @@
+lib/ir/pp.pp.mli: Prog Types

@@ -1,0 +1,1 @@
+lib/ir/prog.pp.ml: Array List Printf Types

@@ -1,0 +1,1 @@
+lib/ir/prog.pp.mli: Types

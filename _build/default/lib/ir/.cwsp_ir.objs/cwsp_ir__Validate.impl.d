@@ -1,0 +1,1 @@
+lib/ir/validate.pp.ml: Array Hashtbl List Printf Prog String Types

@@ -1,0 +1,219 @@
+(** Imperative construction DSL for IR programs.
+
+    Workload generators and the runtime library build programs through this
+    module; it guarantees well-formed output (every block terminated, fresh
+    registers, labels valid) which [Validate] then double-checks. *)
+
+open Types
+
+type pending_block = {
+  mutable rev_instrs : instr list;
+  mutable pterm : term option;
+}
+
+type fb = {
+  fname : string;
+  fnparams : int;
+  mutable next_reg : int;
+  mutable pblocks : pending_block array;
+  mutable nblocks : int;
+  mutable current : label;
+}
+
+type t = {
+  mutable rev_globals : Prog.global list;
+  mutable rev_funcs : (string * Prog.func) list;
+  mutable bmain : string option;
+}
+
+let program () = { rev_globals = []; rev_funcs = []; bmain = None }
+
+let global t name ~size ?(init = []) () =
+  if size <= 0 || size mod 8 <> 0 then
+    invalid_arg "Builder.global: size must be a positive multiple of 8";
+  t.rev_globals <- { Prog.gname = name; size; init } :: t.rev_globals
+
+(* ---- function building ---- *)
+
+let new_pending () = { rev_instrs = []; pterm = None }
+
+let fresh fb =
+  let r = fb.next_reg in
+  fb.next_reg <- r + 1;
+  r
+
+let param fb i =
+  if i < 0 || i >= fb.fnparams then invalid_arg "Builder.param: out of range";
+  i
+
+let block fb =
+  if fb.nblocks = Array.length fb.pblocks then begin
+    let bigger = Array.make (max 8 (2 * fb.nblocks)) (new_pending ()) in
+    Array.blit fb.pblocks 0 bigger 0 fb.nblocks;
+    fb.pblocks <- bigger
+  end;
+  let l = fb.nblocks in
+  fb.pblocks.(l) <- new_pending ();
+  fb.nblocks <- l + 1;
+  l
+
+let switch_to fb l =
+  if l < 0 || l >= fb.nblocks then invalid_arg "Builder.switch_to: bad label";
+  fb.current <- l
+
+let emit fb ins =
+  let pb = fb.pblocks.(fb.current) in
+  if pb.pterm <> None then
+    invalid_arg
+      (Printf.sprintf "Builder.emit: block %d of %s already terminated"
+         fb.current fb.fname);
+  pb.rev_instrs <- ins :: pb.rev_instrs
+
+let terminate fb tm =
+  let pb = fb.pblocks.(fb.current) in
+  if pb.pterm <> None then
+    invalid_arg
+      (Printf.sprintf "Builder.terminate: block %d of %s already terminated"
+         fb.current fb.fname);
+  pb.pterm <- Some tm
+
+(* ---- typed instruction helpers; each returns the destination register
+   where one exists ---- *)
+
+let bin fb op a b =
+  let dst = fresh fb in
+  emit fb (Bin (op, dst, a, b));
+  dst
+
+let add fb a b = bin fb Add a b
+let sub fb a b = bin fb Sub a b
+let mul fb a b = bin fb Mul a b
+
+let cmp fb op a b =
+  let dst = fresh fb in
+  emit fb (Cmp (op, dst, a, b));
+  dst
+
+let mov fb src =
+  let dst = fresh fb in
+  emit fb (Mov (dst, src));
+  dst
+
+let imm fb v = mov fb (Imm v)
+
+let la fb sym =
+  let dst = fresh fb in
+  emit fb (La (dst, sym));
+  dst
+
+let load fb base off =
+  let dst = fresh fb in
+  emit fb (Load (dst, base, off));
+  dst
+
+let store fb base off src = emit fb (Store (base, off, src))
+
+let call fb callee args =
+  let dst = fresh fb in
+  emit fb (Call (callee, args, Some dst));
+  dst
+
+let call_void fb callee args = emit fb (Call (callee, args, None))
+
+let atomic_rmw fb op base off src =
+  let dst = fresh fb in
+  emit fb (Atomic_rmw (op, dst, base, off, src));
+  dst
+
+let cas fb base off ~expected ~desired =
+  let dst = fresh fb in
+  emit fb (Cas (dst, base, off, expected, desired));
+  dst
+
+let fence fb = emit fb Fence
+
+(* ---- terminators ---- *)
+
+let jmp fb l = terminate fb (Jmp l)
+let br fb cond ~ifso ~ifnot = terminate fb (Br (cond, ifso, ifnot))
+let ret fb op = terminate fb (Ret op)
+
+(** Structured counted loop: [loop fb ~from ~below body] runs [body] with
+    the induction variable register for i in [from, below). The induction
+    variable lives in a dedicated register that body must not write. *)
+let loop fb ~(from : operand) ~(below : operand) body =
+  let header = block fb in
+  let body_l = block fb in
+  let exit_l = block fb in
+  let ivar = fresh fb in
+  emit fb (Mov (ivar, from));
+  jmp fb header;
+  switch_to fb header;
+  let c = cmp fb Lt (Reg ivar) below in
+  br fb c ~ifso:body_l ~ifnot:exit_l;
+  switch_to fb body_l;
+  body ivar;
+  (* body may have moved the current block; increment wherever we are *)
+  emit fb (Bin (Add, ivar, Reg ivar, Imm 1));
+  jmp fb header;
+  switch_to fb exit_l;
+  ivar
+
+(** If-then-else on [cond <> 0]; both branches must leave their last block
+    unterminated (they are joined automatically). *)
+let if_ fb cond ~then_ ~else_ =
+  let tl = block fb in
+  let el = block fb in
+  let join = block fb in
+  br fb cond ~ifso:tl ~ifnot:el;
+  switch_to fb tl;
+  then_ ();
+  jmp fb join;
+  switch_to fb el;
+  else_ ();
+  jmp fb join;
+  switch_to fb join
+
+(* ---- finishing ---- *)
+
+let func t name ~nparams build =
+  let fb =
+    {
+      fname = name;
+      fnparams = nparams;
+      next_reg = nparams;
+      pblocks = Array.init 8 (fun _ -> new_pending ());
+      nblocks = 0;
+      current = 0;
+    }
+  in
+  let entry = block fb in
+  switch_to fb entry;
+  build fb;
+  let blocks =
+    Array.init fb.nblocks (fun i ->
+        let pb = fb.pblocks.(i) in
+        match pb.pterm with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Builder.func: block %d of %s not terminated" i name)
+        | Some term -> { Prog.instrs = List.rev pb.rev_instrs; term })
+  in
+  let f =
+    { Prog.name; nparams; nregs = fb.next_reg; blocks }
+  in
+  t.rev_funcs <- (name, f) :: t.rev_funcs
+
+let set_main t name = t.bmain <- Some name
+
+let finish t =
+  let main =
+    match t.bmain with
+    | Some m -> m
+    | None -> invalid_arg "Builder.finish: main function not set"
+  in
+  {
+    Prog.globals = List.rev t.rev_globals;
+    funcs = List.rev t.rev_funcs;
+    main;
+  }

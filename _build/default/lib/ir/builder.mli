@@ -1,0 +1,83 @@
+(** Imperative construction DSL for IR programs.
+
+    Workload generators and the runtime library build programs through
+    this module; it guarantees well-formed output (every block
+    terminated, fresh registers, valid labels), which [Validate]
+    double-checks. Typed helpers return the destination register where
+    one exists. *)
+
+open Types
+
+(** A program under construction. *)
+type t
+
+(** A function under construction. *)
+type fb
+
+val program : unit -> t
+
+(** Declare a global of [size] bytes (positive multiple of 8) with
+    optional word-indexed initial values. *)
+val global : t -> string -> size:int -> ?init:(int * int) list -> unit -> unit
+
+(** [func t name ~nparams build] adds a function whose body [build]
+    emits; parameters are registers [0 .. nparams-1]. Raises if any block
+    is left unterminated. *)
+val func : t -> string -> nparams:int -> (fb -> unit) -> unit
+
+val set_main : t -> string -> unit
+
+(** Assemble the program. Raises when no main was set. *)
+val finish : t -> Prog.t
+
+(** {2 Registers, blocks, raw emission} *)
+
+val fresh : fb -> reg
+val param : fb -> int -> reg
+
+(** Create a new (empty, unterminated) block; returns its label. *)
+val block : fb -> label
+
+(** Make the given block current for subsequent emission. *)
+val switch_to : fb -> label -> unit
+
+(** Append an instruction to the current block. *)
+val emit : fb -> instr -> unit
+
+(** {2 Typed instruction helpers} *)
+
+val bin : fb -> binop -> operand -> operand -> reg
+val add : fb -> operand -> operand -> reg
+val sub : fb -> operand -> operand -> reg
+val mul : fb -> operand -> operand -> reg
+val cmp : fb -> cmpop -> operand -> operand -> reg
+val mov : fb -> operand -> reg
+
+(** Materialize an immediate. *)
+val imm : fb -> int -> reg
+
+(** Address of a global. *)
+val la : fb -> string -> reg
+
+val load : fb -> reg -> int -> reg
+val store : fb -> reg -> int -> operand -> unit
+val call : fb -> string -> operand list -> reg
+val call_void : fb -> string -> operand list -> unit
+val atomic_rmw : fb -> binop -> reg -> int -> operand -> reg
+val cas : fb -> reg -> int -> expected:operand -> desired:operand -> reg
+val fence : fb -> unit
+
+(** {2 Terminators and structured control} *)
+
+val jmp : fb -> label -> unit
+val br : fb -> reg -> ifso:label -> ifnot:label -> unit
+val ret : fb -> operand option -> unit
+
+(** Structured counted loop over [from, below); [body] receives the
+    induction register (which it must not write) and may create blocks.
+    Returns the induction register. *)
+val loop : fb -> from:operand -> below:operand -> (reg -> unit) -> reg
+
+(** If-then-else on [cond <> 0]; both branches are joined automatically
+    and must leave their final block unterminated. *)
+val if_ : fb -> reg -> then_:(unit -> unit) -> else_:(unit -> unit) -> unit

@@ -1,0 +1,40 @@
+(** Total evaluation semantics for IR operators over the 63-bit machine
+    word (native OCaml int).
+
+    Shared by the functional interpreter ([Cwsp_interp]) and the recovery
+    runtime ([Cwsp_recovery]) — recovery slices re-evaluate the very same
+    operators, so there is exactly one definition of each. *)
+
+let word_bits = Sys.int_size (* 63 on 64-bit platforms *)
+
+let binop (op : Types.binop) (a : int) (b : int) : int =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else if b = -1 then -a else a / b
+  | Rem -> if b = 0 then 0 else if b = -1 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl ->
+    let s = b land 63 in
+    if s >= word_bits then 0 else a lsl s
+  | Lshr ->
+    let s = b land 63 in
+    if s >= word_bits then 0 else a lsr s
+  | Ashr ->
+    let s = b land 63 in
+    if s >= word_bits then a asr (word_bits - 1) else a asr s
+
+let cmpop (op : Types.cmpop) (a : int) (b : int) : int =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if r then 1 else 0

@@ -1,0 +1,13 @@
+(** Total evaluation semantics for IR operators over the 63-bit machine
+    word (native OCaml int).
+
+    Shared by the functional interpreter and the recovery runtime —
+    recovery slices re-evaluate the very same operators, so there is
+    exactly one definition of each. Division and remainder by zero are
+    total (yield 0); shift amounts are masked to [0, 63] with
+    out-of-width shifts saturating. *)
+
+val word_bits : int
+
+val binop : Types.binop -> int -> int -> int
+val cmpop : Types.cmpop -> int -> int -> int

@@ -1,0 +1,373 @@
+(** Parser for the textual IR syntax produced by [Pp] — programs
+    round-trip through [Pp.program_str] and [Parse.program], which gives
+    the [cwspc] driver a file format and the test suite a printer/parser
+    consistency oracle.
+
+    Grammar (one construct per line, '#' starts a comment):
+    {v
+    global @name : <bytes> bytes
+    main = <name>
+    func <name>(<nparams> params, <nregs> regs):
+    .b<k>:
+      r1 = add r2, 3
+      r4 = cmp.lt r1, 10
+      r5 = mov 7
+      r6 = la @g
+      r7 = load [r6 + 8]
+      store [r6 + 0], r7
+      r8 = call f(r1, 2)
+      call f(r1)
+      r9 = atomic.add [r6 + 0], 1
+      r10 = cas [r6 + 0], 0 -> 1
+      fence
+      ckpt r3
+      --- region boundary #2 ---
+      jmp .b1
+      br r4, .b1, .b2
+      ret r1
+      ret
+    v} *)
+
+open Types
+
+exception Parse_error of int * string (* line number, message *)
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+(* ---- tokens-by-regex-free scanning helpers ---- *)
+
+let is_space c = c = ' ' || c = '\t'
+let strip s = String.trim s
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let after ~prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+(* split "a, b, c" at top level commas *)
+let split_commas s =
+  if strip s = "" then []
+  else String.split_on_char ',' s |> List.map strip
+
+let parse_int ln s =
+  match int_of_string_opt (strip s) with
+  | Some v -> v
+  | None -> fail ln "expected integer, got %S" s
+
+let parse_reg ln s =
+  let s = strip s in
+  if String.length s >= 2 && s.[0] = 'r' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some r -> r
+    | None -> fail ln "bad register %S" s
+  else fail ln "expected register, got %S" s
+
+let parse_operand ln s =
+  let s = strip s in
+  if String.length s >= 1 && s.[0] = 'r' && String.length s > 1
+     && s.[1] >= '0' && s.[1] <= '9'
+  then Reg (parse_reg ln s)
+  else Imm (parse_int ln s)
+
+let parse_label ln s =
+  let s = strip s in
+  if starts_with ~prefix:".b" s then parse_int ln (after ~prefix:".b" s)
+  else fail ln "expected label, got %S" s
+
+let binop_of_string = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "div" -> Some Div | "rem" -> Some Rem | "and" -> Some And
+  | "or" -> Some Or | "xor" -> Some Xor | "shl" -> Some Shl
+  | "lshr" -> Some Lshr | "ashr" -> Some Ashr
+  | _ -> None
+
+let cmpop_of_string = function
+  | "eq" -> Some Eq | "ne" -> Some Ne | "lt" -> Some Lt | "le" -> Some Le
+  | "gt" -> Some Gt | "ge" -> Some Ge
+  | _ -> None
+
+(* parse "[rN + K]", allowing negative K as "[rN + -8]" *)
+let parse_mem ln s =
+  let s = strip s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail ln "expected [reg + off], got %S" s;
+  let inner = String.sub s 1 (n - 2) in
+  match String.index_opt inner '+' with
+  | Some i ->
+    let base = parse_reg ln (String.sub inner 0 i) in
+    let off = parse_int ln (String.sub inner (i + 1) (String.length inner - i - 1)) in
+    (base, off)
+  | None -> (parse_reg ln inner, 0)
+
+(* parse "name(arg, arg)" *)
+let parse_call ln s =
+  let s = strip s in
+  match String.index_opt s '(' with
+  | None -> fail ln "expected call syntax, got %S" s
+  | Some i ->
+    let callee = String.sub s 0 i in
+    let n = String.length s in
+    if s.[n - 1] <> ')' then fail ln "unterminated call %S" s;
+    let args = String.sub s (i + 1) (n - i - 2) in
+    (strip callee, List.map (parse_operand ln) (split_commas args))
+
+(* "r1 = <rhs>" -> Some (r1, rhs) *)
+let parse_assign s =
+  match String.index_opt s '=' with
+  | Some i when i > 0 ->
+    let lhs = strip (String.sub s 0 i) in
+    let rhs = strip (String.sub s (i + 1) (String.length s - i - 1)) in
+    if String.length lhs > 1 && lhs.[0] = 'r' then Some (lhs, rhs) else None
+  | _ -> None
+
+let parse_instr ln s : instr =
+  let s = strip s in
+  if starts_with ~prefix:"--- region boundary #" s then begin
+    let rest = after ~prefix:"--- region boundary #" s in
+    match String.index_opt rest ' ' with
+    | Some i -> Boundary (parse_int ln (String.sub rest 0 i))
+    | None -> Boundary (parse_int ln rest)
+  end
+  else if s = "fence" then Fence
+  else if starts_with ~prefix:"ckpt " s then Ckpt (parse_reg ln (after ~prefix:"ckpt " s))
+  else if starts_with ~prefix:"store " s then begin
+    (* store [rN + K], src *)
+    let rest = after ~prefix:"store " s in
+    match String.index_opt rest ']' with
+    | None -> fail ln "bad store %S" s
+    | Some i ->
+      let mem = String.sub rest 0 (i + 1) in
+      let base, off = parse_mem ln mem in
+      let tail = strip (String.sub rest (i + 1) (String.length rest - i - 1)) in
+      if not (starts_with ~prefix:"," tail) then fail ln "bad store %S" s;
+      Store (base, off, parse_operand ln (after ~prefix:"," tail))
+  end
+  else if starts_with ~prefix:"call " s then begin
+    let callee, args = parse_call ln (after ~prefix:"call " s) in
+    Call (callee, args, None)
+  end
+  else
+    match parse_assign s with
+    | None -> fail ln "unrecognized instruction %S" s
+    | Some (lhs, rhs) -> (
+      let dst = parse_reg ln lhs in
+      if starts_with ~prefix:"mov " rhs then Mov (dst, parse_operand ln (after ~prefix:"mov " rhs))
+      else if starts_with ~prefix:"la @" rhs then La (dst, strip (after ~prefix:"la @" rhs))
+      else if starts_with ~prefix:"load " rhs then begin
+        let base, off = parse_mem ln (after ~prefix:"load " rhs) in
+        Load (dst, base, off)
+      end
+      else if starts_with ~prefix:"call " rhs then begin
+        let callee, args = parse_call ln (after ~prefix:"call " rhs) in
+        Call (callee, args, Some dst)
+      end
+      else if starts_with ~prefix:"cmp." rhs then begin
+        let rest = after ~prefix:"cmp." rhs in
+        match String.index_opt rest ' ' with
+        | None -> fail ln "bad cmp %S" rhs
+        | Some i -> (
+          let opname = String.sub rest 0 i in
+          match cmpop_of_string opname with
+          | None -> fail ln "unknown cmp op %S" opname
+          | Some op -> (
+            match split_commas (String.sub rest i (String.length rest - i)) with
+            | [ a; b ] -> Cmp (op, dst, parse_operand ln a, parse_operand ln b)
+            | _ -> fail ln "cmp needs two operands: %S" rhs))
+      end
+      else if starts_with ~prefix:"atomic." rhs then begin
+        let rest = after ~prefix:"atomic." rhs in
+        match String.index_opt rest ' ' with
+        | None -> fail ln "bad atomic %S" rhs
+        | Some i -> (
+          let opname = String.sub rest 0 i in
+          match binop_of_string opname with
+          | None -> fail ln "unknown atomic op %S" opname
+          | Some op -> (
+            let tail = strip (String.sub rest i (String.length rest - i)) in
+            match String.index_opt tail ']' with
+            | None -> fail ln "bad atomic %S" rhs
+            | Some j ->
+              let base, off = parse_mem ln (String.sub tail 0 (j + 1)) in
+              let rest2 = strip (String.sub tail (j + 1) (String.length tail - j - 1)) in
+              if not (starts_with ~prefix:"," rest2) then fail ln "bad atomic %S" rhs;
+              Atomic_rmw (op, dst, base, off, parse_operand ln (after ~prefix:"," rest2))))
+      end
+      else if starts_with ~prefix:"cas " rhs then begin
+        (* cas [rN + K], e -> d *)
+        let rest = after ~prefix:"cas " rhs in
+        match String.index_opt rest ']' with
+        | None -> fail ln "bad cas %S" rhs
+        | Some j -> (
+          let base, off = parse_mem ln (String.sub rest 0 (j + 1)) in
+          let tail = strip (String.sub rest (j + 1) (String.length rest - j - 1)) in
+          if not (starts_with ~prefix:"," tail) then fail ln "bad cas %S" rhs;
+          let tail = strip (after ~prefix:"," tail) in
+          match
+            (* split on "->" *)
+            let rec find i =
+              if i + 1 >= String.length tail then None
+              else if tail.[i] = '-' && tail.[i + 1] = '>' then Some i
+              else find (i + 1)
+            in
+            find 0
+          with
+          | None -> fail ln "cas needs '->': %S" rhs
+          | Some i ->
+            let e = String.sub tail 0 i in
+            let d = String.sub tail (i + 2) (String.length tail - i - 2) in
+            Cas (dst, base, off, parse_operand ln e, parse_operand ln d))
+      end
+      else begin
+        (* binary op: "<op> a, b" *)
+        match String.index_opt rhs ' ' with
+        | None -> fail ln "unrecognized rhs %S" rhs
+        | Some i -> (
+          let opname = String.sub rhs 0 i in
+          match binop_of_string opname with
+          | None -> fail ln "unknown op %S" opname
+          | Some op -> (
+            match split_commas (String.sub rhs i (String.length rhs - i)) with
+            | [ a; b ] -> Bin (op, dst, parse_operand ln a, parse_operand ln b)
+            | _ -> fail ln "binop needs two operands: %S" rhs))
+      end)
+
+let parse_term ln s : term option =
+  let s = strip s in
+  if starts_with ~prefix:"jmp " s then Some (Jmp (parse_label ln (after ~prefix:"jmp " s)))
+  else if starts_with ~prefix:"br " s then begin
+    match split_commas (after ~prefix:"br " s) with
+    | [ c; a; b ] -> Some (Br (parse_reg ln c, parse_label ln a, parse_label ln b))
+    | _ -> fail ln "br needs three operands: %S" s
+  end
+  else if s = "ret" then Some (Ret None)
+  else if starts_with ~prefix:"ret " s then
+    Some (Ret (Some (parse_operand ln (after ~prefix:"ret " s))))
+  else None
+
+(* "func name(<p> params, <r> regs):" *)
+let parse_func_header ln s =
+  let rest = after ~prefix:"func " s in
+  match String.index_opt rest '(' with
+  | None -> fail ln "bad func header %S" s
+  | Some i -> (
+    let name = strip (String.sub rest 0 i) in
+    let n = String.length rest in
+    match String.index_opt rest ')' with
+    | None -> fail ln "bad func header %S" s
+    | Some j ->
+      ignore n;
+      let inner = String.sub rest (i + 1) (j - i - 1) in
+      (match split_commas inner with
+      | [ p; r ] when starts_with ~prefix:"" p ->
+        let nparams =
+          match String.split_on_char ' ' (strip p) with
+          | np :: _ -> parse_int ln np
+          | [] -> fail ln "bad params %S" p
+        in
+        let nregs =
+          match String.split_on_char ' ' (strip r) with
+          | nr :: _ -> parse_int ln nr
+          | [] -> fail ln "bad regs %S" r
+        in
+        (name, nparams, nregs)
+      | _ -> fail ln "bad func header %S" s))
+
+type pblock = { mutable rinstrs : instr list; mutable pterm : term option }
+
+(** Parse a whole program from the [Pp.program_str] syntax. *)
+let program (text : string) : Prog.t =
+  let lines = String.split_on_char '\n' text in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let main = ref None in
+  (* current function being assembled *)
+  let cur : (string * int * int) option ref = ref None in
+  let blocks : pblock list ref = ref [] in
+  let curblock : pblock option ref = ref None in
+  let finish_func () =
+    match !cur with
+    | None -> ()
+    | Some (name, nparams, nregs) ->
+      let bs = List.rev !blocks in
+      let blocks =
+        Array.of_list
+          (List.mapi
+             (fun i (pb : pblock) ->
+               match pb.pterm with
+               | Some term -> { Prog.instrs = List.rev pb.rinstrs; term }
+               | None -> failwith (Printf.sprintf "block %d of %s unterminated" i name))
+             bs)
+      in
+      funcs := (name, { Prog.name; nparams; nregs; blocks }) :: !funcs;
+      cur := None;
+      curblock := None;
+      blocks |> ignore
+  in
+  List.iteri
+    (fun idx raw ->
+      let ln = idx + 1 in
+      let line = strip raw in
+      let line =
+        match String.index_opt line '#' with
+        | Some 0 -> ""
+        | _ -> line
+      in
+      if line = "" then ()
+      else if starts_with ~prefix:"global @" line then begin
+        let rest = after ~prefix:"global @" line in
+        match String.index_opt rest ':' with
+        | None -> fail ln "bad global %S" line
+        | Some i ->
+          let name = strip (String.sub rest 0 i) in
+          let tail = strip (String.sub rest (i + 1) (String.length rest - i - 1)) in
+          let size, init =
+            match String.split_on_char ' ' tail with
+            | sz :: "bytes" :: "init" :: pairs ->
+              let init =
+                List.map
+                  (fun pr ->
+                    match String.split_on_char ':' pr with
+                    | [ w; v ] -> (parse_int ln w, parse_int ln v)
+                    | _ -> fail ln "bad init pair %S" pr)
+                  (List.filter (fun x -> x <> "") pairs)
+              in
+              (parse_int ln sz, init)
+            | sz :: _ -> (parse_int ln sz, [])
+            | [] -> fail ln "bad global size %S" tail
+          in
+          globals := { Prog.gname = name; size; init } :: !globals
+      end
+      else if starts_with ~prefix:"main = " line then
+        main := Some (strip (after ~prefix:"main = " line))
+      else if starts_with ~prefix:"func " line then begin
+        finish_func ();
+        cur := Some (parse_func_header ln line);
+        blocks := []
+      end
+      else if starts_with ~prefix:".b" line then begin
+        (* block label ".bK:" *)
+        let pb = { rinstrs = []; pterm = None } in
+        blocks := pb :: !blocks;
+        curblock := Some pb
+      end
+      else begin
+        match !curblock with
+        | None -> fail ln "instruction outside a block: %S" line
+        | Some pb -> (
+          match parse_term ln line with
+          | Some t ->
+            if pb.pterm <> None then fail ln "second terminator: %S" line;
+            pb.pterm <- Some t
+          | None ->
+            if pb.pterm <> None then fail ln "instruction after terminator: %S" line;
+            pb.rinstrs <- parse_instr ln line :: pb.rinstrs)
+      end;
+      ignore is_space)
+    lines;
+  finish_func ();
+  let main =
+    match !main with Some m -> m | None -> failwith "Parse.program: no main"
+  in
+  { Prog.globals = List.rev !globals; funcs = List.rev !funcs; main }

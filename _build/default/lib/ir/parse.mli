@@ -1,0 +1,12 @@
+(** Parser for the textual IR syntax produced by [Pp]: programs
+    round-trip through [Pp.program_str] and [program], giving the
+    [cwspc] driver a file format and the test suite a printer/parser
+    consistency oracle. The grammar is documented in the implementation
+    header. *)
+
+exception Parse_error of int * string (** line number, message *)
+
+(** Parse a whole program. Raises [Parse_error] on malformed input and
+    [Failure] on structural problems (unterminated block, missing
+    main). The result should be [Validate.check]ed. *)
+val program : string -> Prog.t

@@ -1,0 +1,75 @@
+(** Human-readable assembly-like printing of IR programs, used by the
+    [cwspc --dump-ir] driver and by examples to show where the compiler
+    placed boundaries and checkpoints. *)
+
+open Types
+
+let operand_str = function
+  | Reg r -> Printf.sprintf "r%d" r
+  | Imm v -> string_of_int v
+
+let binop_str = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let cmpop_str = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let instr_str = function
+  | Bin (op, d, a, b) ->
+    Printf.sprintf "r%d = %s %s, %s" d (binop_str op) (operand_str a) (operand_str b)
+  | Cmp (op, d, a, b) ->
+    Printf.sprintf "r%d = cmp.%s %s, %s" d (cmpop_str op) (operand_str a)
+      (operand_str b)
+  | Mov (d, s) -> Printf.sprintf "r%d = mov %s" d (operand_str s)
+  | La (d, sym) -> Printf.sprintf "r%d = la @%s" d sym
+  | Load (d, b, off) -> Printf.sprintf "r%d = load [r%d + %d]" d b off
+  | Store (b, off, s) -> Printf.sprintf "store [r%d + %d], %s" b off (operand_str s)
+  | Call (f, args, ret) ->
+    let args = String.concat ", " (List.map operand_str args) in
+    (match ret with
+    | Some d -> Printf.sprintf "r%d = call %s(%s)" d f args
+    | None -> Printf.sprintf "call %s(%s)" f args)
+  | Atomic_rmw (op, d, b, off, s) ->
+    Printf.sprintf "r%d = atomic.%s [r%d + %d], %s" d (binop_str op) b off
+      (operand_str s)
+  | Cas (d, b, off, e, v) ->
+    Printf.sprintf "r%d = cas [r%d + %d], %s -> %s" d b off (operand_str e)
+      (operand_str v)
+  | Fence -> "fence"
+  | Ckpt r -> Printf.sprintf "ckpt r%d" r
+  | Boundary id -> Printf.sprintf "--- region boundary #%d ---" id
+
+let term_str = function
+  | Jmp l -> Printf.sprintf "jmp .b%d" l
+  | Br (c, a, b) -> Printf.sprintf "br r%d, .b%d, .b%d" c a b
+  | Ret (Some op) -> Printf.sprintf "ret %s" (operand_str op)
+  | Ret None -> "ret"
+
+let func_str (f : Prog.func) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "func %s(%d params, %d regs):\n" f.name f.nparams f.nregs;
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      Printf.bprintf buf ".b%d:\n" bi;
+      List.iter (fun ins -> Printf.bprintf buf "  %s\n" (instr_str ins)) blk.instrs;
+      Printf.bprintf buf "  %s\n" (term_str blk.term))
+    f.blocks;
+  Buffer.contents buf
+
+let program_str (p : Prog.t) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (g : Prog.global) ->
+      Printf.bprintf buf "global @%s : %d bytes" g.gname g.size;
+      if g.init <> [] then begin
+        Buffer.add_string buf " init";
+        List.iter (fun (w, v) -> Printf.bprintf buf " %d:%d" w v) g.init
+      end;
+      Buffer.add_char buf '\n')
+    p.globals;
+  Printf.bprintf buf "main = %s\n\n" p.main;
+  List.iter (fun (_, f) -> Buffer.add_string buf (func_str f); Buffer.add_char buf '\n')
+    p.funcs;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Human-readable assembly-like printing of IR programs, used by the
+    [cwspc --dump-ir] driver and by examples to show where the compiler
+    placed boundaries and checkpoints. *)
+
+val operand_str : Types.operand -> string
+val binop_str : Types.binop -> string
+val cmpop_str : Types.cmpop -> string
+val instr_str : Types.instr -> string
+val term_str : Types.term -> string
+val func_str : Prog.func -> string
+val program_str : Prog.t -> string

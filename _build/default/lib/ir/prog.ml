@@ -1,0 +1,78 @@
+(** Basic blocks, functions, programs.
+
+    Blocks and functions are immutable; compiler passes construct new
+    functions rather than mutating in place, which keeps pass composition
+    and testing simple. *)
+
+type block = { instrs : Types.instr list; term : Types.term }
+
+(** Region-boundary metadata filled in by the cWSP compiler: the recovery
+    slice (Section VII) attached to a boundary id. Empty before the ckpt
+    pass runs. *)
+type func = {
+  name : string;
+  nparams : int;           (* parameters are registers 0 .. nparams-1 *)
+  nregs : int;             (* virtual register count *)
+  blocks : block array;    (* entry is blocks.(0) *)
+}
+
+type global = {
+  gname : string;
+  size : int;                       (* bytes; 8-byte aligned *)
+  init : (int * int) list;          (* word-index -> initial value *)
+}
+
+type t = {
+  globals : global list;
+  funcs : (string * func) list;     (* ordered, for deterministic printing *)
+  main : string;
+}
+
+let find_func t name = List.assoc_opt name t.funcs
+
+let func_exn t name =
+  match find_func t name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Prog.func_exn: no function %S" name)
+
+let find_global t name =
+  List.find_opt (fun g -> g.gname = name) t.globals
+
+(** Replace (or add) a function, preserving order. *)
+let with_func t f =
+  let replaced = ref false in
+  let funcs =
+    List.map
+      (fun (n, old) ->
+        if n = f.name then (
+          replaced := true;
+          (n, f))
+        else (n, old))
+      t.funcs
+  in
+  if !replaced then { t with funcs } else { t with funcs = t.funcs @ [ (f.name, f) ] }
+
+(** Apply [tr] to every function of the program. *)
+let map_funcs tr t = { t with funcs = List.map (fun (n, f) -> (n, tr f)) t.funcs }
+
+let iter_instrs f (fn : func) =
+  Array.iteri
+    (fun bi blk -> List.iteri (fun ii ins -> f bi ii ins) blk.instrs)
+    fn.blocks
+
+let fold_instrs f acc (fn : func) =
+  let acc = ref acc in
+  iter_instrs (fun bi ii ins -> acc := f !acc bi ii ins) fn;
+  !acc
+
+(** Static instruction count of a function (excluding terminators). *)
+let instr_count fn = fold_instrs (fun n _ _ _ -> n + 1) 0 fn
+
+let total_instr_count t =
+  List.fold_left (fun n (_, f) -> n + instr_count f) 0 t.funcs
+
+(** Highest boundary id used in the function, or -1. *)
+let max_boundary_id fn =
+  fold_instrs
+    (fun m _ _ ins -> match ins with Types.Boundary id -> max m id | _ -> m)
+    (-1) fn

@@ -1,0 +1,52 @@
+(** Basic blocks, functions, programs.
+
+    Blocks and functions are immutable; compiler passes construct new
+    functions rather than mutating in place, which keeps pass composition
+    and testing simple. *)
+
+type block = { instrs : Types.instr list; term : Types.term }
+
+type func = {
+  name : string;
+  nparams : int;        (** parameters are registers [0 .. nparams-1] *)
+  nregs : int;          (** virtual register count *)
+  blocks : block array; (** entry is [blocks.(0)] *)
+}
+
+type global = {
+  gname : string;
+  size : int;              (** bytes; 8-byte aligned *)
+  init : (int * int) list; (** word-index -> initial value *)
+}
+
+type t = {
+  globals : global list;
+  funcs : (string * func) list; (** ordered, for deterministic printing *)
+  main : string;
+}
+
+val find_func : t -> string -> func option
+
+(** Raises [Invalid_argument] when the function is missing. *)
+val func_exn : t -> string -> func
+
+val find_global : t -> string -> global option
+
+(** Replace (or append) a function, preserving order. *)
+val with_func : t -> func -> t
+
+(** Apply a transformation to every function of the program. *)
+val map_funcs : (func -> func) -> t -> t
+
+(** Iterate instructions as [f block_index instr_index instr]. *)
+val iter_instrs : (int -> int -> Types.instr -> unit) -> func -> unit
+
+val fold_instrs : ('a -> int -> int -> Types.instr -> 'a) -> 'a -> func -> 'a
+
+(** Static instruction count (terminators excluded). *)
+val instr_count : func -> int
+
+val total_instr_count : t -> int
+
+(** Highest region-boundary id used in the function, or -1. *)
+val max_boundary_id : func -> int

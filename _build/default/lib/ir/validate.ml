@@ -1,0 +1,92 @@
+(** Structural validation of IR programs.
+
+    Run after construction and after every compiler pass in tests: label
+    ranges, register ranges, referenced globals/functions exist, unique
+    names, boundary ids positive. Returns a list of human-readable error
+    strings; empty means valid. *)
+
+open Types
+
+(** Intrinsics resolved by the interpreter rather than the program: name ->
+    arity. [__out v] appends [v] to the machine's observable output. *)
+let intrinsics = [ ("__out", 1) ]
+
+let check_func (prog : Prog.t) (fn : Prog.func) : string list =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let nblocks = Array.length fn.blocks in
+  if nblocks = 0 then err "%s: no blocks" fn.name;
+  let check_reg what r =
+    if r < 0 || r >= fn.nregs then err "%s: %s register %d out of range" fn.name what r
+  in
+  let check_operand = function Reg r -> check_reg "use" r | Imm _ -> () in
+  let check_label l =
+    if l < 0 || l >= nblocks then err "%s: label %d out of range" fn.name l
+  in
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      List.iter
+        (fun ins ->
+          List.iter (check_reg "use") (uses ins);
+          (match def ins with Some d -> check_reg "def" d | None -> ());
+          match ins with
+          | La (_, sym) ->
+            if Prog.find_global prog sym = None then
+              err "%s: block %d references unknown global %S" fn.name bi sym
+          | Call (callee, args, _) -> (
+            List.iter check_operand args;
+            match List.assoc_opt callee intrinsics with
+            | Some arity ->
+              if List.length args <> arity then
+                err "%s: intrinsic %s with %d args, expected %d" fn.name callee
+                  (List.length args) arity
+            | None -> (
+              match Prog.find_func prog callee with
+              | None -> err "%s: block %d calls unknown function %S" fn.name bi callee
+              | Some f ->
+                if List.length args <> f.nparams then
+                  err "%s: call to %s with %d args, expected %d" fn.name callee
+                    (List.length args) f.nparams))
+          | Boundary id -> if id < 0 then err "%s: negative boundary id" fn.name
+          | Bin _ | Cmp _ | Mov _ | Load _ | Store _ | Atomic_rmw _ | Cas _
+          | Fence | Ckpt _ -> ())
+        blk.instrs;
+      List.iter (check_reg "use") (term_uses blk.term);
+      List.iter check_label (term_succs blk.term))
+    fn.blocks;
+  List.rev !errs
+
+let check (prog : Prog.t) : string list =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (* unique names *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Prog.global) ->
+      if Hashtbl.mem seen g.gname then err "duplicate global %S" g.gname;
+      Hashtbl.replace seen g.gname ();
+      if g.size <= 0 || g.size mod 8 <> 0 then
+        err "global %S: bad size %d" g.gname g.size;
+      List.iter
+        (fun (w, _) ->
+          if w < 0 || w * 8 >= g.size then
+            err "global %S: init word %d out of range" g.gname w)
+        g.init)
+    prog.globals;
+  let fseen = Hashtbl.create 16 in
+  List.iter
+    (fun (n, (f : Prog.func)) ->
+      if Hashtbl.mem fseen n then err "duplicate function %S" n;
+      Hashtbl.replace fseen n ();
+      if n <> f.name then err "function list name %S <> func name %S" n f.name)
+    prog.funcs;
+  if Prog.find_func prog prog.main = None then err "main function %S missing" prog.main;
+  let func_errs =
+    List.concat_map (fun (_, f) -> check_func prog f) prog.funcs
+  in
+  List.rev !errs @ func_errs
+
+let check_exn prog =
+  match check prog with
+  | [] -> ()
+  | errs -> failwith ("Validate.check_exn:\n  " ^ String.concat "\n  " errs)

@@ -1,0 +1,18 @@
+(** Structural validation of IR programs: label and register ranges,
+    referenced globals/functions exist, unique names, call arities,
+    boundary ids non-negative. Run after construction and after every
+    compiler pass in tests. *)
+
+(** Intrinsics resolved by the interpreter rather than the program:
+    name -> arity. [__out v] appends [v] to the machine's observable
+    output. *)
+val intrinsics : (string * int) list
+
+(** Human-readable errors for one function. *)
+val check_func : Prog.t -> Prog.func -> string list
+
+(** All errors of a program; empty means valid. *)
+val check : Prog.t -> string list
+
+(** Raises [Failure] with the error list when invalid. *)
+val check_exn : Prog.t -> unit

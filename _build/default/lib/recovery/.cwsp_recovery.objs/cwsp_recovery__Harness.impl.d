@@ -1,0 +1,1 @@
+lib/recovery/harness.ml: Array Cwsp_ckpt Cwsp_compiler Cwsp_interp Cwsp_util Event Hashtbl Io_buffer Layout List Machine Mc_logs Memory Printf

@@ -1,0 +1,1 @@
+lib/recovery/harness.mli: Cwsp_compiler Cwsp_interp Cwsp_util Machine

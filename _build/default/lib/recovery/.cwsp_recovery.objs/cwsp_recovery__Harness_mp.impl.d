@@ -1,0 +1,1 @@
+lib/recovery/harness_mp.ml: Array Cwsp_ckpt Cwsp_compiler Cwsp_interp Cwsp_util Event Hashtbl Layout List Machine Mc_logs Memory Multi Printf

@@ -1,0 +1,1 @@
+lib/recovery/harness_mp.mli: Cwsp_compiler Cwsp_interp Cwsp_util Machine Multi

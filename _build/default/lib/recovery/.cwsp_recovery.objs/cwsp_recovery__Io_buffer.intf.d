@@ -1,0 +1,1 @@
+lib/recovery/io_buffer.mli:

@@ -1,0 +1,1 @@
+lib/recovery/mc_logs.ml: Array Hashtbl List Option

@@ -1,0 +1,404 @@
+(** Power-failure injection and the cWSP recovery protocol (Section VII) —
+    the validation the paper explicitly leaves as future work ("No Power
+    Failure Recovery Test", Section VIII).
+
+    The harness executes a compiled program while maintaining exactly the
+    state the cWSP hardware keeps:
+
+    - per-region undo logs at the memory controllers (here: (addr, old)
+      pairs tagged with the dynamic region index);
+    - the register checkpoints, which are ordinary stores to the NVM
+      checkpoint area made by the program itself;
+    - the recovery-slice table produced by the compiler.
+
+    At a random instruction it "cuts power": it picks the oldest
+    unpersisted region R_o within the RBT window, reverts all speculative
+    NVM updates of younger regions with the undo logs, un-persists a
+    random per-MC FIFO prefix-complement of R_o's own stores (stores to
+    the same location always target the same MC, so per-location
+    visibility is a prefix — matching real persist-path FIFOs), reverts
+    R_o's checkpoint-area stores, and then runs the recovery protocol:
+    evaluate R_o's recovery slice to restore its live-in registers
+    (every other register is poisoned to catch liveness bugs) and resume
+    execution from R_o's entry. Crash consistency holds iff the final NVM
+    state equals a failure-free run's.
+
+    Call frames *below* the recovery point are restored from the boundary
+    snapshot: they model the NVM-resident stack (spilled registers and
+    return addresses live in ordinary persistent memory on a real
+    machine; our IR keeps them in interpreter frames). *)
+
+open Cwsp_interp
+
+let poison = 0x5F5F5F5F
+
+type region_record = {
+  region_index : int;
+  static_id : int;       (* global boundary id that opened this region;
+                            -1 for region 0 (program start); -2 for the
+                            resume point of a post-recovery execution *)
+  frames : Machine.frame list; (* snapshot at region entry *)
+  depth : int;
+  outputs_at_entry : int;
+    (* device outputs produced before this region started: the I/O
+       released once every earlier region persisted ([Io_buffer]) *)
+  mutable has_sync : bool;
+    (* an atomic committed inside this region. Sync primitives persist
+       synchronously with their trailing checkpoints as one
+       failure-atomic unit (the MC's failure-atomic logging, Fig. 10b):
+       crash-wise the unit is all-or-nothing *)
+}
+
+type tracked = {
+  machine : Machine.t;
+  compiled : Cwsp_compiler.Pipeline.compiled;
+  window : int; (* RBT size: max concurrently-unpersisted regions *)
+  io : Io_buffer.t;  (* region-buffered device I/O (Section VIII) *)
+  logs : Mc_logs.t;  (* per-MC per-region undo-log arrays (Section V-B2) *)
+  mutable regions : region_record list; (* newest first, length <= window+1 *)
+  mutable region_count : int;
+  mutable sync_floor : int;
+    (* highest *closed* region that contained a sync primitive: stores
+       prior to a committed atomic are persisted before it commits
+       (Section VIII), so the recovery point can never move at or before
+       such a region *)
+}
+
+let copy_frame (fr : Machine.frame) = { fr with regs = Array.copy fr.regs }
+
+let make_tracked ~window ~compiled ~machine ~region0 =
+  let t =
+    {
+      machine;
+      compiled;
+      window;
+      io = Io_buffer.create ();
+      logs = Mc_logs.create ~n_mcs:2;
+      regions = [];
+      region_count = 0;
+      sync_floor = -1;
+    }
+  in
+  t.regions <- [ region0 ];
+  t
+
+let create ?(window = 16) (compiled : Cwsp_compiler.Pipeline.compiled) =
+  let linked = Machine.link compiled.prog in
+  let machine = Machine.create linked in
+  make_tracked ~window ~compiled ~machine
+    ~region0:
+      { region_index = 0; static_id = -1; frames = []; depth = 0;
+        outputs_at_entry = 0; has_sync = false }
+
+(** Track a machine that is itself resuming after a recovery: crashes
+    before its first boundary roll back to the resume point (whose
+    registers the previous recovery already restored), not to program
+    start. Enables crash-during-recovery validation. *)
+let create_resumed ?(window = 16) (compiled : Cwsp_compiler.Pipeline.compiled)
+    (machine : Machine.t) =
+  make_tracked ~window ~compiled ~machine
+    ~region0:
+      { region_index = 0; static_id = -2;
+        frames = List.map copy_frame machine.frames; depth = machine.depth;
+        outputs_at_entry = 0; has_sync = false }
+
+let current_region t = List.hd t.regions
+
+let on_boundary t static_id =
+  (* closing a region that contained a sync primitive seals it: the drain
+     semantics of Section VIII guarantee everything up to and including
+     it is persistent *)
+  (let cur = current_region t in
+   if cur.has_sync then t.sync_floor <- cur.region_index);
+  (* regions falling out of the tracking window are treated as persisted
+     (non-speculative): the MCs reclaim their log arrays, exactly the
+     hardware's deallocation protocol *)
+  let rec trim n = function
+    | [] -> []
+    | x :: rest ->
+      if n = 0 then begin
+        List.iter
+          (fun (r : region_record) ->
+            Mc_logs.deallocate t.logs ~region:r.region_index)
+          (x :: rest);
+        []
+      end
+      else x :: trim (n - 1) rest
+  in
+  t.region_count <- t.region_count + 1;
+  Io_buffer.on_region_start t.io ~region_index:t.region_count
+    ~total_outputs:(List.length t.machine.outputs);
+  let snapshot = List.map copy_frame t.machine.frames in
+  t.regions <-
+    {
+      region_index = t.region_count;
+      static_id;
+      frames = snapshot;
+      depth = t.machine.depth;
+      outputs_at_entry = List.length t.machine.outputs;
+      has_sync = false;
+    }
+    :: trim t.window t.regions
+
+let hooks t : Machine.hooks =
+  {
+    on_event =
+      (fun ev ->
+        let tag = Event.tag ev in
+        if tag = Event.tag_boundary then on_boundary t (Event.payload ev)
+        else if tag = Event.tag_atomic then (current_region t).has_sync <- true);
+    on_store =
+      (fun ~addr ~old ~value:_ ->
+        (* every speculative store is undo-logged on arrival at its MC *)
+        Mc_logs.log t.logs ~region:(current_region t).region_index ~addr ~old);
+  }
+
+(** Run for [steps] instructions (or to completion). Returns [true] if the
+    program halted before the budget. *)
+let run_until t steps =
+  let h = hooks t in
+  let target = t.machine.steps + steps in
+  while t.machine.status = Machine.Running && t.machine.steps < target do
+    Machine.step t.machine h
+  done;
+  t.machine.status = Machine.Halted
+
+(* ---- crash-state construction ---- *)
+
+let revert_ckpt_stores mem entries =
+  List.iter
+    (fun (e : Mc_logs.entry) ->
+      if Layout.is_ckpt_addr e.e_addr then Memory.write mem e.e_addr e.e_old)
+    entries
+
+(* Un-persist a random per-MC suffix of the oldest unpersisted region's
+   data stores. Entries come newest-first per MC, so a per-MC *suffix*
+   in program order is a per-MC *prefix* of the reversed lists. *)
+let revert_partial rng mem (entries : Mc_logs.entry list) ~n_mcs =
+  let mc_of addr = (addr lsr 8) mod n_mcs in
+  (* how many of each MC's stores persisted (in program order) *)
+  let per_mc_total = Array.make n_mcs 0 in
+  List.iter
+    (fun (e : Mc_logs.entry) ->
+      if not (Layout.is_ckpt_addr e.e_addr) then
+        per_mc_total.(mc_of e.e_addr) <- per_mc_total.(mc_of e.e_addr) + 1)
+    entries;
+  let persisted_prefix =
+    Array.map (fun n -> if n = 0 then 0 else Cwsp_util.Rng.int rng (n + 1)) per_mc_total
+  in
+  let seen_from_end = Array.make n_mcs 0 in
+  List.iter
+    (fun (e : Mc_logs.entry) ->
+      if not (Layout.is_ckpt_addr e.e_addr) then begin
+        let mc = mc_of e.e_addr in
+        let pos_from_start = per_mc_total.(mc) - seen_from_end.(mc) in
+        seen_from_end.(mc) <- seen_from_end.(mc) + 1;
+        if pos_from_start > persisted_prefix.(mc) then
+          Memory.write mem e.e_addr e.e_old
+      end)
+    entries
+
+type crash_report = {
+  crash_step : int;
+  recovery_region : int;      (* dynamic index of the oldest unpersisted region *)
+  reverted_regions : int;
+  reexecuted_instructions : int; (* instructions between recovery point and crash *)
+  restored_registers : int;
+  released_outputs : int list;
+    (* device I/O already released at the crash (Section VIII: the redo
+       buffers of persisted regions were flushed); oldest first *)
+}
+
+(** Cut power now, build the surviving NVM state, run the recovery
+    protocol, and return a machine resumed at the recovery point plus a
+    report. [rng] drives which regions/stores are treated as persisted. *)
+let crash_and_recover ?(n_mcs = 2) rng (t : tracked) :
+    Machine.t * crash_report =
+  let crash_step = t.machine.steps in
+  let mem = Memory.snapshot t.machine.mem in
+  (* choose the oldest unpersisted region within the window; never at or
+     before a closed sync region (its commit drained everything older) *)
+  let eligible =
+    List.length
+      (List.filter
+         (fun (r : region_record) -> r.region_index > t.sync_floor)
+         t.regions)
+  in
+  let avail = max 1 eligible in
+  let back = Cwsp_util.Rng.int rng (min avail t.window) in
+  (* regions list is newest first: element [back] is R_o *)
+  let younger = List.filteri (fun i _ -> i < back) t.regions in
+  let r_o = List.nth t.regions back in
+  let r_o_entries = Mc_logs.region_entries t.logs ~region:r_o.region_index in
+  (* 1. revert speculative NVM updates of younger regions: the MCs replay
+     their per-region log arrays in reverse chronological order *)
+  Mc_logs.revert_speculative t.logs ~oldest_unpersisted:r_o.region_index
+    ~apply:(fun addr old -> Memory.write mem addr old);
+  (* 2. un-persist R_o's own stores: a random per-MC FIFO suffix for
+     ordinary regions; everything for a still-open sync region (the
+     atomic + trailing checkpoints are one failure-atomic unit that did
+     not complete) *)
+  if r_o.has_sync then
+    List.iter
+      (fun (e : Mc_logs.entry) -> Memory.write mem e.e_addr e.e_old)
+      r_o_entries
+  else revert_partial rng mem r_o_entries ~n_mcs;
+  (* 3. checkpoint-area stores of unpersisted regions are reverted too:
+     the recovery slice must see the slots as of R_o's entry *)
+  revert_ckpt_stores mem r_o_entries;
+  let linked = t.machine.linked in
+  (* I/O of persisted regions was released to the device; the rest was
+     still buffered and is discarded with the crash *)
+  let released_outputs =
+    let n = Io_buffer.released t.io ~oldest_unpersisted:r_o.region_index in
+    assert (n = r_o.outputs_at_entry);
+    let all = List.rev t.machine.outputs in
+    List.filteri (fun i _ -> i < n) all
+  in
+  if r_o.static_id = -2 then begin
+    (* crash before the first boundary of a post-recovery execution:
+       roll back to the resume point (registers were restored by the
+       previous recovery and live in the snapshot) *)
+    let m =
+      Machine.resume linked ~mem
+        ~frames:(`Frames (List.map copy_frame r_o.frames))
+        ~depth:r_o.depth
+    in
+    ( m,
+      {
+        crash_step;
+        recovery_region = 0;
+        reverted_regions = List.length younger;
+        reexecuted_instructions = crash_step;
+        restored_registers = 0;
+        released_outputs;
+      } )
+  end
+  else if r_o.static_id < 0 then begin
+    (* crash before the first boundary: restart the program from scratch
+       on the surviving memory *)
+    let m = Machine.resume linked ~mem ~frames:`Fresh ~depth:0 in
+    ( m,
+      {
+        crash_step;
+        recovery_region = 0;
+        reverted_regions = List.length younger;
+        reexecuted_instructions = crash_step;
+        restored_registers = 0;
+        released_outputs;
+      } )
+  end
+  else begin
+    (* 4. recovery slice: restore R_o's live-in registers *)
+    let slice = t.compiled.slices.(r_o.static_id) in
+    let frames = List.map copy_frame r_o.frames in
+    let fr = List.hd frames in
+    Array.fill fr.regs 0 (Array.length fr.regs) poison;
+    let slot r2 = Memory.read mem (Layout.ckpt_slot ~tid:0 ~depth:r_o.depth r2) in
+    let addr_of g =
+      match Hashtbl.find_opt linked.global_addr g with
+      | Some a -> a
+      | None -> failwith ("recovery slice references unknown global " ^ g)
+    in
+    List.iter
+      (fun (r, expr) -> fr.regs.(r) <- Cwsp_ckpt.Slice.eval ~slot ~addr_of expr)
+      slice;
+    let m = Machine.resume linked ~mem ~frames:(`Frames frames) ~depth:r_o.depth in
+    ( m,
+      {
+        crash_step;
+        recovery_region = r_o.region_index;
+        reverted_regions = List.length younger;
+        reexecuted_instructions = crash_step - 0;
+        restored_registers = List.length slice;
+        released_outputs;
+      } )
+  end
+
+(** Full experiment: run [compiled] to completion twice — once undisturbed
+    (golden) and once with a power failure at [crash_at] instructions —
+    and compare the final NVM states. Returns [Ok report] on bitwise
+    equality. *)
+let validate ?(window = 16) ?(n_mcs = 2) ~seed ~crash_at
+    (compiled : Cwsp_compiler.Pipeline.compiled) :
+    (crash_report, string) result =
+  let rng = Cwsp_util.Rng.create seed in
+  (* golden run *)
+  let golden = Machine.create (Machine.link compiled.prog) in
+  Machine.run golden Machine.no_hooks;
+  (* crashing run *)
+  let t = create ~window compiled in
+  let halted = run_until t crash_at in
+  if halted then Error "program halted before the crash point"
+  else begin
+    let recovered, report = crash_and_recover ~n_mcs rng t in
+    Machine.run recovered Machine.no_hooks;
+    let io_ok =
+      (* exactly-once device I/O (Section VIII): released prefix plus the
+         recovered run's output must equal the failure-free output *)
+      report.released_outputs @ Machine.outputs recovered
+      = Machine.outputs golden
+    in
+    if not io_ok then
+      Error
+        (Printf.sprintf
+           "device I/O diverged after recovery (crash@%d, region %d): %d             released + %d regenerated vs %d golden"
+           report.crash_step report.recovery_region
+           (List.length report.released_outputs)
+           (List.length (Machine.outputs recovered))
+           (List.length (Machine.outputs golden)))
+    else if Memory.equal golden.mem recovered.mem then Ok report
+    else
+      match Memory.first_diff golden.mem recovered.mem with
+      | Some (addr, g, r) ->
+        Error
+          (Printf.sprintf
+             "NVM mismatch after recovery at 0x%x: golden=%d recovered=%d \
+              (crash@%d, region %d)"
+             addr g r report.crash_step report.recovery_region)
+      | None -> Error "memories differ but no diff found"
+  end
+
+(** Multi-failure validation: run to [c], crash, recover, resume, crash
+    again at the next point of [crash_points] — recovery itself must be
+    crash consistent. Compares the final NVM state and the exactly-once
+    I/O stream against a failure-free run. *)
+let validate_chain ?(window = 16) ?(n_mcs = 2) ~seed ~crash_points
+    (compiled : Cwsp_compiler.Pipeline.compiled) :
+    (int, string) result =
+  let rng = Cwsp_util.Rng.create seed in
+  let golden = Machine.create (Machine.link compiled.prog) in
+  Machine.run golden Machine.no_hooks;
+  let rec go tracked crash_points released_acc crashes =
+    let t = tracked in
+    match crash_points with
+    | [] ->
+      (* no more failures: run to completion through the harness hooks *)
+      let h = hooks t in
+      while t.machine.status = Machine.Running do
+        Machine.step t.machine h
+      done;
+      let final_io = released_acc @ Machine.outputs t.machine in
+      if final_io <> Machine.outputs golden then
+        Error
+          (Printf.sprintf "device I/O diverged after %d crashes" crashes)
+      else if Memory.equal golden.mem t.machine.mem then Ok crashes
+      else (
+        match Memory.first_diff golden.mem t.machine.mem with
+        | Some (addr, g, r) ->
+          Error
+            (Printf.sprintf
+               "NVM mismatch after %d crashes at 0x%x: golden=%d got=%d"
+               crashes addr g r)
+        | None -> Error "memories differ but no diff found")
+    | c :: rest ->
+      if run_until t c then
+        (* halted before this crash point: just check the final state *)
+        go t [] released_acc crashes
+      else begin
+        let recovered, report = crash_and_recover ~n_mcs rng t in
+        let t' = create_resumed ~window t.compiled recovered in
+        go t' rest (released_acc @ report.released_outputs) (crashes + 1)
+      end
+  in
+  go (create ~window compiled) crash_points [] 0

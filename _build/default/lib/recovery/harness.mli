@@ -1,0 +1,75 @@
+(** Power-failure injection and the cWSP recovery protocol (Section VII)
+    — the validation the paper leaves as future work ("No Power Failure
+    Recovery Test", Section VIII).
+
+    The harness executes a compiled program while maintaining the state
+    the cWSP hardware keeps: per-region undo logs at the MCs
+    ([Mc_logs]), the register checkpoints (ordinary stores to the NVM
+    checkpoint area made by the instrumented program itself), the
+    region-buffered I/O ([Io_buffer]) and the compiler's recovery-slice
+    table. At a "power failure" it picks the oldest unpersisted region
+    within the RBT window (never at or before a committed sync point),
+    reverts speculative NVM updates with the undo logs, un-persists a
+    random per-MC FIFO suffix of that region's own stores, evaluates its
+    recovery slice into a poisoned register file, and resumes. *)
+
+open Cwsp_interp
+
+type region_record
+type tracked
+
+(** Start tracking a fresh execution of [compiled]. [window] is the RBT
+    size: the maximum number of concurrently unpersisted regions. *)
+val create : ?window:int -> Cwsp_compiler.Pipeline.compiled -> tracked
+
+(** Track a machine that is itself resuming after a recovery: crashes
+    before its first boundary roll back to the resume point, enabling
+    crash-during-recovery validation. *)
+val create_resumed :
+  ?window:int -> Cwsp_compiler.Pipeline.compiled -> Machine.t -> tracked
+
+(** The tracked machine's instrumentation hooks. *)
+val hooks : tracked -> Machine.hooks
+
+(** Run for at most [steps] more instructions; [true] if the program
+    halted first. *)
+val run_until : tracked -> int -> bool
+
+type crash_report = {
+  crash_step : int;
+  recovery_region : int; (** dynamic index of the oldest unpersisted region *)
+  reverted_regions : int;
+  reexecuted_instructions : int;
+  restored_registers : int;
+  released_outputs : int list;
+    (** device I/O already released at the crash, oldest first *)
+}
+
+(** Cut power now; build the surviving NVM state and run the recovery
+    protocol. Returns a machine resumed at the recovery point. [rng]
+    drives which regions/stores count as persisted. *)
+val crash_and_recover :
+  ?n_mcs:int -> Cwsp_util.Rng.t -> tracked -> Machine.t * crash_report
+
+(** Full experiment: run [compiled] to completion twice — once
+    undisturbed, once with a power failure after [crash_at] instructions
+    — and require a bit-exact final NVM state plus an exactly-once
+    device-output stream. *)
+val validate :
+  ?window:int ->
+  ?n_mcs:int ->
+  seed:int ->
+  crash_at:int ->
+  Cwsp_compiler.Pipeline.compiled ->
+  (crash_report, string) result
+
+(** Multi-failure variant: [crash_points] are instruction-count deltas
+    between consecutive failures (a failure may interrupt the previous
+    recovery's re-execution). Returns the number of failures injected. *)
+val validate_chain :
+  ?window:int ->
+  ?n_mcs:int ->
+  seed:int ->
+  crash_points:int list ->
+  Cwsp_compiler.Pipeline.compiled ->
+  (int, string) result

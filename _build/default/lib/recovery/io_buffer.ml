@@ -1,0 +1,42 @@
+(** Region-buffered I/O (the paper's Section VIII "I/O and Device States"
+    proposal, implemented).
+
+    Irrevocable operations cannot be re-executed, so cWSP suggests
+    battery-backed redo buffers indexed by region id: a region's I/O is
+    held in its buffer while the region is speculative and released to
+    the device only once the region is *persisted* — giving exactly-once
+    device effects across power failure, because
+
+    - a power failure before release discards the buffered I/O, and the
+      re-executed region regenerates it;
+    - a power failure after release finds the region persisted, so it is
+      never re-executed.
+
+    Here the "device" is the interpreter's [__out] stream. The recovery
+    harness tracks, per tracked region, the outputs produced inside it;
+    [released t ~oldest_unpersisted] is the device-visible prefix at a
+    crash, and the harness checks that prefix plus the recovered run's
+    output equals the failure-free output — the exactly-once property. *)
+
+type t = {
+  mutable per_region : (int * int) list;
+    (* (region_index, outputs produced by the end of that region),
+       newest first; counts are cumulative *)
+}
+
+let create () = { per_region = [ (0, 0) ] }
+
+(** Record that [total_outputs] had been produced when region
+    [region_index] began. *)
+let on_region_start t ~region_index ~total_outputs =
+  t.per_region <- (region_index, total_outputs) :: t.per_region
+
+(** Number of outputs already released to the device when the oldest
+    unpersisted region is [region_index]: everything buffered by regions
+    that persisted before it. *)
+let released t ~oldest_unpersisted =
+  let rec find = function
+    | [] -> 0
+    | (r, n) :: rest -> if r <= oldest_unpersisted then n else find rest
+  in
+  find t.per_region

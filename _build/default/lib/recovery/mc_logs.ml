@@ -1,0 +1,98 @@
+(** Hardware undo logging at the memory controllers (Section V-B2).
+
+    Each MC keeps the logs of stores arriving at it in its own local NVM
+    space — no centralized logging, no inter-MC communication — managed
+    as *append-only, per-region log arrays*:
+
+    - append-only eliminates the Fig. 10(c) overwriting hazard: when two
+      speculative regions store to the same address, both (address, old
+      value) pairs survive, and reverse-chronological replay restores the
+      value the oldest unpersisted region must observe;
+    - per-region arrays make deallocation free of search cost: when a
+      region turns non-speculative, its Region ID indexes the arrays to
+      reclaim (the RBT head's MCBitVec tells which MCs to signal).
+
+    The recovery harness drives this module exactly as the paper's
+    recovery runtime drives the hardware: log on store arrival,
+    deallocate on non-speculative transitions, and on power failure
+    revert each MC's logs in reverse chronological region order. *)
+
+type entry = { e_addr : int; e_old : int }
+
+type t = {
+  n_mcs : int;
+  (* per MC: region id -> reversed entry list (newest first) *)
+  arrays : (int, entry list) Hashtbl.t array;
+  mutable logged_entries : int; (* lifetime counter, for stats *)
+}
+
+let create ~n_mcs =
+  {
+    n_mcs;
+    arrays = Array.init n_mcs (fun _ -> Hashtbl.create 64);
+    logged_entries = 0;
+  }
+
+let mc_of t addr = (addr lsr 8) mod t.n_mcs
+
+(** A store of region [region] arrived at its MC: undo-log it. *)
+let log t ~region ~addr ~old =
+  let tbl = t.arrays.(mc_of t addr) in
+  let cur = Option.value ~default:[] (Hashtbl.find_opt tbl region) in
+  Hashtbl.replace tbl region ({ e_addr = addr; e_old = old } :: cur);
+  t.logged_entries <- t.logged_entries + 1
+
+(** The region became non-speculative: its own logs are no longer needed
+    for recovery and every MC reclaims the region's array. *)
+let deallocate t ~region =
+  Array.iter (fun tbl -> Hashtbl.remove tbl region) t.arrays
+
+(** Entries of one region across all MCs, newest first (program order is
+    preserved per location because a location always maps to one MC). *)
+let region_entries t ~region =
+  Array.to_list t.arrays
+  |> List.concat_map (fun tbl ->
+         Option.value ~default:[] (Hashtbl.find_opt tbl region))
+
+(** Power failure: revert every logged region newer than (and NOT
+    including) [oldest_unpersisted], processing regions in reverse
+    chronological order of Region ID as the paper's recovery runtime
+    does, then drop all logs. [apply] receives (addr, old value). *)
+let revert_speculative t ~oldest_unpersisted ~apply =
+  let regions =
+    Array.to_list t.arrays
+    |> List.concat_map (fun tbl -> Hashtbl.fold (fun r _ acc -> r :: acc) tbl [])
+    |> List.sort_uniq compare |> List.rev
+  in
+  List.iter
+    (fun r ->
+      if r > oldest_unpersisted then
+        List.iter (fun e -> apply e.e_addr e.e_old) (region_entries t ~region:r))
+    regions;
+  Array.iter Hashtbl.reset t.arrays
+
+(** Revert (reverse chronological region order) exactly the regions for
+    which [should_revert] holds, then remove their logs — the multi-core
+    variant where each thread contributes its own unpersisted-region set
+    (Section VIII). *)
+let revert_where t ~should_revert ~apply =
+  let regions =
+    Array.to_list t.arrays
+    |> List.concat_map (fun tbl -> Hashtbl.fold (fun r _ acc -> r :: acc) tbl [])
+    |> List.sort_uniq compare |> List.rev
+  in
+  List.iter
+    (fun r ->
+      if should_revert r then begin
+        List.iter (fun e -> apply e.e_addr e.e_old) (region_entries t ~region:r);
+        deallocate t ~region:r
+      end)
+    regions
+
+(** Live (not yet deallocated) entries — bounded in hardware because each
+    region holds only a handful of stores and the number of concurrently
+    speculative regions is capped by the RBT size (Section V-B2). *)
+let live_entries t =
+  Array.fold_left
+    (fun acc tbl -> Hashtbl.fold (fun _ es acc -> acc + List.length es) tbl acc)
+    0 t.arrays

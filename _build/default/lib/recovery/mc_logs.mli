@@ -1,0 +1,41 @@
+(** Hardware undo logging at the memory controllers (Section V-B2):
+    append-only, per-region log arrays kept in each MC's local NVM.
+    Append-only eliminates the Fig. 10(c) overwriting hazard; per-region
+    arrays make deallocation a Region-ID-indexed reclaim with no search
+    cost. *)
+
+type entry = { e_addr : int; e_old : int }
+
+type t
+
+val create : n_mcs:int -> t
+
+(** The MC an address belongs to (256-byte channel interleave). *)
+val mc_of : t -> int -> int
+
+(** A store of [region] arrived at its MC: undo-log the old value. *)
+val log : t -> region:int -> addr:int -> old:int -> unit
+
+(** The region became non-speculative: every MC reclaims its array. *)
+val deallocate : t -> region:int -> unit
+
+(** Entries of one region across all MCs, newest first per MC (program
+    order per location is preserved — a location maps to one MC). *)
+val region_entries : t -> region:int -> entry list
+
+(** Power failure: revert every logged region strictly newer than
+    [oldest_unpersisted], in reverse chronological Region-ID order, then
+    drop all logs. [apply] receives (address, old value). *)
+val revert_speculative :
+  t -> oldest_unpersisted:int -> apply:(int -> int -> unit) -> unit
+
+(** Revert exactly the regions for which [should_revert] holds, in
+    reverse chronological Region-ID order, removing their logs — the
+    multi-core variant where each thread contributes its own
+    unpersisted-region set (Section VIII). *)
+val revert_where :
+  t -> should_revert:(int -> bool) -> apply:(int -> int -> unit) -> unit
+
+(** Live (not yet deallocated) entries — bounded in hardware by the RBT
+    size times the handful of stores per region. *)
+val live_entries : t -> int

@@ -1,0 +1,1 @@
+lib/runtime/asm.ml: Array Builder Cwsp_ir Hashtbl List Types

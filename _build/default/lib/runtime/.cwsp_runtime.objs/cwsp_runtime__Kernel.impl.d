@@ -1,0 +1,1 @@
+lib/runtime/kernel.ml: Asm Builder Cwsp_ir Types

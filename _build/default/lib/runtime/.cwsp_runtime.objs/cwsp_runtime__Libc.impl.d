@@ -1,0 +1,1 @@
+lib/runtime/libc.ml: Builder Cwsp_interp Cwsp_ir

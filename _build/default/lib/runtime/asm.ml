@@ -1,0 +1,153 @@
+(** A miniature x86-64-flavoured assembly language and its lifter to the
+    IR — the paper's alternative to hand-annotating assembly files:
+    "It is also feasible to lift assembly code up to LLVM bitcode using
+    mature lifting tools, e.g., Remill, in which case cWSP compiler
+    optimizations can be automatically applied along with the recoverable
+    region formation" (Section IV-D).
+
+    [Lift.func] turns an assembly routine into an ordinary IR function:
+    machine registers become virtual registers, the calling convention
+    (arguments in RDI/RSI/RDX, result in RAX) becomes IR call/return
+    plumbing, and push/pop become stores/loads against a stack pointer
+    into a named stack global. The result then flows through the normal
+    pipeline — region formation, checkpointing, pruning — with no manual
+    boundaries at all; [test_runtime.ml] checks the lifted syscall stub
+    behaves exactly like the hand-written one and recovers from injected
+    power failures. *)
+
+open Cwsp_ir
+
+type mreg =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+type src = R of mreg | I of int
+
+type instr =
+  | Label of string
+  | Mov of mreg * src
+  | Lea of mreg * string            (* lea dst, [global] *)
+  | Op of Types.binop * mreg * src  (* dst <- dst op src *)
+  | Cmp of Types.cmpop * mreg * mreg * src (* dst <- (a cmp b) *)
+  | Load of mreg * mreg * int       (* mov dst, [base+off] *)
+  | Store of mreg * int * src       (* mov [base+off], src *)
+  | Push of mreg
+  | Pop of mreg
+  | Call of string                  (* args per convention, result in RAX *)
+  | LockOp of Types.binop * mreg * int * src (* lock rmw [base+off]; old -> RAX *)
+  | Mfence
+  | Jmp of string
+  | Jz of mreg * string             (* jump if register is zero *)
+  | Ret                             (* returns RAX *)
+
+type routine = {
+  rname : string;
+  nargs : int;           (* <= 3, passed in RDI, RSI, RDX *)
+  stack_global : string; (* backing storage for push/pop *)
+  stack_bytes : int;
+  body : instr list;
+}
+
+(** Arity of callees, so calls can be rebuilt with explicit arguments. *)
+type abi = (string * int) list
+
+module Lift = struct
+  open Cwsp_ir
+
+  let mreg_index = function
+    | RAX -> 0 | RBX -> 1 | RCX -> 2 | RDX -> 3 | RSI -> 4 | RDI -> 5
+    | RBP -> 6 | RSP -> 7 | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11
+    | R12 -> 12 | R13 -> 13 | R14 -> 14 | R15 -> 15
+
+  let arg_regs = [ RDI; RSI; RDX ]
+
+  (** Lift one routine to an IR function builder action. The function
+      takes [r.nargs] parameters; machine registers live in virtual
+      registers [nargs ..], the stack pointer starts at the top of the
+      routine's stack global. *)
+  let func (abi : abi) (r : routine) (b : Builder.t) : unit =
+    if r.nargs > 3 then invalid_arg "Asm.Lift: at most 3 arguments";
+    Builder.func b r.rname ~nparams:r.nargs (fun fb ->
+        let open Builder in
+        (* machine register file *)
+        let m = Array.init 16 (fun _ -> fresh fb) in
+        let reg mr = m.(mreg_index mr) in
+        let value = function R mr -> Types.Reg (reg mr) | I v -> Types.Imm v in
+        (* prologue: zero registers, place arguments, aim RSP at the top
+           of the stack global *)
+        Array.iter (fun vr -> emit fb (Types.Mov (vr, Imm 0))) m;
+        List.iteri
+          (fun i mr -> if i < r.nargs then emit fb (Types.Mov (reg mr, Reg (param fb i))))
+          arg_regs;
+        let stack_base = la fb r.stack_global in
+        emit fb
+          (Types.Bin (Add, reg RSP, Reg stack_base, Imm r.stack_bytes));
+        (* pass 1: labels -> fresh blocks *)
+        let blocks = Hashtbl.create 8 in
+        List.iter
+          (fun ins ->
+            match ins with
+            | Label l ->
+              if Hashtbl.mem blocks l then
+                invalid_arg ("Asm.Lift: duplicate label " ^ l);
+              Hashtbl.replace blocks l (block fb)
+            | _ -> ())
+          r.body;
+        let target l =
+          match Hashtbl.find_opt blocks l with
+          | Some bl -> bl
+          | None -> invalid_arg ("Asm.Lift: unknown label " ^ l)
+        in
+        (* pass 2: translate; falling into a label needs an explicit jmp
+           because IR blocks are explicitly terminated *)
+        let terminated = ref false in
+        List.iter
+          (fun ins ->
+            match ins with
+            | Label l ->
+              if not !terminated then jmp fb (target l);
+              switch_to fb (target l);
+              terminated := false
+            | _ when !terminated ->
+              invalid_arg "Asm.Lift: unreachable instruction after jump/ret"
+            | Mov (d, s) -> emit fb (Types.Mov (reg d, value s))
+            | Lea (d, g) -> emit fb (Types.La (reg d, g))
+            | Op (op, d, s) -> emit fb (Types.Bin (op, reg d, Reg (reg d), value s))
+            | Cmp (op, d, a, s) ->
+              emit fb (Types.Cmp (op, reg d, Reg (reg a), value s))
+            | Load (d, base, off) -> emit fb (Types.Load (reg d, reg base, off))
+            | Store (base, off, s) -> emit fb (Types.Store (reg base, off, value s))
+            | Push mr ->
+              emit fb (Types.Bin (Sub, reg RSP, Reg (reg RSP), Imm 8));
+              emit fb (Types.Store (reg RSP, 0, Reg (reg mr)))
+            | Pop mr ->
+              emit fb (Types.Load (reg mr, reg RSP, 0));
+              emit fb (Types.Bin (Add, reg RSP, Reg (reg RSP), Imm 8))
+            | Call callee ->
+              let arity =
+                match List.assoc_opt callee abi with
+                | Some n -> n
+                | None -> invalid_arg ("Asm.Lift: callee not in ABI: " ^ callee)
+              in
+              let args =
+                List.filteri (fun i _ -> i < arity) arg_regs
+                |> List.map (fun mr -> Types.Reg (reg mr))
+              in
+              emit fb (Types.Call (callee, args, Some (reg RAX)))
+            | LockOp (op, base, off, s) ->
+              emit fb (Types.Atomic_rmw (op, reg RAX, reg base, off, value s))
+            | Mfence -> emit fb Types.Fence
+            | Jmp l ->
+              jmp fb (target l);
+              terminated := true
+            | Jz (mr, l) ->
+              let fall = block fb in
+              let z = cmp fb Types.Eq (Reg (reg mr)) (Imm 0) in
+              br fb z ~ifso:(target l) ~ifnot:fall;
+              switch_to fb fall
+            | Ret ->
+              ret fb (Some (Reg (reg RAX)));
+              terminated := true)
+          r.body;
+        if not !terminated then ret fb (Some (Reg (reg RAX))))
+end

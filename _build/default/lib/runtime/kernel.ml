@@ -1,0 +1,173 @@
+(** The kernel-side substrate: a miniature syscall path modeled after the
+    paper's Section VI (crash consistency for system calls).
+
+    [entry_syscall_64] plays the role of the hand-annotated
+    [entry_SYSCALL_64] of arch/x86/entry/entry_64.S: it is "assembly" that
+    the compiler cannot partition automatically, so region boundaries are
+    placed *manually* — at its entry, right before the dispatch call
+    (Fig. 11), and at its exit — by emitting explicit [Boundary]
+    instructions during construction. The region-formation pass keeps
+    pre-existing boundaries and only verifies/augments them, mirroring how
+    the paper's manual annotations coexist with compiler-inserted ones.
+
+    The syscall handlers themselves ([sys_read]/[sys_write]/[sys_getpid])
+    are ordinary C-like code compiled by the full pipeline. *)
+
+open Cwsp_ir
+open Builder
+
+(* Manual boundary ids: the compiler renumbers all boundaries globally, so
+   these only need to be unique within the function. *)
+let manual_entry = 9000
+let manual_dispatch = 9001
+let manual_exit = 9002
+
+let kfile_global = "__kfile"        (* backing store for read/write *)
+let kfile_words = 512
+let kstate_global = "__kstate"      (* word 0: write ptr; word 1: read ptr;
+                                       word 2: pid; word 3: syscall count *)
+let kstack_global = "__kstack"      (* saved user context *)
+
+let sys_write_no = 1
+let sys_read_no = 0
+let sys_getpid_no = 39
+
+let add_globals b =
+  global b kfile_global ~size:(kfile_words * 8) ();
+  global b kstate_global ~size:64 ~init:[ (2, 4242) ] ();
+  global b kstack_global ~size:128 ()
+
+(* sys_write(buf, len_words): append words from buf into the kernel file. *)
+let add_sys_write b =
+  func b "sys_write" ~nparams:2 (fun fb ->
+      let buf = param fb 0 and len = param fb 1 in
+      let st = la fb kstate_global in
+      let file = la fb kfile_global in
+      let wp = load fb st 0 in
+      let _i =
+        loop fb ~from:(Imm 0) ~below:(Reg len) (fun i ->
+            let v = load fb (bin fb Add (Reg buf) (Reg (bin fb Shl (Reg i) (Imm 3)))) 0 in
+            let slot = bin fb Add (Reg wp) (Reg i) in
+            let slot = bin fb Rem (Reg slot) (Imm kfile_words) in
+            let addr = bin fb Add (Reg file) (Reg (bin fb Shl (Reg slot) (Imm 3))) in
+            store fb addr 0 (Reg v))
+      in
+      let nwp = bin fb Add (Reg wp) (Reg len) in
+      store fb st 0 (Reg nwp);
+      ret fb (Some (Reg len)))
+
+(* sys_read(buf, len_words): copy words from the kernel file into buf. *)
+let add_sys_read b =
+  func b "sys_read" ~nparams:2 (fun fb ->
+      let buf = param fb 0 and len = param fb 1 in
+      let st = la fb kstate_global in
+      let file = la fb kfile_global in
+      let rp = load fb st 8 in
+      let _i =
+        loop fb ~from:(Imm 0) ~below:(Reg len) (fun i ->
+            let slot = bin fb Add (Reg rp) (Reg i) in
+            let slot = bin fb Rem (Reg slot) (Imm kfile_words) in
+            let v = load fb (bin fb Add (Reg file) (Reg (bin fb Shl (Reg slot) (Imm 3)))) 0 in
+            let addr = bin fb Add (Reg buf) (Reg (bin fb Shl (Reg i) (Imm 3))) in
+            store fb addr 0 (Reg v))
+      in
+      let nrp = bin fb Add (Reg rp) (Reg len) in
+      store fb st 8 (Reg nrp);
+      ret fb (Some (Reg len)))
+
+let add_sys_getpid b =
+  func b "sys_getpid" ~nparams:0 (fun fb ->
+      let st = la fb kstate_global in
+      let pid = load fb st 16 in
+      ret fb (Some (Reg pid)))
+
+(* do_syscall_64(sysno, a0, a1): the C dispatcher of Fig. 11. *)
+let add_do_syscall b =
+  func b "do_syscall_64" ~nparams:3 (fun fb ->
+      let sysno = param fb 0 and a0 = param fb 1 and a1 = param fb 2 in
+      let st = la fb kstate_global in
+      let cnt = load fb st 24 in
+      store fb st 24 (Reg (bin fb Add (Reg cnt) (Imm 1)));
+      let result = fresh fb in
+      let is_write = cmp fb Eq (Reg sysno) (Imm sys_write_no) in
+      if_ fb is_write
+        ~then_:(fun () ->
+          let r = call fb "sys_write" [ Reg a0; Reg a1 ] in
+          emit fb (Mov (result, Reg r)))
+        ~else_:(fun () ->
+          let is_read = cmp fb Eq (Reg sysno) (Imm sys_read_no) in
+          if_ fb is_read
+            ~then_:(fun () ->
+              let r = call fb "sys_read" [ Reg a0; Reg a1 ] in
+              emit fb (Mov (result, Reg r)))
+            ~else_:(fun () ->
+              let r = call fb "sys_getpid" [] in
+              emit fb (Mov (result, Reg r))));
+      ret fb (Some (Reg result)))
+
+(* entry_syscall_64(sysno, a0, a1): the hand-annotated assembly stub. *)
+let add_entry b =
+  func b "entry_syscall_64" ~nparams:3 (fun fb ->
+      let sysno = param fb 0 and a0 = param fb 1 and a1 = param fb 2 in
+      (* manual boundary at kernel entry *)
+      emit fb (Types.Boundary manual_entry);
+      (* save the "user context" to the kernel stack (swapgs/push regs) *)
+      let ks = la fb kstack_global in
+      store fb ks 0 (Reg sysno);
+      store fb ks 8 (Reg a0);
+      store fb ks 16 (Reg a1);
+      (* manual boundary right before the dispatch call site (Fig. 11) *)
+      emit fb (Types.Boundary manual_dispatch);
+      let r = call fb "do_syscall_64" [ Reg sysno; Reg a0; Reg a1 ] in
+      (* manual boundary at the exit/sysret path *)
+      emit fb (Types.Boundary manual_exit);
+      let restored = load fb ks 0 in
+      (* a touch of real restore work so the exit region is non-trivial *)
+      let _ = bin fb Xor (Reg restored) (Reg restored) in
+      ret fb (Some (Reg r)))
+
+(* The same syscall entry stub written as raw "assembly" and lifted to IR
+   (Section IV-D's Remill alternative to manual annotation): pushes the
+   user context onto the kernel stack, dispatches, restores, returns. No
+   manual boundaries — the lifted IR goes through the ordinary pipeline,
+   which forms its regions automatically. *)
+let entry_asm : Asm.routine =
+  let open Asm in
+  {
+    rname = "entry_syscall_64_lifted";
+    nargs = 3;
+    stack_global = kstack_global;
+    stack_bytes = 128;
+    body =
+      [
+        (* save the user context (push regs after swapgs) *)
+        Push RDI;
+        Push RSI;
+        Push RDX;
+        (* dispatch: arguments already sit in RDI/RSI/RDX *)
+        Call "do_syscall_64";
+        Mov (RBX, R RAX);
+        (* restore and return *)
+        Pop RDX;
+        Pop RSI;
+        Pop RDI;
+        Mov (RAX, R RBX);
+        Ret;
+      ];
+  }
+
+let abi : Asm.abi = [ ("do_syscall_64", 3) ]
+
+(** Add the kernel substrate to a program under construction. *)
+let add b =
+  add_globals b;
+  add_sys_write b;
+  add_sys_read b;
+  add_sys_getpid b;
+  add_do_syscall b;
+  add_entry b;
+  Asm.Lift.func abi entry_asm b
+
+let function_names =
+  [ "sys_write"; "sys_read"; "sys_getpid"; "do_syscall_64"; "entry_syscall_64";
+    "entry_syscall_64_lifted" ]

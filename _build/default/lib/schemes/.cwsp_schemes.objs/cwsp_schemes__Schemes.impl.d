@@ -1,0 +1,1 @@
+lib/schemes/schemes.ml: Config Cwsp_compiler Cwsp_sim Engine List Pipeline

@@ -1,0 +1,1 @@
+lib/schemes/schemes.mli: Config Cwsp_compiler Cwsp_sim Engine Pipeline

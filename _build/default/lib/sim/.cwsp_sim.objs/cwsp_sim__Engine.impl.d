@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Config Cwsp_interp Cwsp_util Event Float Hashtbl Hierarchy Stats Trace Tsq

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Config Cwsp_interp Stats

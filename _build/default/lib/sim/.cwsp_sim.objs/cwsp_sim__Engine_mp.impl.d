@@ -1,0 +1,1 @@
+lib/sim/engine_mp.ml: Array Cache Config Cwsp_interp Engine Event Float Hashtbl Layout List Stats Trace Tsq

@@ -1,0 +1,1 @@
+lib/sim/engine_mp.mli: Config Cwsp_interp Stats Trace

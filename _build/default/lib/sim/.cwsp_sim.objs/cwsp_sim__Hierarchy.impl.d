@@ -1,0 +1,1 @@
+lib/sim/hierarchy.ml: Array Cache Config List

@@ -1,0 +1,1 @@
+lib/sim/tsq.ml: Array Float

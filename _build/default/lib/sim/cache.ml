@@ -1,0 +1,94 @@
+(** Set-associative write-back, write-allocate cache with LRU replacement.
+
+    Tag storage is a hash table keyed by set index, so a 4GB direct-mapped
+    DRAM cache costs memory proportional to the sets actually touched —
+    essential for simulating Intel-memory-mode-style DRAM caches without
+    allocating gigabytes of tag arrays. *)
+
+type way = { mutable tag : int; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  level : Config.cache_level;
+  nsets : int;
+  assoc : int;
+  sets : (int, way array) Hashtbl.t;
+  mutable tick : int; (* LRU clock *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let line_bytes = 64
+
+let create (level : Config.cache_level) =
+  let nsets = max 1 (level.size_bytes / (line_bytes * level.assoc)) in
+  {
+    level;
+    nsets;
+    assoc = level.assoc;
+    sets = Hashtbl.create 4096;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+type result = {
+  hit : bool;
+  evicted_dirty_line : int option; (* line address of a dirty eviction *)
+}
+
+(** Access the line containing [addr]; allocates on miss. [write] marks
+    the line dirty. *)
+let access t ~addr ~write : result =
+  t.tick <- t.tick + 1;
+  let line = addr / line_bytes in
+  let set_idx = line mod t.nsets in
+  let tag = line / t.nsets in
+  let ways =
+    match Hashtbl.find_opt t.sets set_idx with
+    | Some w -> w
+    | None ->
+      let w = Array.init t.assoc (fun _ -> { tag = -1; dirty = false; lru = 0 }) in
+      Hashtbl.add t.sets set_idx w;
+      w
+  in
+  let rec find i = if i >= t.assoc then None
+    else if ways.(i).tag = tag then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    t.hits <- t.hits + 1;
+    ways.(i).lru <- t.tick;
+    if write then ways.(i).dirty <- true;
+    { hit = true; evicted_dirty_line = None }
+  | None ->
+    t.misses <- t.misses + 1;
+    (* victim: invalid way if any, else least-recently used *)
+    let victim = ref 0 in
+    (try
+       for i = 0 to t.assoc - 1 do
+         if ways.(i).tag = -1 then begin
+           victim := i;
+           raise Exit
+         end;
+         if ways.(i).lru < ways.(!victim).lru then victim := i
+       done
+     with Exit -> ());
+    let w = ways.(!victim) in
+    let evicted =
+      if w.tag >= 0 && w.dirty then
+        Some (((w.tag * t.nsets) + set_idx) * line_bytes)
+      else None
+    in
+    w.tag <- tag;
+    w.dirty <- write;
+    w.lru <- t.tick;
+    { hit = false; evicted_dirty_line = evicted }
+
+(** Mark a line dirty without an access (used for writebacks arriving from
+    an upper level); allocates like a write access. *)
+let install_dirty t ~line_addr = ignore (access t ~addr:line_addr ~write:true)
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total

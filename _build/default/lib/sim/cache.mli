@@ -1,0 +1,24 @@
+(** Set-associative write-back, write-allocate cache with LRU
+    replacement. Tag storage is a hash table keyed by set index, so a
+    multi-gigabyte direct-mapped DRAM cache costs memory proportional to
+    the sets actually touched. *)
+
+type t
+
+val line_bytes : int
+
+val create : Config.cache_level -> t
+
+type result = {
+  hit : bool;
+  evicted_dirty_line : int option; (** line address of a dirty eviction *)
+}
+
+(** Access the line containing [addr], allocating on miss; [write] marks
+    it dirty. *)
+val access : t -> addr:int -> write:bool -> result
+
+(** Install a dirty line arriving as a writeback from an upper level. *)
+val install_dirty : t -> line_addr:int -> unit
+
+val miss_rate : t -> float

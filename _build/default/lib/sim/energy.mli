@@ -1,0 +1,31 @@
+(** Energy accounting for the persistence schemes — the quantitative form
+    of the paper's argument (Sections I, II-D) that eADR/Capri-style JIT
+    checkpointing requires unsustainable residual energy, while cWSP only
+    relies on Intel ADR's existing WPQ-flush guarantee. *)
+
+val nvm_write_nj_per_line : float
+val nvm_write_nj_per_byte : float
+
+type backup = {
+  scheme : string;
+  volatile_bytes : int; (** battery-backed state to flush on power failure *)
+  backup_uj : float;    (** energy to flush it to NVM *)
+}
+
+val cwsp_backup : Config.t -> backup
+val capri_backup : cores:int -> Config.t -> backup
+val eadr_backup : Config.t -> backup
+val full_system_backup : dram_bytes:int -> Config.t -> backup
+val all_backups : ?cores:int -> ?dram_bytes:int -> Config.t -> backup list
+
+(** Steady-state NVM write energy per 1000 committed program stores. *)
+type write_energy = {
+  we_scheme : string;
+  bytes_per_store : float;
+  uj_per_kstore : float;
+}
+
+val cwsp_write_energy : write_energy
+val capri_write_energy : write_energy
+val eadr_write_energy : write_energy
+val all_write_energies : write_energy list

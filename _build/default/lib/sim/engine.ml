@@ -1,0 +1,352 @@
+(** The timing engine: replays a commit-event trace under a persistence
+    scheme, advancing a nanosecond timeline and charging stalls where the
+    modeled hardware would produce backpressure.
+
+    The modeled cWSP hardware follows Figure 9 of the paper:
+
+    - every committed store (and register checkpoint) copies its 8 bytes
+      into the persist buffer (PB, a repurposed write-combining buffer);
+      the PB sends one entry per bandwidth slot over the persist path to
+      the target memory controller's WPQ;
+    - data is *persisted* on WPQ admission (battery-backed, Intel ADR
+      semantics); the WPQ drains to media at the NVM write bandwidth, and
+      speculatively-persisted entries are undo-logged, doubling their
+      drain cost but staying off the critical path (asynchronous undo
+      logging, Fig. 10b);
+    - a region boundary allocates an RBT entry; with memory-controller
+      speculation the core only stalls when the RBT is full, otherwise it
+      stalls until the finishing region's stores have all persisted;
+    - dirty L1D evictions wait in the write buffer until the same line
+      has persisted (stale-read prevention); loads that miss every cache
+      level and hit a pending WPQ entry wait for the entry to drain. *)
+
+type cwsp_flags = {
+  persist_path : bool;    (* stage 2 of Fig. 15: persist committed stores *)
+  mc_speculation : bool;  (* stage 3: RBT admission + MC undo logging *)
+  boundary_drain : bool;  (* prior-work behaviour: wait at every region end
+                             for the region's stores to persist (the
+                             conservative alternative to MC speculation) *)
+  wb_delay : bool;        (* stage 4: stale-read prevention at the WB *)
+  wpq_delay : bool;       (* stage 5: delay loads hitting the WPQ *)
+}
+
+let cwsp_full =
+  { persist_path = true; mc_speculation = true; boundary_drain = false;
+    wb_delay = true; wpq_delay = true }
+
+let cwsp_flags_none =
+  { persist_path = false; mc_speculation = false; boundary_drain = false;
+    wb_delay = false; wpq_delay = false }
+
+type scheme =
+  | Baseline          (* no crash consistency support *)
+  | Cwsp of cwsp_flags
+  | Ido               (* persist barriers at every region boundary *)
+  | Capri             (* 64B redo-buffer WSP with battery-backed buffers *)
+  | Replaycache       (* software write-through persistence *)
+
+let scheme_name = function
+  | Baseline -> "baseline"
+  | Cwsp _ -> "cwsp"
+  | Ido -> "ido"
+  | Capri -> "capri"
+  | Replaycache -> "replaycache"
+
+(* Persist-buffer model: [pb_entries] slots, freed when the entry is
+   admitted into the target WPQ; sends are serialized at the persist-path
+   bandwidth. *)
+type pb = {
+  free_at : float array;
+  size : int;
+  mutable count : int;
+  mutable last_send : float;
+}
+
+let pb_create size = { free_at = Array.make size 0.0; size; count = 0; last_send = 0.0 }
+
+(* Returns (slot_admit, send_time). *)
+let pb_admit_send pb ~ready ~gap =
+  let admit =
+    if pb.count < pb.size then ready
+    else Float.max ready pb.free_at.(pb.count mod pb.size)
+  in
+  let send = Float.max admit (pb.last_send +. gap) in
+  pb.last_send <- send;
+  (admit, send)
+
+let pb_record_free pb free_time =
+  pb.free_at.(pb.count mod pb.size) <- free_time;
+  pb.count <- pb.count + 1
+
+(* Region-boundary-table model: ring of region persist-completion times. *)
+type rbt = { comp : float array; rsize : int; mutable rcount : int }
+
+let rbt_create size = { comp = Array.make size 0.0; rsize = size; rcount = 0 }
+
+let rbt_push rbt ~now ~completion =
+  let admit =
+    if rbt.rcount < rbt.rsize then now
+    else Float.max now rbt.comp.(rbt.rcount mod rbt.rsize)
+  in
+  rbt.comp.(rbt.rcount mod rbt.rsize) <- completion;
+  rbt.rcount <- rbt.rcount + 1;
+  admit -. now (* stall *)
+
+let storage_bytes ~rbt_entries =
+  (* 11 bytes per RBT entry: Region ID, PendingWrs, MCBitVec, RS pointer
+     (Section IX-N) *)
+  rbt_entries * 11
+
+type t = {
+  cfg : Config.t;
+  scheme : scheme;
+  stats : Stats.t;
+  hier : Hierarchy.t;
+  mutable now : float;
+  (* persist machinery *)
+  pb : pb;
+  wpqs : Tsq.t array; (* one per MC *)
+  mutable all_persist_max : float;      (* drain point for fences *)
+  mutable region_persist_max : float;   (* max persist of current region *)
+  rbt : rbt;
+  line_persist : (int, float) Hashtbl.t; (* line -> last persist time *)
+  word_wpq_done : (int, float) Hashtbl.t; (* word -> WPQ drain completion *)
+  (* L1D write buffer *)
+  wb : Tsq.t;
+  (* Capri redo buffer *)
+  redo : pb;
+  (* per-MC last line seen, for line-granularity write coalescing *)
+  mc_last_line : int array;
+}
+
+let create (cfg : Config.t) (scheme : scheme) =
+  {
+    cfg;
+    scheme;
+    stats = Stats.create ();
+    hier = Hierarchy.create cfg;
+    now = 0.0;
+    pb = pb_create cfg.pb_entries;
+    wpqs = Array.init cfg.n_mcs (fun _ -> Tsq.create ~size:cfg.wpq_entries);
+    all_persist_max = 0.0;
+    region_persist_max = 0.0;
+    rbt = rbt_create cfg.rbt_entries;
+    line_persist = Hashtbl.create 4096;
+    word_wpq_done = Hashtbl.create 4096;
+    wb = Tsq.create ~size:cfg.wb_entries;
+    redo = pb_create 288 (* 18KB Capri redo buffer / 64B lines *);
+    mc_last_line = Array.make cfg.n_mcs (-1);
+  }
+
+(* ---- persist path ---- *)
+
+(* Persist one store through PB -> path -> WPQ. [bytes] selects the
+   persist granularity (8 for cWSP, 64 for Capri/ReplayCache); [logged]
+   stores pay double drain service for the undo log write.
+   Returns the core-visible stall. *)
+let persist_store t ~addr ~commit ~bytes ~logged ~use_redo ?(coalesce = false) () =
+  let cfg = t.cfg in
+  let gap = float_of_int bytes /. cfg.path_bandwidth_gbs in
+  let buffer = if use_redo then t.redo else t.pb in
+  let admit, send = pb_admit_send buffer ~ready:commit ~gap in
+  let line = Cwsp_interp.Layout.line_of_addr addr in
+  let mc = Config.mc_of_line cfg line in
+  let arrive = send +. cfg.path_latency_ns +. Config.numa_of_mc cfg mc in
+  let drain_service =
+    let per_entry = float_of_int bytes /. cfg.mem.write_bw_gbs in
+    (* Line-granularity schemes (Capri/ReplayCache) coalesce consecutive
+       writes to the same line at the media: back-to-back same-line
+       entries merge into the pending line write. *)
+    let per_entry =
+      if coalesce && t.mc_last_line.(mc) = line then per_entry /. 8.0
+      else per_entry
+    in
+    t.mc_last_line.(mc) <- line;
+    (* Undo-log writes are append-only per region (Section V-B2), so they
+       write-combine into full lines at the media: 8 log entries share one
+       64-byte line write, costing 1/8 extra media bandwidth per entry. *)
+    if logged then per_entry *. 1.125 else per_entry
+  in
+  let wpq_admit, wpq_done = Tsq.push t.wpqs.(mc) ~ready:arrive ~service:drain_service in
+  (* the PB slot is held until the WPQ admits the entry (backpressure) *)
+  pb_record_free buffer wpq_admit;
+  let persist_time = wpq_admit in
+  t.all_persist_max <- Float.max t.all_persist_max persist_time;
+  t.region_persist_max <- Float.max t.region_persist_max persist_time;
+  Hashtbl.replace t.line_persist line persist_time;
+  Hashtbl.replace t.word_wpq_done addr wpq_done;
+  t.stats.nvm_writes <- t.stats.nvm_writes + 1;
+  if logged then t.stats.log_writes <- t.stats.log_writes + 1;
+  Float.max 0.0 (admit -. commit)
+
+(* ---- event handlers ---- *)
+
+let handle_cache_write t ~addr ~count_wb_occupancy =
+  let o = Hierarchy.access t.hier ~addr ~write:true in
+  (match o.l1_dirty_eviction with
+  | None -> ()
+  | Some line ->
+    (* the eviction enters the L1D write buffer; under cWSP's stale-read
+       prevention it may not drain to L2 before the line has persisted *)
+    let delay_start =
+      match t.scheme with
+      | Cwsp f when f.persist_path && f.wb_delay -> (
+        match Hashtbl.find_opt t.line_persist line with
+        | Some p -> Float.max t.now p
+        | None -> t.now)
+      | Baseline | Cwsp _ | Ido | Capri | Replaycache -> t.now
+    in
+    let admit, _done_ = Tsq.push t.wb ~ready:delay_start ~service:t.cfg.wb_drain_ns in
+    Hierarchy.wb_install t.hier ~line_addr:line;
+    let stall = Float.max 0.0 (admit -. delay_start) in
+    t.stats.stall_wb_ns <- t.stats.stall_wb_ns +. stall;
+    t.now <- t.now +. stall);
+  if count_wb_occupancy then
+    Cwsp_util.Stats.Acc.add t.stats.wb_occupancy
+      (float_of_int (Tsq.occupancy t.wb ~now:t.now));
+  o
+
+let handle_load t ~addr =
+  t.stats.loads <- t.stats.loads + 1;
+  let o = Hierarchy.access t.hier ~addr ~write:false in
+  let latency =
+    if o.hit_level = 0 then o.latency_ns else o.latency_ns /. t.cfg.mlp
+  in
+  t.now <- t.now +. t.cfg.cycle_ns +. latency;
+  (* loads reaching main memory may hit a pending WPQ entry *)
+  if o.from_memory then begin
+    match Hashtbl.find_opt t.word_wpq_done addr with
+    | Some d when d > t.now ->
+      t.stats.wpq_hits <- t.stats.wpq_hits + 1;
+      let delays =
+        match t.scheme with
+        | Cwsp f -> f.persist_path && f.wpq_delay
+        | Ido | Capri | Replaycache -> true
+        | Baseline -> false
+      in
+      if delays then begin
+        t.stats.stall_wpq_hit_ns <- t.stats.stall_wpq_hit_ns +. (d -. t.now);
+        t.now <- d
+      end
+    | Some _ | None -> ()
+  end
+
+let handle_store t ~addr ~is_ckpt =
+  if is_ckpt then t.stats.ckpt_stores <- t.stats.ckpt_stores + 1
+  else t.stats.stores <- t.stats.stores + 1;
+  let commit = t.now +. t.cfg.cycle_ns in
+  t.now <- commit;
+  let o = handle_cache_write t ~addr ~count_wb_occupancy:true in
+  match t.scheme with
+  | Baseline -> ()
+  | Cwsp f ->
+    if f.persist_path then begin
+      (* stores of speculative regions are undo-logged at the MC *)
+      let logged = f.mc_speculation in
+      let stall =
+        persist_store t ~addr ~commit ~bytes:8 ~logged ~use_redo:false ()
+      in
+      t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
+      t.now <- t.now +. stall
+    end
+  | Ido ->
+    let stall = persist_store t ~addr ~commit ~bytes:8 ~logged:false ~use_redo:false () in
+    t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
+    t.now <- t.now +. stall
+  | Capri ->
+    (* per-store dirty-cacheline copy into the redo buffer (one L1 port
+       slot), then a 64B line + 8B of log metadata on the persist path;
+       hardware redo+undo logging amplifies NVM writes (Section II-D) *)
+    t.now <- t.now +. t.cfg.cycle_ns;
+    let stall = persist_store t ~addr ~commit ~bytes:72 ~logged:true ~use_redo:true ~coalesce:true () in
+    t.stats.stall_redo_ns <- t.stats.stall_redo_ns +. stall;
+    t.now <- t.now +. stall;
+    (* Capri scans the proxy buffer on DRAM-cache evictions and must wait
+       the worst-case delivery latency (Section II-D) *)
+    if o.llc_eviction then t.now <- t.now +. t.cfg.path_latency_ns
+  | Replaycache ->
+    (* software scheme: per-store instrumentation plus 64B write-through *)
+    t.now <- t.now +. (2.0 *. t.cfg.cycle_ns);
+    let stall = persist_store t ~addr ~commit ~bytes:64 ~logged:false ~use_redo:false ~coalesce:true () in
+    t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
+    t.now <- t.now +. stall
+
+let handle_boundary t =
+  t.stats.boundaries <- t.stats.boundaries + 1;
+  let completion = Float.max t.now t.region_persist_max in
+  (match t.scheme with
+  | Baseline -> ()
+  | Cwsp f when not f.persist_path -> ()
+  | Cwsp f when f.mc_speculation ->
+    let stall = rbt_push t.rbt ~now:t.now ~completion in
+    t.stats.stall_rbt_ns <- t.stats.stall_rbt_ns +. stall;
+    t.now <- t.now +. stall
+  | Cwsp f when f.boundary_drain ->
+    (* conservative prior-work behaviour (Section II-B): wait at the
+       region end for the region's stores to persist *)
+    let stall = Float.max 0.0 (t.region_persist_max -. t.now) in
+    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall;
+    t.now <- t.now +. stall
+  | Cwsp _ -> () (* unsafe asynchronous persistence: Fig. 15 stage 2 *)
+  | Capri ->
+    (* battery-backed redo buffer: region end is free; buffer
+       backpressure was already charged per store. *)
+    ()
+  | Ido ->
+    (* two persist barriers around every region boundary (Section I) *)
+    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
+    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall +. (2.0 *. t.cfg.path_latency_ns);
+    t.now <- t.now +. stall +. (2.0 *. t.cfg.path_latency_ns)
+  | Replaycache ->
+    (* software region-end flush: wait for everything outstanding *)
+    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
+    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall +. (4.0 *. t.cfg.cycle_ns);
+    t.now <- t.now +. stall +. (4.0 *. t.cfg.cycle_ns));
+  t.region_persist_max <- t.now
+
+let handle_sync t ~addr =
+  (* atomics/fences: stores prior to the primitive must have persisted
+     before it commits (Section VIII) *)
+  (match addr with
+  | Some a ->
+    t.stats.atomics <- t.stats.atomics + 1;
+    (* a locked RMW is expensive on any machine, baseline included *)
+    t.now <- t.now +. t.cfg.atomic_ns;
+    handle_load t ~addr:a;
+    handle_store t ~addr:a ~is_ckpt:false
+  | None ->
+    t.stats.fences <- t.stats.fences + 1;
+    t.now <- t.now +. t.cfg.cycle_ns);
+  match t.scheme with
+  | Baseline -> ()
+  | Cwsp _ | Ido | Capri | Replaycache ->
+    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
+    t.stats.stall_sync_ns <- t.stats.stall_sync_ns +. stall;
+    t.now <- t.now +. stall
+
+(* ---- main loop ---- *)
+
+let run_trace (cfg : Config.t) (scheme : scheme) (trace : Cwsp_interp.Trace.t) :
+    Stats.t =
+  let t = create cfg scheme in
+  let open Cwsp_interp in
+  let n = Trace.length trace in
+  for i = 0 to n - 1 do
+    let ev = Trace.get trace i in
+    let tag = Event.tag ev in
+    if tag = Event.tag_alu then t.now <- t.now +. cfg.cycle_ns
+    else if tag = Event.tag_load then handle_load t ~addr:(Event.payload ev)
+    else if tag = Event.tag_store then
+      handle_store t ~addr:(Event.payload ev) ~is_ckpt:false
+    else if tag = Event.tag_ckpt then
+      handle_store t ~addr:(Event.payload ev) ~is_ckpt:true
+    else if tag = Event.tag_boundary then handle_boundary t
+    else if tag = Event.tag_fence then handle_sync t ~addr:None
+    else handle_sync t ~addr:(Some (Event.payload ev))
+  done;
+  t.stats.instructions <- n;
+  t.stats.elapsed_ns <- t.now;
+  t.stats.nvm_reads <- t.hier.nvm_reads;
+  t.stats.l1_miss_rate <- Hierarchy.l1_miss_rate t.hier;
+  t.stats.llc_miss_rate <- Hierarchy.llc_miss_rate t.hier;
+  t.stats

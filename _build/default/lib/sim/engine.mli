@@ -1,0 +1,60 @@
+(** The single-core timing engine: replays a commit-event trace under a
+    persistence scheme, advancing a nanosecond timeline and charging
+    stalls where the modeled hardware produces backpressure (the cWSP
+    hardware of Fig. 9: PB -> persist path -> per-MC WPQs with
+    asynchronous undo logging; RBT admission for MC speculation; WB
+    stale-read delaying; WPQ-hit load delaying). *)
+
+type cwsp_flags = {
+  persist_path : bool;   (** Fig. 15 stage 2: persist committed stores *)
+  mc_speculation : bool; (** stage 3: RBT admission + MC undo logging *)
+  boundary_drain : bool; (** prior-work behaviour: region-end drains *)
+  wb_delay : bool;       (** stage 4: stale-read prevention at the WB *)
+  wpq_delay : bool;      (** stage 5: delay loads hitting the WPQ *)
+}
+
+val cwsp_full : cwsp_flags
+val cwsp_flags_none : cwsp_flags
+
+type scheme =
+  | Baseline
+  | Cwsp of cwsp_flags
+  | Ido
+  | Capri
+  | Replaycache
+
+val scheme_name : scheme -> string
+
+(** {2 Hardware sub-models (shared with the multi-core engine)} *)
+
+(** Persist-buffer: bounded slots freed on WPQ admission; sends
+    serialized at the persist-path bandwidth. *)
+type pb = {
+  free_at : float array;
+  size : int;
+  mutable count : int;
+  mutable last_send : float;
+}
+
+val pb_create : int -> pb
+
+(** [(slot_admit, send_time)] for an entry ready at [ready]. *)
+val pb_admit_send : pb -> ready:float -> gap:float -> float * float
+
+val pb_record_free : pb -> float -> unit
+
+(** Region-boundary table: ring of region persist-completion times;
+    admission stalls only when all entries hold unpersisted regions. *)
+type rbt = { comp : float array; rsize : int; mutable rcount : int }
+
+val rbt_create : int -> rbt
+
+(** Returns the admission stall. *)
+val rbt_push : rbt -> now:float -> completion:float -> float
+
+(** 11 bytes per RBT entry (Section IX-N): 176 bytes at the default 16. *)
+val storage_bytes : rbt_entries:int -> int
+
+(** {2 Running} *)
+
+val run_trace : Config.t -> scheme -> Cwsp_interp.Trace.t -> Stats.t

@@ -1,0 +1,227 @@
+(** Multi-core timing engine (extension of [Engine] to the paper's 8-core
+    platform).
+
+    Each core owns its private L1D, write buffer, persist buffer and RBT;
+    the L2 and deeper levels, the memory controllers' WPQs and the
+    persist-path bandwidth are shared. Per-thread commit traces (from
+    [Cwsp_interp.Multi]) are replayed in global time order: at every step
+    the core with the smallest local clock consumes its next event, so
+    shared-queue contention is observed in the order a real machine would
+    produce it.
+
+    Simplification versus the paper's gem5 runs: no coherence traffic is
+    modeled — the PB is coherence-agnostic by design (Section V-A1) and
+    the workloads are data-race-free, so coherence misses would add a
+    scheme-independent constant to both sides of every ratio. *)
+
+open Cwsp_interp
+
+type core = {
+  cid : int;
+  l1 : Cache.t;
+  wb : Tsq.t;
+  pb : Engine.pb;
+  rbt : Engine.rbt;
+  mutable now : float;
+  mutable all_persist_max : float;
+  mutable region_persist_max : float;
+  stats : Stats.t;
+  trace : Trace.t;
+  mutable pos : int;
+}
+
+type t = {
+  cfg : Config.t;
+  shared : Cache.t list; (* L2 and deeper *)
+  shared_hit_ns : float list;
+  wpqs : Tsq.t array;
+  line_persist : (int, float) Hashtbl.t;
+  cores : core array;
+}
+
+let create (cfg : Config.t) (traces : Trace.t array) : t =
+  let l1_level, shared_levels =
+    match cfg.levels with
+    | l1 :: rest -> (l1, rest)
+    | [] -> invalid_arg "Engine_mp: empty hierarchy"
+  in
+  {
+    cfg;
+    shared = List.map Cache.create shared_levels;
+    shared_hit_ns = List.map (fun (l : Config.cache_level) -> l.hit_ns) shared_levels;
+    wpqs = Array.init cfg.n_mcs (fun _ -> Tsq.create ~size:cfg.wpq_entries);
+    line_persist = Hashtbl.create 4096;
+    cores =
+      Array.mapi
+        (fun cid trace ->
+          {
+            cid;
+            l1 = Cache.create l1_level;
+            wb = Tsq.create ~size:cfg.wb_entries;
+            pb = Engine.pb_create cfg.pb_entries;
+            rbt = Engine.rbt_create cfg.rbt_entries;
+            now = 0.0;
+            all_persist_max = 0.0;
+            region_persist_max = 0.0;
+            stats = Stats.create ();
+            trace;
+            pos = 0;
+          })
+        traces;
+  }
+
+(* private L1 then the shared levels *)
+let mem_access t (c : core) ~addr ~write =
+  let r1 = Cache.access c.l1 ~addr ~write in
+  let l1_evict = r1.evicted_dirty_line in
+  if r1.hit then (2.0, false, l1_evict)
+  else begin
+    let rec walk caches lats =
+      match (caches, lats) with
+      | [], [] -> (t.cfg.mem.read_ns, true)
+      | cache :: cs, lat :: ls ->
+        let r = Cache.access cache ~addr ~write:false in
+        (match r.evicted_dirty_line with
+        | Some line -> (
+          match cs with
+          | next :: _ -> Cache.install_dirty next ~line_addr:line
+          | [] -> ())
+        | None -> ());
+        if r.hit then (lat, false) else walk cs ls
+      | _ -> assert false
+    in
+    let lat, from_mem = walk t.shared t.shared_hit_ns in
+    (lat, from_mem, l1_evict)
+  end
+
+(* per-core persist path (Fig. 3b: each core has its own path to the
+   MCs); the WPQs and media bandwidth behind them are shared *)
+let persist t (c : core) ~addr ~commit ~logged =
+  let cfg = t.cfg in
+  let gap = 8.0 /. cfg.path_bandwidth_gbs in
+  let admit, send = Engine.pb_admit_send c.pb ~ready:commit ~gap in
+  let line = Layout.line_of_addr addr in
+  let mc = Config.mc_of_line cfg line in
+  let arrive = send +. cfg.path_latency_ns +. Config.numa_of_mc cfg mc in
+  let per_entry = 8.0 /. cfg.mem.write_bw_gbs in
+  let service = if logged then per_entry *. 1.125 else per_entry in
+  let wpq_admit, _done = Tsq.push t.wpqs.(mc) ~ready:arrive ~service in
+  Engine.pb_record_free c.pb wpq_admit;
+  c.all_persist_max <- Float.max c.all_persist_max wpq_admit;
+  c.region_persist_max <- Float.max c.region_persist_max wpq_admit;
+  Hashtbl.replace t.line_persist line wpq_admit;
+  c.stats.nvm_writes <- c.stats.nvm_writes + 1;
+  if logged then c.stats.log_writes <- c.stats.log_writes + 1;
+  Float.max 0.0 (admit -. commit)
+
+let handle_store t c ~addr ~is_ckpt ~persisting =
+  if is_ckpt then c.stats.ckpt_stores <- c.stats.ckpt_stores + 1
+  else c.stats.stores <- c.stats.stores + 1;
+  let commit = c.now +. t.cfg.cycle_ns in
+  c.now <- commit;
+  let _, _, l1_evict = mem_access t c ~addr ~write:true in
+  (match l1_evict with
+  | Some line ->
+    let delay_start =
+      if persisting then
+        match Hashtbl.find_opt t.line_persist line with
+        | Some p -> Float.max c.now p
+        | None -> c.now
+      else c.now
+    in
+    let admit, _ = Tsq.push c.wb ~ready:delay_start ~service:t.cfg.wb_drain_ns in
+    (match t.shared with
+    | l2 :: _ -> Cache.install_dirty l2 ~line_addr:line
+    | [] -> ());
+    let stall = Float.max 0.0 (admit -. delay_start) in
+    c.stats.stall_wb_ns <- c.stats.stall_wb_ns +. stall;
+    c.now <- c.now +. stall
+  | None -> ());
+  if persisting then begin
+    let stall = persist t c ~addr ~commit ~logged:true in
+    c.stats.stall_pb_ns <- c.stats.stall_pb_ns +. stall;
+    c.now <- c.now +. stall
+  end
+
+let handle_load t c ~addr =
+  c.stats.loads <- c.stats.loads + 1;
+  let lat, _from_mem, _ = mem_access t c ~addr ~write:false in
+  let charged = if lat <= 2.0 then lat else lat /. t.cfg.mlp in
+  c.now <- c.now +. t.cfg.cycle_ns +. charged
+
+let step t (c : core) ~persisting =
+  let ev = Trace.get c.trace c.pos in
+  c.pos <- c.pos + 1;
+  let tag = Event.tag ev in
+  if tag = Event.tag_alu then c.now <- c.now +. t.cfg.cycle_ns
+  else if tag = Event.tag_load then handle_load t c ~addr:(Event.payload ev)
+  else if tag = Event.tag_store then
+    handle_store t c ~addr:(Event.payload ev) ~is_ckpt:false ~persisting
+  else if tag = Event.tag_ckpt then
+    handle_store t c ~addr:(Event.payload ev) ~is_ckpt:true ~persisting
+  else if tag = Event.tag_boundary then begin
+    c.stats.boundaries <- c.stats.boundaries + 1;
+    if persisting then begin
+      let completion = Float.max c.now c.region_persist_max in
+      let stall = Engine.rbt_push c.rbt ~now:c.now ~completion in
+      c.stats.stall_rbt_ns <- c.stats.stall_rbt_ns +. stall;
+      c.now <- c.now +. stall
+    end;
+    c.region_persist_max <- c.now
+  end
+  else begin
+    (* fence or atomic: sync point; drains this core's pending persists *)
+    (if tag = Event.tag_atomic then begin
+       c.stats.atomics <- c.stats.atomics + 1;
+       c.now <- c.now +. t.cfg.atomic_ns;
+       handle_load t c ~addr:(Event.payload ev);
+       handle_store t c ~addr:(Event.payload ev) ~is_ckpt:false ~persisting
+     end
+     else begin
+       c.stats.fences <- c.stats.fences + 1;
+       c.now <- c.now +. t.cfg.cycle_ns
+     end);
+    if persisting then begin
+      let stall = Float.max 0.0 (c.all_persist_max -. c.now) in
+      c.stats.stall_sync_ns <- c.stats.stall_sync_ns +. stall;
+      c.now <- c.now +. stall
+    end
+  end
+
+type result = {
+  per_core : Stats.t array;
+  elapsed_ns : float; (* completion of the slowest core *)
+}
+
+(** Replay per-thread traces on an N-core machine. [scheme] is either
+    [`Baseline] or [`Cwsp] (the full cWSP hardware). *)
+let run_traces (cfg : Config.t) (scheme : [ `Baseline | `Cwsp ])
+    (traces : Trace.t array) : result =
+  let t = create cfg traces in
+  let persisting = scheme = `Cwsp in
+  (* global time order: always advance the core with the smallest clock *)
+  let live () =
+    Array.exists (fun c -> c.pos < Trace.length c.trace) t.cores
+  in
+  while live () do
+    let best = ref None in
+    Array.iter
+      (fun c ->
+        if c.pos < Trace.length c.trace then
+          match !best with
+          | None -> best := Some c
+          | Some b -> if c.now < b.now then best := Some c)
+      t.cores;
+    match !best with None -> assert false | Some c -> step t c ~persisting
+  done;
+  Array.iter
+    (fun c ->
+      c.stats.instructions <- Trace.length c.trace;
+      c.stats.elapsed_ns <- c.now;
+      c.stats.l1_miss_rate <- Cache.miss_rate c.l1)
+    t.cores;
+  {
+    per_core = Array.map (fun c -> c.stats) t.cores;
+    elapsed_ns =
+      Array.fold_left (fun acc c -> Float.max acc c.now) 0.0 t.cores;
+  }

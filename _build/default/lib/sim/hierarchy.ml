@@ -1,0 +1,76 @@
+(** The cache hierarchy walker.
+
+    Maintains one [Cache.t] per configured level; an access is served by
+    the first hitting level (charged that level's latency) and allocates
+    the line in every level above. Dirty evictions from the L1 are
+    surfaced to the engine (they enter the L1D write buffer, which the
+    stale-read machinery of Section V-A1 delays); dirty evictions from
+    inner levels are installed one level down; dirty evictions from the
+    LLC are counted — under persist-path schemes they are silently dropped
+    (the data already traveled the persist path), in the baseline they are
+    plain memory write-backs. *)
+
+type t = {
+  cfg : Config.t;
+  caches : Cache.t array;
+  hit_ns : float array; (* per level *)
+  mutable nvm_reads : int;
+  mutable llc_dirty_evictions : int;
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    caches = Array.of_list (List.map Cache.create cfg.levels);
+    hit_ns = Array.of_list (List.map (fun (l : Config.cache_level) -> l.hit_ns) cfg.levels);
+    nvm_reads = 0;
+    llc_dirty_evictions = 0;
+  }
+
+type outcome = {
+  latency_ns : float;             (* serving-point latency, before MLP scaling *)
+  hit_level : int;                (* 0-based; number of levels = memory *)
+  l1_dirty_eviction : int option; (* line address entering the L1D WB *)
+  from_memory : bool;             (* served by main memory *)
+  llc_eviction : bool;            (* caused a dirty LLC eviction *)
+}
+
+let access t ~addr ~write : outcome =
+  let n = Array.length t.caches in
+  let l1_evict = ref None in
+  let llc_evict = ref false in
+  let rec walk i =
+    if i >= n then begin
+      t.nvm_reads <- t.nvm_reads + 1;
+      (i, t.cfg.mem.read_ns)
+    end
+    else begin
+      let r = Cache.access t.caches.(i) ~addr ~write:(write && i = 0) in
+      (match r.evicted_dirty_line with
+      | None -> ()
+      | Some line ->
+        if i = 0 then l1_evict := Some line
+        else if i = n - 1 then begin
+          t.llc_dirty_evictions <- t.llc_dirty_evictions + 1;
+          llc_evict := true
+        end
+        else Cache.install_dirty t.caches.(i + 1) ~line_addr:line);
+      if r.hit then (i, t.hit_ns.(i)) else walk (i + 1)
+    end
+  in
+  let hit_level, latency = walk 0 in
+  {
+    latency_ns = latency;
+    hit_level;
+    l1_dirty_eviction = !l1_evict;
+    from_memory = hit_level >= n;
+    llc_eviction = !llc_evict;
+  }
+
+(** A writeback arriving from the L1D write buffer installs into L2 (or
+    is dropped to memory accounting when the L1 is the only level). *)
+let wb_install t ~line_addr =
+  if Array.length t.caches > 1 then Cache.install_dirty t.caches.(1) ~line_addr
+
+let l1_miss_rate t = Cache.miss_rate t.caches.(0)
+let llc_miss_rate t = Cache.miss_rate t.caches.(Array.length t.caches - 1)

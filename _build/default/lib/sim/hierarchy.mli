@@ -1,0 +1,32 @@
+(** The cache-hierarchy walker: one [Cache.t] per configured level; an
+    access is served by the first hitting level and allocates the line in
+    every level above. Dirty L1 evictions are surfaced to the engine (they
+    enter the L1D write buffer); inner-level evictions install one level
+    down; LLC evictions are counted (persist-path schemes silently drop
+    them — the data already traveled the persist path). *)
+
+type t = {
+  cfg : Config.t;
+  caches : Cache.t array;
+  hit_ns : float array;
+  mutable nvm_reads : int;
+  mutable llc_dirty_evictions : int;
+}
+
+val create : Config.t -> t
+
+type outcome = {
+  latency_ns : float;             (** serving-point latency, pre-MLP *)
+  hit_level : int;                (** 0-based; = number of levels for memory *)
+  l1_dirty_eviction : int option; (** line entering the L1D write buffer *)
+  from_memory : bool;
+  llc_eviction : bool;
+}
+
+val access : t -> addr:int -> write:bool -> outcome
+
+(** A writeback arriving from the L1D write buffer installs into L2. *)
+val wb_install : t -> line_addr:int -> unit
+
+val l1_miss_rate : t -> float
+val llc_miss_rate : t -> float

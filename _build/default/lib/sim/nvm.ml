@@ -1,0 +1,39 @@
+(** Main-memory technology models: NVM technologies (Section IX-M) and
+    CXL-attached devices (Table I / Section IX-C).
+
+    [read_ns] is the access latency charged to loads that miss every cache
+    level; [write_bw_gbs] bounds how fast the memory controller's WPQ can
+    drain to media, which is what produces write backpressure. *)
+
+type t = {
+  mem_name : string;
+  read_ns : float;
+  write_ns : float;          (* single-write media latency (documentation) *)
+  write_bw_gbs : float;      (* sustained media write bandwidth *)
+}
+
+(* Intel-Optane-like PMEM, the paper's default (175ns read / 90ns write,
+   ~2.3GB/s sustained write bandwidth per the cited FAST'20 study). *)
+let pmem = { mem_name = "PMEM"; read_ns = 175.0; write_ns = 90.0; write_bw_gbs = 2.3 }
+
+(* Faster NVM technologies for Fig. 27. *)
+let sttram = { mem_name = "STT-MRAM"; read_ns = 60.0; write_ns = 40.0; write_bw_gbs = 8.0 }
+let reram = { mem_name = "ReRAM"; read_ns = 40.0; write_ns = 25.0; write_bw_gbs = 12.0 }
+
+(* DRAM as main memory — the baseline memory of Fig. 1. *)
+let dram = { mem_name = "DRAM"; read_ns = 60.0; write_ns = 30.0; write_bw_gbs = 25.0 }
+
+(* CXL devices of Table I. Latencies from the table (read/write); NVDIMM
+   bandwidths from the table's max-bandwidth column (derated for writes),
+   CXL-D is Optane behind a 70ns CXL interconnect. *)
+let cxl_a = { mem_name = "CXL-A"; read_ns = 158.0; write_ns = 120.0; write_bw_gbs = 19.2 }
+let cxl_b = { mem_name = "CXL-B"; read_ns = 223.0; write_ns = 139.0; write_bw_gbs = 9.6 }
+let cxl_c = { mem_name = "CXL-C"; read_ns = 348.0; write_ns = 241.0; write_bw_gbs = 12.8 }
+let cxl_d = { mem_name = "CXL-D"; read_ns = 245.0; write_ns = 160.0; write_bw_gbs = 2.3 }
+
+(* CXL DRAM: the Fig. 1 comparison point for CXL PMEM. *)
+let cxl_dram = { mem_name = "CXL-DRAM"; read_ns = 130.0; write_ns = 100.0; write_bw_gbs = 25.6 }
+let cxl_pmem = cxl_d
+
+let all_techs = [ pmem; sttram; reram ]
+let cxl_devices = [ cxl_a; cxl_b; cxl_c; cxl_d ]

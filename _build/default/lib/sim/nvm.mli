@@ -1,0 +1,33 @@
+(** Main-memory technology models: NVM technologies (Section IX-M) and
+    CXL-attached devices (Table I / Section IX-C). [read_ns] is charged
+    to loads that miss every cache level; [write_bw_gbs] bounds the WPQ
+    drain and produces write backpressure. *)
+
+type t = {
+  mem_name : string;
+  read_ns : float;
+  write_ns : float;
+  write_bw_gbs : float;
+}
+
+(** Intel-Optane-like PMEM, the paper's default. *)
+val pmem : t
+
+val sttram : t
+val reram : t
+
+(** DRAM main memory, the Fig. 1 baseline. *)
+val dram : t
+
+val cxl_a : t
+val cxl_b : t
+val cxl_c : t
+val cxl_d : t
+val cxl_dram : t
+val cxl_pmem : t
+
+(** The Fig. 27 sweep. *)
+val all_techs : t list
+
+(** Table I. *)
+val cxl_devices : t list

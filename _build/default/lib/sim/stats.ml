@@ -1,0 +1,84 @@
+(** Per-run simulation statistics — everything the paper's figures plot. *)
+
+type t = {
+  mutable elapsed_ns : float;
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int; (* data stores *)
+  mutable ckpt_stores : int;
+  mutable boundaries : int;
+  mutable atomics : int;
+  mutable fences : int;
+  (* memory system *)
+  mutable nvm_reads : int;
+  mutable l1_miss_rate : float;
+  mutable llc_miss_rate : float;
+  (* persistence *)
+  mutable nvm_writes : int;  (* 8-byte persist-path deliveries *)
+  mutable log_writes : int;  (* undo-log writes at the MCs *)
+  mutable wpq_hits : int;    (* loads that found a pending WPQ entry *)
+  (* stall breakdown, ns *)
+  mutable stall_pb_ns : float;
+  mutable stall_rbt_ns : float;
+  mutable stall_drain_ns : float; (* region-end drains (non-speculative) *)
+  mutable stall_sync_ns : float;  (* fences/atomics *)
+  mutable stall_wb_ns : float;    (* write-buffer backpressure *)
+  mutable stall_wpq_hit_ns : float;
+  mutable stall_redo_ns : float;  (* Capri redo-buffer backpressure *)
+  (* occupancy *)
+  wb_occupancy : Cwsp_util.Stats.Acc.t;
+}
+
+let create () =
+  {
+    elapsed_ns = 0.0;
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    ckpt_stores = 0;
+    boundaries = 0;
+    atomics = 0;
+    fences = 0;
+    nvm_reads = 0;
+    l1_miss_rate = 0.0;
+    llc_miss_rate = 0.0;
+    nvm_writes = 0;
+    log_writes = 0;
+    wpq_hits = 0;
+    stall_pb_ns = 0.0;
+    stall_rbt_ns = 0.0;
+    stall_drain_ns = 0.0;
+    stall_sync_ns = 0.0;
+    stall_wb_ns = 0.0;
+    stall_wpq_hit_ns = 0.0;
+    stall_redo_ns = 0.0;
+    wb_occupancy = Cwsp_util.Stats.Acc.create ();
+  }
+
+let total_stall_ns t =
+  t.stall_pb_ns +. t.stall_rbt_ns +. t.stall_drain_ns +. t.stall_sync_ns
+  +. t.stall_wb_ns +. t.stall_wpq_hit_ns +. t.stall_redo_ns
+
+(** Normalized slowdown of this run against a baseline run. *)
+let slowdown t ~baseline = t.elapsed_ns /. baseline.elapsed_ns
+
+let wpq_hits_per_minstr t =
+  if t.instructions = 0 then 0.0
+  else 1_000_000.0 *. float_of_int t.wpq_hits /. float_of_int t.instructions
+
+let avg_region_len t =
+  if t.boundaries = 0 then 0.0
+  else float_of_int t.instructions /. float_of_int t.boundaries
+
+let to_string t =
+  Printf.sprintf
+    "time=%.0fns instrs=%d loads=%d stores=%d ckpts=%d regions=%d \
+     l1miss=%.1f%% llcmiss=%.1f%% nvm_writes=%d log_writes=%d wpq_hpmi=%.2f \
+     stalls[pb=%.0f rbt=%.0f drain=%.0f sync=%.0f wb=%.0f wpqhit=%.0f redo=%.0f] \
+     wb_occ=%.2f"
+    t.elapsed_ns t.instructions t.loads t.stores t.ckpt_stores t.boundaries
+    (100.0 *. t.l1_miss_rate) (100.0 *. t.llc_miss_rate) t.nvm_writes
+    t.log_writes (wpq_hits_per_minstr t) t.stall_pb_ns t.stall_rbt_ns
+    t.stall_drain_ns t.stall_sync_ns t.stall_wb_ns t.stall_wpq_hit_ns
+    t.stall_redo_ns
+    (Cwsp_util.Stats.Acc.mean t.wb_occupancy)

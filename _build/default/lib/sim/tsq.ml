@@ -1,0 +1,48 @@
+(** Bounded FIFO timestamp queue — the simulator's workhorse.
+
+    Hardware queues (WPQ, redo buffers, write buffers) are modeled as a
+    single-server FIFO with [size] slots: an item becoming ready at time
+    [r] is admitted once a slot is free (backpressure), then completes
+    after the in-order service of everything ahead of it. Only
+    timestamps are stored, which is what makes replaying a trace through
+    dozens of configurations cheap. *)
+
+type t = {
+  size : int;
+  completions : float array; (* ring of the last [size] completion times *)
+  mutable count : int;       (* total items ever pushed *)
+  mutable last_completion : float;
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Tsq.create: size must be positive";
+  { size; completions = Array.make size 0.0; count = 0; last_completion = 0.0 }
+
+(** [push t ~ready ~service] returns [(admit, completion)]:
+    [admit >= ready] is when a slot frees up (equals [ready] unless the
+    queue is full of unfinished work), and
+    [completion = max(admit, previous completion) + service]. *)
+let push t ~ready ~service =
+  let admit =
+    if t.count < t.size then ready
+    else
+      (* slot of the item [size] pushes ago must have completed *)
+      let oldest = t.completions.(t.count mod t.size) in
+      Float.max ready oldest
+  in
+  let completion = Float.max admit t.last_completion +. service in
+  t.completions.(t.count mod t.size) <- completion;
+  t.count <- t.count + 1;
+  t.last_completion <- completion;
+  (admit, completion)
+
+let last_completion t = t.last_completion
+
+(** Entries still in flight (completion after [now]); capped at [size]. *)
+let occupancy t ~now =
+  let n = min t.count t.size in
+  let occ = ref 0 in
+  for i = 0 to n - 1 do
+    if t.completions.(i) > now then incr occ
+  done;
+  !occ

@@ -1,0 +1,20 @@
+(** Bounded FIFO timestamp queue — the simulator's workhorse.
+
+    Hardware queues (WPQ, write buffers) are modeled as a single-server
+    FIFO with [size] slots: an item becoming ready at time r is admitted
+    once a slot frees (backpressure), then completes after the in-order
+    service of everything ahead of it. Only timestamps are stored. *)
+
+type t
+
+val create : size:int -> t
+
+(** [(admit, completion)]: [admit >= ready] (delayed while all slots hold
+    unfinished work); [completion = max(admit, previous completion) +
+    service]. *)
+val push : t -> ready:float -> service:float -> float * float
+
+val last_completion : t -> float
+
+(** Entries still in flight at [now]; at most [size]. *)
+val occupancy : t -> now:float -> int

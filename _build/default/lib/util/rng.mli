@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the repository — workload address streams,
+    crash-injection points, fuzzed program shapes — goes through this
+    module, so simulations and experiments are bit-reproducible across
+    runs and machines. *)
+
+type t
+
+(** A fresh generator; equal seeds give equal streams. *)
+val create : int -> t
+
+(** An independent copy continuing from the same state. *)
+val copy : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** Uniform value in [0, bound). Raises [Invalid_argument] on
+    non-positive bounds. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Skewed index in [0, bound): small indices are much more likely; used
+    to synthesize workloads with temporal locality. *)
+val skewed : t -> int -> int
+
+(** Uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

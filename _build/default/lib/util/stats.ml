@@ -1,0 +1,51 @@
+(** Small numeric helpers used when aggregating simulation results.
+
+    The paper reports per-suite and overall geometric means of normalized
+    slowdowns; [gmean] is the workhorse. *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(** Geometric mean. All inputs must be positive. *)
+let gmean = function
+  | [] -> nan
+  | xs ->
+    let n = List.length xs in
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.gmean: non-positive input";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (sum_logs /. float_of_int n)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+(** Accumulator for streaming averages (e.g. queue occupancy sampled every
+    event). *)
+module Acc = struct
+  type t = { mutable sum : float; mutable count : int }
+
+  let create () = { sum = 0.0; count = 0 }
+  let add t v =
+    t.sum <- t.sum +. v;
+    t.count <- t.count + 1
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let count t = t.count
+end

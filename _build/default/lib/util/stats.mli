@@ -1,0 +1,24 @@
+(** Numeric helpers for aggregating simulation results. *)
+
+(** Arithmetic mean; [nan] on the empty list. *)
+val mean : float list -> float
+
+(** Geometric mean — the paper's aggregate for normalized slowdowns.
+    Raises [Invalid_argument] on non-positive inputs; [nan] when empty. *)
+val gmean : float list -> float
+
+(** Sample standard deviation (0 for fewer than two points). *)
+val stddev : float list -> float
+
+(** Smallest and largest element; raises [Invalid_argument] when empty. *)
+val min_max : float list -> float * float
+
+(** Streaming average accumulator (e.g. queue occupancy sampling). *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val mean : t -> float
+  val count : t -> int
+end

@@ -1,0 +1,56 @@
+(** Plain-text table rendering for experiment output.
+
+    Every figure/table reproduced in [bench/main.ml] prints through this
+    module so the output stays aligned and diffable. *)
+
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+(** [render ~headers rows] renders rows of string cells under [headers].
+    The first column is left-aligned, the rest right-aligned (numeric). *)
+let render ~headers rows =
+  let ncols = List.length headers in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg "Table.render: ragged row")
+    rows;
+  let widths = Array.make ncols 0 in
+  let scan row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  scan headers;
+  List.iter scan rows;
+  let align_of i = if i = 0 then Left else Right in
+  let line row =
+    row
+    |> List.mapi (fun i cell -> pad (align_of i) widths.(i) cell)
+    |> String.concat "  "
+  in
+  let sep =
+    Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "  "
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ~headers rows = print_string (render ~headers rows)
+
+(** Format a float like the paper's normalized-slowdown axes: [1.06]. *)
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let int i = string_of_int i

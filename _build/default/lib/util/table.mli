@@ -1,0 +1,20 @@
+(** Plain-text table rendering for experiment output. *)
+
+type align = Left | Right
+
+(** Pad [s] to [width] with the given alignment. *)
+val pad : align -> int -> string -> string
+
+(** Render rows of string cells under [headers]: first column
+    left-aligned, the rest right-aligned. Raises [Invalid_argument] on
+    ragged rows. *)
+val render : headers:string list -> string list list -> string
+
+(** [render] straight to stdout. *)
+val print : headers:string list -> string list list -> unit
+
+(** Common numeric cell formats. *)
+val f2 : float -> string
+
+val f3 : float -> string
+val int : int -> string

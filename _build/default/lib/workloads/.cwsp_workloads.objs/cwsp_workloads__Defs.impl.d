@@ -1,0 +1,1 @@
+lib/workloads/defs.ml: Builder Cwsp_ir Cwsp_runtime List Prog

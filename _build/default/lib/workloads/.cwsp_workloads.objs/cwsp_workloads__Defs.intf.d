@@ -1,0 +1,1 @@
+lib/workloads/defs.mli: Builder Cwsp_ir Prog

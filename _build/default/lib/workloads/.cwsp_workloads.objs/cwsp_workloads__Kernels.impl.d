@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Builder Cwsp_ir List

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Defs List Printf W_cpu2006 W_cpu2017 W_miniapps W_splash3 W_stamp W_whisper

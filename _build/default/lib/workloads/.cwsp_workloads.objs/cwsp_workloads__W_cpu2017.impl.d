@@ -1,0 +1,1 @@
+lib/workloads/w_cpu2017.ml: Cwsp_ir Defs Kernels

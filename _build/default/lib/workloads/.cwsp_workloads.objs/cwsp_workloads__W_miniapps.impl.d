@@ -1,0 +1,1 @@
+lib/workloads/w_miniapps.ml: Cwsp_ir Defs Kernels

@@ -1,0 +1,1 @@
+lib/workloads/w_parallel.ml: Builder Cwsp_ir Cwsp_runtime Defs Kernels List Prog Types

@@ -1,0 +1,1 @@
+lib/workloads/w_splash3.ml: Cwsp_ir Defs Kernels

@@ -1,0 +1,1 @@
+lib/workloads/w_stamp.ml: Cwsp_ir Defs Kernels

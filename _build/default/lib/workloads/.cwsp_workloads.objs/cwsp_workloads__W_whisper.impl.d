@@ -1,0 +1,1 @@
+lib/workloads/w_whisper.ml: Cwsp_ir Defs Kernels

@@ -1,0 +1,60 @@
+(** Workload definitions: the entry type and the shared program scaffold.
+
+    One entry per application evaluated in the paper (Fig. 13 x-axis).
+    [build ~scale] produces a whole program: the application's [main] plus
+    the runtime library and kernel substrate, so every trace exercises
+    user code, libc and the syscall path — the whole-system story. *)
+
+open Cwsp_ir
+
+type suite = Cpu2006 | Cpu2017 | Miniapps | Splash3 | Whisper | Stamp
+
+let suite_name = function
+  | Cpu2006 -> "CPU2006"
+  | Cpu2017 -> "CPU2017"
+  | Miniapps -> "Mini-apps"
+  | Splash3 -> "SPLASH3"
+  | Whisper -> "WHISPER"
+  | Stamp -> "STAMP"
+
+let all_suites = [ Cpu2006; Cpu2017; Miniapps; Splash3; Whisper; Stamp ]
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  memory_intensive : bool;
+    (* member of the Fig. 1 / 17 / 18 memory-intensive subset *)
+  build : scale:int -> Prog.t;
+}
+
+let checksum_global = "checksum"
+
+(** Standard program scaffold: runtime + kernel + a main built by [body].
+    [body] must leave the current block unterminated; a final syscall
+    writes the checksum through the kernel path and the program returns —
+    so even compute-only workloads cross the user/kernel boundary. *)
+let scaffold ~globals ~body () : Prog.t =
+  let b = Builder.program () in
+  Cwsp_runtime.Libc.add b;
+  Cwsp_runtime.Kernel.add b;
+  Builder.global b checksum_global ~size:64 ();
+  List.iter (fun f -> f b) globals;
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      body fb;
+      let open Builder in
+      let ck = la fb checksum_global in
+      let r =
+        call fb "entry_syscall_64"
+          [ Imm Cwsp_runtime.Kernel.sys_write_no; Reg ck; Imm 2 ]
+      in
+      call_void fb "__out" [ Reg r ];
+      ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b
+
+(** Global of [size] bytes. *)
+let g name size b = Builder.global b name ~size ()
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024

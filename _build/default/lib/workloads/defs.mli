@@ -1,0 +1,35 @@
+(** Workload definitions: the registry entry type and the shared program
+    scaffold (runtime + kernel + a generated [main] that finishes by
+    pushing its checksum through the syscall path — every workload
+    crosses the user/kernel boundary). *)
+
+open Cwsp_ir
+
+type suite = Cpu2006 | Cpu2017 | Miniapps | Splash3 | Whisper | Stamp
+
+val suite_name : suite -> string
+val all_suites : suite list
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  memory_intensive : bool; (** member of the Fig. 1/17/18 subset *)
+  build : scale:int -> Prog.t;
+}
+
+val checksum_global : string
+
+(** Build a whole program around [body] (which must leave its final block
+    unterminated). *)
+val scaffold :
+  globals:(Builder.t -> unit) list ->
+  body:(Builder.fb -> unit) ->
+  unit ->
+  Prog.t
+
+(** Declare a plain global of [size] bytes. *)
+val g : string -> int -> Builder.t -> unit
+
+val kib : int -> int
+val mib : int -> int

@@ -1,0 +1,21 @@
+(** The assembled workload registry: 38 applications across six suites
+    (the paper's Section IX counts "37 applications"; its figures list 38
+    names — we implement everything the figures show and note the
+    discrepancy in EXPERIMENTS.md). *)
+
+let all : Defs.t list =
+  W_cpu2006.apps @ W_cpu2017.apps @ W_miniapps.apps @ W_splash3.apps
+  @ W_whisper.apps @ W_stamp.apps
+
+let find name = List.find_opt (fun (w : Defs.t) -> w.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "unknown workload %S" name)
+
+let by_suite suite = List.filter (fun (w : Defs.t) -> w.suite = suite) all
+
+let memory_intensive = List.filter (fun (w : Defs.t) -> w.memory_intensive) all
+
+let names = List.map (fun (w : Defs.t) -> w.name) all

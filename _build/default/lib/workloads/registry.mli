@@ -1,0 +1,17 @@
+(** The assembled workload registry: 38 applications across six suites
+    (the paper's Section IX says "37 applications"; its figures list 38
+    names — all 38 are implemented; see EXPERIMENTS.md). *)
+
+val all : Defs.t list
+
+val find : string -> Defs.t option
+
+(** Raises [Invalid_argument] on unknown names. *)
+val find_exn : string -> Defs.t
+
+val by_suite : Defs.suite -> Defs.t list
+
+(** The Fig. 1 / 17 / 18 memory-intensive subset. *)
+val memory_intensive : Defs.t list
+
+val names : string list

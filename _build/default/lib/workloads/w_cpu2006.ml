@@ -1,0 +1,198 @@
+(** SPEC CPU2006 stand-ins (10 applications, Fig. 13 left group).
+
+    Footprints and read/write mixes follow each benchmark's published
+    memory character: [lbm]/[libquantum]/[milc] stream arrays larger than
+    the LLC SRAM (high L1D miss rate — the paper quotes 22% for 470.lbm),
+    [astar] does irregular search over a large map, while
+    [gobmk]/[sjeng]/[namd] are compute-bound with small working sets.
+    "Large" is relative to the scaled hierarchy in [Cwsp_sim.Config]
+    (16KB L1D / 256KB LLC SRAM / 64MB DRAM cache). *)
+
+open Cwsp_ir.Builder
+open Defs
+open Kernels
+
+let app name ?(mem = false) description build =
+  { name; suite = Cpu2006; description; memory_intensive = mem; build }
+
+let astar =
+  app "astar" ~mem:true "irregular grid search over a large map"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "grid" (mib 2) ]
+        ~body:(fun fb ->
+          let grid = la fb "grid" in
+          let acc =
+            random_access fb ~arr:grid ~n_words:(mib 2 / 8)
+              ~iters:(5000 * scale) ~write_every:6 ~alu:6 ()
+          in
+          (* repeated open-list/frontier rescans: the reuse that a DRAM
+             cache captures *)
+          for _round = 1 to 2 do
+            let _ =
+              sweep fb ~src:grid ~dst:grid ~n:(8192 * scale) ~stride_words:8
+                ~write_every:12 ~alu:3
+            in
+            ()
+          done;
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let bzip2 =
+  app "bzip2" "byte-frequency counting plus table sweeps" (fun ~scale ->
+      scaffold
+        ~globals:[ g "freq" (kib 32); g "data" (kib 64) ]
+        ~body:(fun fb ->
+          let freq = la fb "freq" in
+          let data = la fb "data" in
+          histogram fb ~bins:freq ~n_bins:(kib 32 / 8) ~iters:(3000 * scale) ~alu:6 ();
+          let acc =
+            sweep fb ~src:data ~dst:data ~n:(kib 64 / 8) ~stride_words:1
+              ~write_every:5 ~alu:4
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let gobmk =
+  app "gobmk" "compute-bound board evaluation, small working set"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "board" (kib 32) ]
+        ~body:(fun fb ->
+          let board = la fb "board" in
+          let acc = fresh fb in
+          emit fb (Cwsp_ir.Types.Mov (acc, Imm 0));
+          for _round = 1 to scale do
+            let a =
+              sweep fb ~src:board ~dst:board ~n:(kib 32 / 8) ~stride_words:1
+                ~write_every:24 ~alu:14
+            in
+            emit fb (Cwsp_ir.Types.Bin (Add, acc, Reg acc, Reg a))
+          done;
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let h264ref =
+  app "h264ref" "macroblock copies through library memcpy" (fun ~scale ->
+      scaffold
+        ~globals:[ g "frame_in" (kib 128); g "frame_out" (kib 128) ]
+        ~body:(fun fb ->
+          let src = la fb "frame_in" in
+          let dst = la fb "frame_out" in
+          block_copies fb ~src ~dst ~blocks:(24 * scale) ~block_bytes:1024;
+          stencil fb ~src:dst ~dst:src ~n:4096 ~alu:8 ();
+          let acc = load fb dst 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let lbm =
+  app "lbm" ~mem:true "lattice-Boltzmann streaming: large strided sweeps"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "lattice" (mib 4) ]
+        ~body:(fun fb ->
+          let lat = la fb "lattice" in
+          (* two rounds over 2MB: round 2 hits the DRAM cache but misses
+             the SRAM levels; every access opens a new line (high L1D
+             miss rate, as the paper notes for 470.lbm) *)
+          for _round = 1 to 2 do
+            let _ =
+              sweep fb ~src:lat ~dst:lat ~n:(8000 * scale) ~stride_words:64
+                ~write_every:2 ~alu:4
+            in
+            ()
+          done;
+          let acc = load fb lat 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let libquantum =
+  app "libquan" ~mem:true "quantum register simulation: streaming updates"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "qreg" (mib 1) ]
+        ~body:(fun fb ->
+          let qreg = la fb "qreg" in
+          for _round = 1 to 3 do
+            let _ =
+              sweep fb ~src:qreg ~dst:qreg ~n:(4000 * scale) ~stride_words:32
+                ~write_every:3 ~alu:3
+            in
+            ()
+          done;
+          let acc = load fb qreg 64 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let milc =
+  app "milc" ~mem:true "lattice QCD: streaming link-field updates"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "links" (kib 768); g "field" (kib 16); g "res" (kib 16) ]
+        ~body:(fun fb ->
+          let links = la fb "links" in
+          let field = la fb "field" in
+          let res = la fb "res" in
+          for _round = 1 to 2 do
+            let _ =
+              sweep fb ~src:links ~dst:links ~n:(6000 * scale) ~stride_words:16
+                ~write_every:4 ~alu:5
+            in
+            ()
+          done;
+          matvec fb ~mat:field ~vec:res ~out:res ~rows:16 ~cols:64;
+          let acc = load fb res 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let namd =
+  app "namd" "molecular dynamics: compute-dense small kernels" (fun ~scale ->
+      scaffold
+        ~globals:[ g "forces" (kib 32) ]
+        ~body:(fun fb ->
+          let forces = la fb "forces" in
+          let acc = fresh fb in
+          emit fb (Cwsp_ir.Types.Mov (acc, Imm 0));
+          for _round = 1 to scale do
+            let a =
+              sweep fb ~src:forces ~dst:forces ~n:(kib 32 / 8) ~stride_words:1
+                ~write_every:10 ~alu:16
+            in
+            emit fb (Cwsp_ir.Types.Bin (Add, acc, Reg acc, Reg a))
+          done;
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let sjeng =
+  app "sjeng" "game-tree search: transposition-table probes" (fun ~scale ->
+      scaffold
+        ~globals:[ g "ttable" (kib 64) ]
+        ~body:(fun fb ->
+          let tt = la fb "ttable" in
+          let acc =
+            random_access fb ~arr:tt ~n_words:(kib 64 / 8)
+              ~iters:(5000 * scale) ~write_every:12 ~alu:9 ()
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let soplex =
+  app "soplex" "simplex solver: sparse row sweeps and pivots" (fun ~scale ->
+      scaffold
+        ~globals:[ g "tableau" (kib 512); g "pivot" (kib 16) ]
+        ~body:(fun fb ->
+          let tab = la fb "tableau" in
+          let piv = la fb "pivot" in
+          let _ =
+            sweep fb ~src:tab ~dst:tab ~n:(4000 * scale) ~stride_words:16
+              ~write_every:16 ~alu:5
+          in
+          let acc =
+            sweep fb ~src:piv ~dst:piv ~n:(kib 16 / 8) ~stride_words:1
+              ~write_every:2 ~alu:3
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let apps =
+  [ astar; bzip2; gobmk; h264ref; lbm; libquantum; milc; namd; sjeng; soplex ]

@@ -1,0 +1,110 @@
+(** SPEC CPU2017 stand-ins (7 applications, Fig. 13 second group). *)
+
+open Cwsp_ir.Builder
+open Defs
+open Kernels
+
+let app name ?(mem = false) description build =
+  { name; suite = Cpu2017; description; memory_intensive = mem; build }
+
+let dsjeng =
+  app "dsjeng" "deep game-tree search: hash probes, compute-dense"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "ttable" (kib 96) ]
+        ~body:(fun fb ->
+          let tt = la fb "ttable" in
+          let acc =
+            random_access fb ~arr:tt ~n_words:(kib 96 / 8)
+              ~iters:(5000 * scale) ~write_every:16 ~alu:11 ()
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let imagick =
+  app "imagick" "image convolution passes plus buffer copies" (fun ~scale ->
+      scaffold
+        ~globals:[ g "img_a" (kib 256); g "img_b" (kib 256) ]
+        ~body:(fun fb ->
+          let a = la fb "img_a" in
+          let b = la fb "img_b" in
+          stencil fb ~src:a ~dst:b ~n:(6000 * scale) ~stride_words:4 ~alu:9 ();
+          block_copies fb ~src:b ~dst:a ~blocks:10 ~block_bytes:2048;
+          let acc = load fb b 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let lbm17 =
+  app "lbm17" ~mem:true "CPU2017 lattice-Boltzmann: larger streaming"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "lattice17" (mib 4) ]
+        ~body:(fun fb ->
+          let lat = la fb "lattice17" in
+          for _round = 1 to 2 do
+            let _ =
+              sweep fb ~src:lat ~dst:lat ~n:(7000 * scale) ~stride_words:64
+                ~write_every:2 ~alu:5
+            in
+            ()
+          done;
+          let acc = load fb lat 128 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let leela =
+  app "leela" "Monte-Carlo tree search: small-table probes" (fun ~scale ->
+      scaffold
+        ~globals:[ g "tree" (kib 64) ]
+        ~body:(fun fb ->
+          let tree = la fb "tree" in
+          let acc =
+            random_access fb ~arr:tree ~n_words:(kib 64 / 8)
+              ~iters:(4500 * scale) ~write_every:10 ~alu:12 ()
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let nab =
+  app "nab" "molecular modeling: medium matrix kernels" (fun ~scale ->
+      scaffold
+        ~globals:[ g "coords" (kib 128); g "vecn" (kib 8); g "outn" (kib 8) ]
+        ~body:(fun fb ->
+          let m = la fb "coords" in
+          let v = la fb "vecn" in
+          let o = la fb "outn" in
+          matvec fb ~mat:m ~vec:v ~out:o ~rows:(16 * scale) ~cols:1024;
+          let acc = load fb o 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let namd17 =
+  app "namd17" "molecular dynamics: compute-dense small kernels"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "forces17" (kib 48) ]
+        ~body:(fun fb ->
+          let forces = la fb "forces17" in
+          let acc =
+            sweep fb ~src:forces ~dst:forces ~n:(kib 48 / 8) ~stride_words:1
+              ~write_every:12 ~alu:(14 + (2 * scale))
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let xz =
+  app "xz" "LZMA-style match counting and dictionary updates" (fun ~scale ->
+      scaffold
+        ~globals:[ g "dict" (kib 64); g "stream" (kib 128) ]
+        ~body:(fun fb ->
+          let dict = la fb "dict" in
+          let streamg = la fb "stream" in
+          histogram fb ~bins:dict ~n_bins:(kib 64 / 8) ~iters:(4000 * scale) ~alu:8 ();
+          let acc =
+            sweep fb ~src:streamg ~dst:streamg ~n:(kib 128 / 8) ~stride_words:1
+              ~write_every:3 ~alu:4
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let apps = [ dsjeng; imagick; lbm17; leela; nab; namd17; xz ]

@@ -1,0 +1,55 @@
+(** DOE Mini-apps stand-ins (2 applications, Fig. 13 third group).
+
+    LULESH is the store-dense hydrodynamics stencil the paper's
+    checkpoint-pruning section (IX-B) calls out as a big winner; XSBench
+    is the classic random-table-lookup memory-latency probe (read-heavy,
+    very large footprint). Both are in the memory-intensive subset. *)
+
+open Cwsp_ir.Builder
+open Defs
+open Kernels
+
+let app name description build =
+  { name; suite = Miniapps; description; memory_intensive = true; build }
+
+let lulesh =
+  app "lulesh" "hydrodynamics stencil: one store per element update"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "nodes" (mib 2); g "elems" (mib 2) ]
+        ~body:(fun fb ->
+          let nodes = la fb "nodes" in
+          let elems = la fb "elems" in
+          for _round = 1 to 2 do
+            stencil fb ~src:nodes ~dst:elems ~n:(7000 * scale)
+              ~stride_words:32 ~alu:6 ()
+          done;
+          let acc = load fb elems 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let xsbench =
+  app "xsbench" "Monte-Carlo cross-section lookups: random reads over a huge table"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "xs_table" (mib 4) ]
+        ~body:(fun fb ->
+          let table = la fb "xs_table" in
+          (* unionized-energy-grid walks: strided passes over a 1MB hot
+             band of the table, repeated per batch of particles *)
+          let hot = ref 0 in
+          for _round = 1 to 2 do
+            hot :=
+              sweep fb ~src:table ~dst:table ~n:(8192 * scale)
+                ~stride_words:16 ~write_every:0 ~alu:4
+          done;
+          (* plus genuinely random lookups across the whole table *)
+          let acc =
+            random_access fb ~arr:table ~n_words:(mib 4 / 8)
+              ~iters:(4000 * scale) ~write_every:0 ~alu:6 ()
+          in
+          let acc = bin fb Cwsp_ir.Types.Add (Reg acc) (Reg !hot) in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let apps = [ lulesh; xsbench ]

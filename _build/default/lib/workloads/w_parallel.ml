@@ -1,0 +1,171 @@
+(** SPMD multi-threaded workloads (extension: the paper evaluates on an
+    8-core machine and Section VIII describes multi-core recovery; these
+    kernels drive the multi-core interpreter and timing engine).
+
+    Each workload provides a [worker] function taking the thread id; all
+    threads share the program's globals and heap. Synchronization uses
+    the runtime's spinlock (CAS loop), whose atomics are region
+    boundaries and persist-drain points exactly as Section VIII
+    requires for DRF programs. *)
+
+open Cwsp_ir
+open Builder
+open Kernels
+
+type t = {
+  pname : string;
+  pdescription : string;
+  worker : string;
+  pbuild : scale:int -> threads:int -> Prog.t;
+}
+
+let scaffold ~globals ~worker_body () ~threads =
+  let b = Builder.program () in
+  Cwsp_runtime.Libc.add b;
+  Builder.global b "checksum" ~size:64 ();
+  List.iter (fun f -> f b) globals;
+  Builder.func b "worker" ~nparams:1 (fun fb ->
+      worker_body fb ~threads;
+      ret fb None);
+  (* single-threaded entry point so the program is also runnable and
+     validatable as an ordinary binary *)
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      call_void fb "worker" [ Imm 0 ];
+      ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b
+
+(* Each thread sweeps its own stripe of a shared array: DRF, no locks. *)
+let psweep =
+  {
+    pname = "psweep";
+    pdescription = "striped parallel array update (DRF, lock-free)";
+    worker = "worker";
+    pbuild =
+      (fun ~scale ~threads ->
+        let words = 64 * 1024 in
+        scaffold
+          ~globals:[ Defs.g "parr" (words * 8); Defs.g "pout" (words * 8) ]
+          ~worker_body:(fun fb ~threads ->
+            let tid = param fb 0 in
+            let arr = la fb "parr" in
+            let out = la fb "pout" in
+            let stripe = words / max 1 threads in
+            let base = bin fb Mul (Reg tid) (Imm (stripe * 8)) in
+            let my = bin fb Add (Reg arr) (Reg base) in
+            let my_out = bin fb Add (Reg out) (Reg base) in
+            let acc = imm fb 0 in
+            (* fixed per-thread work: more cores = more total traffic into
+               the shared WPQs; streaming (read one stripe, write the
+               other) so no antidependence cuts the loop body *)
+            let _ =
+              loop fb ~from:(Imm 0) ~below:(Imm (5000 * scale)) (fun i ->
+                  let idx = bin fb Rem (Reg i) (Imm stripe) in
+                  let off = bin fb Shl (Reg idx) (Imm 3) in
+                  let v = load fb (bin fb Add (Reg my) (Reg off)) 0 in
+                  let w = alu_chain fb v 28 in
+                  emit fb (Types.Bin (Add, acc, Reg acc, Reg w));
+                  store fb (bin fb Add (Reg my_out) (Reg off)) 0 (Reg w))
+            in
+            let ck = la fb "checksum" in
+            let slot = bin fb Add (Reg ck) (Reg (bin fb Shl (Reg tid) (Imm 3))) in
+            store fb slot 0 (Reg acc))
+          () ~threads);
+  }
+
+(* Threads increment a shared counter under the runtime spinlock; the
+   final value is exactly threads x iters iff mutual exclusion holds. *)
+let pcounter =
+  {
+    pname = "pcounter";
+    pdescription = "shared counter under a spinlock (mutual exclusion)";
+    worker = "worker";
+    pbuild =
+      (fun ~scale ~threads ->
+        scaffold
+          ~globals:[ Defs.g "pcnt" 8; Defs.g "plock" 8 ]
+          ~worker_body:(fun fb ~threads:_ ->
+            let _tid = param fb 0 in
+            let cnt = la fb "pcnt" in
+            let lock = la fb "plock" in
+            let _ =
+              loop fb ~from:(Imm 0) ~below:(Imm (400 * scale)) (fun _i ->
+                  call_void fb "spin_lock" [ Reg lock ];
+                  let v = load fb cnt 0 in
+                  store fb cnt 0 (Reg (bin fb Add (Reg v) (Imm 1)));
+                  call_void fb "spin_unlock" [ Reg lock ])
+            in
+            ())
+          () ~threads);
+  }
+
+(* Racy variant of the counter — no lock. Lost updates are expected; it
+   exists to show the interleaving is real (tests assert the deficit). *)
+let pcounter_racy =
+  {
+    pname = "pcounter-racy";
+    pdescription = "shared counter without a lock (lost updates expected)";
+    worker = "worker";
+    pbuild =
+      (fun ~scale ~threads ->
+        scaffold
+          ~globals:[ Defs.g "rcnt" 8 ]
+          ~worker_body:(fun fb ~threads:_ ->
+            let cnt = la fb "rcnt" in
+            let _ =
+              loop fb ~from:(Imm 0) ~below:(Imm (400 * scale)) (fun _i ->
+                  let v = load fb cnt 0 in
+                  store fb cnt 0 (Reg (bin fb Add (Reg v) (Imm 1))))
+            in
+            ())
+          () ~threads);
+  }
+
+(* Locked transfers between shared accounts: STAMP-flavoured contention. *)
+let ptransactions =
+  {
+    pname = "ptx";
+    pdescription = "locked account transfers with per-thread think time";
+    worker = "worker";
+    pbuild =
+      (fun ~scale ~threads ->
+        let accounts_words = 32 * 1024 in
+        scaffold
+          ~globals:[ Defs.g "paccounts" (accounts_words * 8); Defs.g "ptx_lock" 8 ]
+          ~worker_body:(fun fb ~threads:_ ->
+            let tid = param fb 0 in
+            let accounts = la fb "paccounts" in
+            let lock = la fb "ptx_lock" in
+            let seed = bin fb Add (Reg (imm fb 362436069)) (Reg tid) in
+            let _ =
+              loop fb ~from:(Imm 0) ~below:(Imm (300 * scale)) (fun _i ->
+                  let s1 = mix fb seed in
+                  emit fb (Types.Mov (seed, Reg s1));
+                  let a_idx = bin fb Rem (Reg s1) (Imm accounts_words) in
+                  let s2 = mix fb seed in
+                  emit fb (Types.Mov (seed, Reg s2));
+                  let b_idx = bin fb Rem (Reg s2) (Imm accounts_words) in
+                  call_void fb "spin_lock" [ Reg lock ];
+                  let a = bin fb Add (Reg accounts) (Reg (bin fb Mul (Reg a_idx) (Imm 8))) in
+                  let b' = bin fb Add (Reg accounts) (Reg (bin fb Mul (Reg b_idx) (Imm 8))) in
+                  let va = load fb a 0 in
+                  let vb = load fb b' 0 in
+                  let amount = bin fb And (Reg s2) (Imm 255) in
+                  store fb a 0 (Reg (bin fb Sub (Reg va) (Reg amount)));
+                  store fb b' 0 (Reg (bin fb Add (Reg vb) (Reg amount)));
+                  call_void fb "spin_unlock" [ Reg lock ];
+                  (* live think time: feeds the next iteration's seed *)
+                  let t0 = bin fb Add (Reg s2) (Imm 1) in
+                  let th = alu_chain fb t0 160 in
+                  emit fb (Types.Mov (seed, Reg (bin fb Xor (Reg seed) (Reg th)))))
+            in
+            ())
+          () ~threads);
+  }
+
+let all = [ psweep; pcounter; pcounter_racy; ptransactions ]
+
+let find_exn name =
+  match List.find_opt (fun w -> w.pname = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("unknown parallel workload " ^ name)

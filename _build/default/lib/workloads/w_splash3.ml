@@ -1,0 +1,177 @@
+(** SPLASH3 stand-ins (10 applications, Fig. 13 fourth group).
+
+    The paper singles this suite out: short executions with good data
+    locality (low L1D miss rates, ~2%) but many sequential/repeated
+    writes, which pressure the persist path and make SPLASH3 the
+    worst-overhead suite for every scheme (Sections IX-A, IX-H, IX-L).
+    Accordingly these kernels are store-dense (a store every iteration)
+    over SRAM-resident footprints. *)
+
+open Cwsp_ir.Builder
+open Defs
+open Kernels
+
+let app name ?(mem = false) description build =
+  { name; suite = Splash3; description; memory_intensive = mem; build }
+
+let cholesky =
+  app "cholesky" "blocked factorization: in-place column updates"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "chol_m" (kib 64) ]
+        ~body:(fun fb ->
+          let m = la fb "chol_m" in
+          for _round = 1 to 2 * scale do
+            let _ =
+              sweep_wide fb ~arr:m ~n_groups:(kib 64 / 8 / 4) ~stride_words:1
+                ~alu:4 ~unroll:4
+            in
+            ()
+          done;
+          let acc = load fb m 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let fft =
+  app "fft" "butterfly passes: strided read-modify-write" (fun ~scale ->
+      scaffold
+        ~globals:[ g "signal" (kib 64) ]
+        ~body:(fun fb ->
+          let s = la fb "signal" in
+          for _round = 1 to 2 * scale do
+            let _ =
+              sweep_wide fb ~arr:s ~n_groups:(kib 64 / 16 / 4) ~stride_words:2
+                ~alu:5 ~unroll:4
+            in
+            ()
+          done;
+          let acc = load fb s 8 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let lu_cg =
+  app "lu-cg" "LU with contiguous blocks: dense row rewrites" (fun ~scale ->
+      scaffold
+        ~globals:[ g "lu_c" (kib 32) ]
+        ~body:(fun fb ->
+          let m = la fb "lu_c" in
+          for _round = 1 to 3 * scale do
+            let _ =
+              sweep_wide fb ~arr:m ~n_groups:(kib 32 / 8 / 4) ~stride_words:1
+                ~alu:5 ~unroll:4
+            in
+            ()
+          done;
+          let acc = load fb m 16 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let lu_ncg =
+  app "lu-ncg" "LU, non-contiguous blocks: strided rewrites" (fun ~scale ->
+      scaffold
+        ~globals:[ g "lu_n" (kib 64) ]
+        ~body:(fun fb ->
+          let m = la fb "lu_n" in
+          for _round = 1 to 3 * scale do
+            let _ =
+              sweep_wide fb ~arr:m ~n_groups:(kib 64 / 64 / 4) ~stride_words:8
+                ~alu:5 ~unroll:4
+            in
+            ()
+          done;
+          let acc = load fb m 24 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let ocean_cg =
+  app "ocg" "ocean simulation, contiguous grids: stencil rewrites"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "ocean_c" (kib 128) ]
+        ~body:(fun fb ->
+          let gr = la fb "ocean_c" in
+          for _round = 1 to 2 * scale do
+            stencil fb ~src:gr ~dst:gr ~n:4000 ~stride_words:1 ~alu:3 ()
+          done;
+          let acc = load fb gr 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let ocean_ncg =
+  app "oncg" "ocean simulation, non-contiguous grids" (fun ~scale ->
+      scaffold
+        ~globals:[ g "ocean_n" (kib 256) ]
+        ~body:(fun fb ->
+          let gr = la fb "ocean_n" in
+          for _round = 1 to 2 * scale do
+            stencil fb ~src:gr ~dst:gr ~n:4000 ~stride_words:4 ~alu:3 ()
+          done;
+          let acc = load fb gr 32 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let radix =
+  app "radix" "radix sort counting passes: dense bin increments"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "radix_bins" (kib 16) ]
+        ~body:(fun fb ->
+          let bins = la fb "radix_bins" in
+          histogram fb ~bins ~n_bins:(kib 16 / 8) ~iters:(8000 * scale) ~alu:12 ();
+          let acc = load fb bins 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let raytrace =
+  app "raytrace" "ray-object intersections: irregular reads, rare writes"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "scene" (kib 128) ]
+        ~body:(fun fb ->
+          let scene = la fb "scene" in
+          let acc =
+            random_access fb ~arr:scene ~n_words:(kib 128 / 8)
+              ~iters:(5000 * scale) ~write_every:8 ~alu:10 ()
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let water_ns =
+  app "water-ns" "N-squared molecular interactions: repeated force writes"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "wns" (kib 16) ]
+        ~body:(fun fb ->
+          let w = la fb "wns" in
+          for _round = 1 to 6 * scale do
+            let _ =
+              sweep_wide fb ~arr:w ~n_groups:(kib 16 / 8 / 4) ~stride_words:1
+                ~alu:6 ~unroll:4
+            in
+            ()
+          done;
+          let acc = load fb w 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let water_sp =
+  app "water-sp" "spatial molecular interactions: repeated cell writes"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "wsp" (kib 32) ]
+        ~body:(fun fb ->
+          let w = la fb "wsp" in
+          for _round = 1 to 4 * scale do
+            let _ =
+              sweep_wide fb ~arr:w ~n_groups:(kib 32 / 8 / 4) ~stride_words:1
+                ~alu:8 ~unroll:4
+            in
+            ()
+          done;
+          let acc = load fb w 8 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let apps =
+  [ cholesky; fft; lu_cg; lu_ncg; ocean_cg; ocean_ncg; radix; raytrace;
+    water_ns; water_sp ]

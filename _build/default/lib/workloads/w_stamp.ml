@@ -1,0 +1,59 @@
+(** STAMP stand-ins (3 applications, Fig. 13 last group): transactional
+    workloads whose critical sections are bounded by atomics — which the
+    cWSP compiler treats as region boundaries and the hardware as
+    persist-drain points (Section VIII). *)
+
+open Cwsp_ir.Builder
+open Defs
+open Kernels
+
+let app name ?(mem = false) description build =
+  { name; suite = Stamp; description; memory_intensive = mem; build }
+
+let kmeans =
+  app "kmeans" "clustering: distance kernels plus locked centroid updates"
+    (fun ~scale ->
+      scaffold
+        ~globals:
+          [ g "points" (kib 128); g "centroids" (kib 8); g "km_lock" 8 ]
+        ~body:(fun fb ->
+          let pts = la fb "points" in
+          let cent = la fb "centroids" in
+          let _ =
+            sweep fb ~src:pts ~dst:cent ~n:(kib 8 / 8) ~stride_words:1
+              ~write_every:4 ~alu:10
+          in
+          transactions fb ~accounts:cent ~n_accounts:(kib 8 / 8)
+            ~lock_g:"km_lock" ~iters:(300 * scale) ~work:16 ~think:280 ();
+          let acc = load fb cent 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let ssca2 =
+  app "ssca2" "graph kernel: scattered edge-weight read-modify-writes"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "edges" (mib 1) ]
+        ~body:(fun fb ->
+          let edges = la fb "edges" in
+          let acc =
+            random_access fb ~arr:edges ~n_words:(mib 1 / 8)
+              ~iters:(5000 * scale) ~write_every:1 ~alu:4 ()
+          in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let vacation =
+  app "vacation" "reservation system: medium locked transactions"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "reservations" (kib 512); g "vac_lock" 8 ]
+        ~body:(fun fb ->
+          let accounts = la fb "reservations" in
+          transactions fb ~accounts ~n_accounts:(kib 512 / 8)
+            ~lock_g:"vac_lock" ~iters:(450 * scale) ~work:12 ~think:220 ();
+          let acc = load fb accounts 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let apps = [ kmeans; ssca2; vacation ]

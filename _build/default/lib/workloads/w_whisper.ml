@@ -1,0 +1,115 @@
+(** WHISPER stand-ins (6 applications, Fig. 13 fifth group; the figure
+    labels them p, c, rb, sps, tatp, tpcc).
+
+    WHISPER is the persistent-memory application suite: allocator-heavy
+    pointer structures and transactional updates with high write density.
+    The paper modified the suite's inputs to stress the DRAM cache
+    (Section IX), so these are in the memory-intensive subset. *)
+
+open Cwsp_ir.Builder
+open Defs
+open Kernels
+
+let app name description build =
+  { name; suite = Whisper; description; memory_intensive = true; build }
+
+let p =
+  app "p" "pmemlog-style append-only log: sequential persistent writes"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "plog" (mib 1) ]
+        ~body:(fun fb ->
+          let log = la fb "plog" in
+          for _round = 1 to 2 do
+            let _ =
+              sweep_wide fb ~arr:log ~n_groups:(4000 * scale) ~stride_words:8
+                ~alu:3 ~unroll:4
+            in
+            ()
+          done;
+          let acc = load fb log 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let c =
+  app "c" "ctree: allocator-built linked structure, insert-then-traverse"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "ctree_head" 8 ]
+        ~body:(fun fb ->
+          list_build fb ~head_g:"ctree_head" ~n:(4000 * scale) ~node_bytes:128 ();
+          let acc = list_chase fb ~head_g:"ctree_head" ~rounds:3 ~write_every:8 ~alu:8 () in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let rb =
+  app "rb" "rbtree: pointer-chasing updates over heap nodes" (fun ~scale ->
+      scaffold
+        ~globals:[ g "rb_head" 8 ]
+        ~body:(fun fb ->
+          list_build fb ~head_g:"rb_head" ~n:(5000 * scale) ~node_bytes:192 ();
+          let acc = list_chase fb ~head_g:"rb_head" ~rounds:3 ~write_every:4 ~alu:6 () in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let sps =
+  app "sps" "random swaps: two loads + two stores per operation"
+    (fun ~scale ->
+      scaffold
+        ~globals:[ g "sps_arr" (mib 1) ]
+        ~body:(fun fb ->
+          let arr = la fb "sps_arr" in
+          swaps fb ~arr ~n_words:(mib 1 / 8) ~iters:(9000 * scale)
+            ~hot_words:(768 * 1024 / 8) ();
+          let acc = load fb arr 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let tatp =
+  app "tatp" "telecom transactions: short locked updates" (fun ~scale ->
+      scaffold
+        ~globals:[ g "subscribers" (kib 512); g "tatp_lock" 8 ]
+        ~body:(fun fb ->
+          let accounts = la fb "subscribers" in
+          transactions fb ~accounts ~n_accounts:(kib 512 / 8)
+            ~lock_g:"tatp_lock" ~iters:(600 * scale) ~work:8 ~think:200 ();
+          (* read-mostly subscriber scans between transaction batches *)
+          for _round = 1 to 2 do
+            let _ =
+              sweep fb ~src:accounts ~dst:accounts ~n:(8192 * scale)
+                ~stride_words:8 ~write_every:0 ~alu:2
+            in
+            ()
+          done;
+          let acc = load fb accounts 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let tpcc =
+  app "tpcc" "OLTP new-order mix: locked transfers plus an order log"
+    (fun ~scale ->
+      scaffold
+        ~globals:
+          [ g "warehouse" (mib 1); g "tpcc_lock" 8; g "order_log" (kib 256) ]
+        ~body:(fun fb ->
+          let accounts = la fb "warehouse" in
+          transactions fb ~accounts ~n_accounts:(mib 1 / 8)
+            ~lock_g:"tpcc_lock" ~iters:(450 * scale) ~work:16 ~think:200 ();
+          (* order-status scans over the warehouse *)
+          for _round = 1 to 2 do
+            let _ =
+              sweep fb ~src:accounts ~dst:accounts ~n:(8192 * scale)
+                ~stride_words:16 ~write_every:0 ~alu:2
+            in
+            ()
+          done;
+          let olog = la fb "order_log" in
+          let _ =
+            sweep_wide fb ~arr:olog ~n_groups:(kib 256 / 64 / 4) ~stride_words:8
+              ~alu:3 ~unroll:4
+          in
+          let acc = load fb accounts 0 in
+          finish fb ~checksum_g:checksum_global acc)
+        ())
+
+let apps = [ p; c; rb; sps; tatp; tpcc ]

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Alias Array Builder Cfg Cwsp_analysis Cwsp_ir Fun List Liveness Loops Prog Types Validate

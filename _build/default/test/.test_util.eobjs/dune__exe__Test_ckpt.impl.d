@@ -1,0 +1,1 @@
+test/test_ckpt.ml: Alcotest Builder Cwsp_ckpt Cwsp_compiler Cwsp_idem Cwsp_interp Cwsp_ir Cwsp_workloads Hashtbl List Option Pass Prog Region_form Slice Types Validate

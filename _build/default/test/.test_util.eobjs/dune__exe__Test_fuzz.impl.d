@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Builder Cwsp_analysis Cwsp_compiler Cwsp_idem Cwsp_interp Cwsp_ir Cwsp_recovery Cwsp_runtime Cwsp_util Hashtbl List Printf Prog Rng Types Validate

@@ -1,0 +1,1 @@
+test/test_idem.ml: Alcotest Antidep Array Builder Cwsp_idem Cwsp_ir Cwsp_runtime Hitting List Prog QCheck QCheck_alcotest Region_form Types Validate

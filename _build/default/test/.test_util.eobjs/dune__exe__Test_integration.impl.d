@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Config Cwsp_compiler Cwsp_core Cwsp_experiments Cwsp_interp Cwsp_schemes Cwsp_sim Cwsp_util Cwsp_workloads List Nvm Printf Schemes Stats

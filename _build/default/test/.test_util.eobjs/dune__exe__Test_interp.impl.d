@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Cwsp_interp Cwsp_ir Event List Machine Memory QCheck QCheck_alcotest Trace Types Validate

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Cwsp_compiler Cwsp_interp Cwsp_ir Cwsp_workloads Eval List Parse Pp Prog QCheck QCheck_alcotest String Types Validate

@@ -1,0 +1,1 @@
+test/test_mp.ml: Alcotest Array Cwsp_compiler Cwsp_interp Cwsp_recovery Cwsp_sim Cwsp_workloads Hashtbl Layout Machine Memory Multi Printf Trace W_parallel

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Cwsp_analysis Cwsp_compiler Cwsp_interp Cwsp_ir Cwsp_workloads List Printf Prog Types Validate

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Cwsp_ckpt Cwsp_compiler Cwsp_core Cwsp_interp Cwsp_ir Cwsp_recovery Cwsp_runtime Cwsp_workloads List Pipeline Printf

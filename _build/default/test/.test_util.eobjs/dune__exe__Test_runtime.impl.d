@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Builder Cwsp_compiler Cwsp_idem Cwsp_interp Cwsp_ir Cwsp_recovery Cwsp_runtime List Machine Prog Types Validate

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Config Cwsp_compiler Cwsp_core Cwsp_interp Cwsp_schemes Cwsp_sim Cwsp_util Cwsp_workloads List Printf Schemes

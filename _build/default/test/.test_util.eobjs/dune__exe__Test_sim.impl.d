@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cache Config Cwsp_interp Cwsp_sim Engine Event Gen Hierarchy List QCheck QCheck_alcotest Trace Tsq

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cwsp_util Fun Gen List QCheck QCheck_alcotest Rng Stats String Table

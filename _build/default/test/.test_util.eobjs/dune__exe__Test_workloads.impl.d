@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cwsp_core Cwsp_interp Cwsp_ir Cwsp_schemes Cwsp_sim Cwsp_util Cwsp_workloads Defs List Machine Memory Printf Registry Trace Validate

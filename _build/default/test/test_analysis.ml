@@ -1,0 +1,224 @@
+(* Tests for CFG utilities, loop detection, liveness, alias analysis. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+
+(* A diamond CFG:  b0 -> (b1 | b2) -> b3 *)
+let diamond_func () =
+  let b = Builder.program () in
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let c = imm fb 1 in
+      let b1 = block fb in
+      let b2 = block fb in
+      let b3 = block fb in
+      br fb c ~ifso:b1 ~ifnot:b2;
+      switch_to fb b1;
+      let x1 = imm fb 10 in
+      call_void fb "__out" [ Reg x1 ];
+      jmp fb b3;
+      switch_to fb b2;
+      let x2 = imm fb 20 in
+      call_void fb "__out" [ Reg x2 ];
+      jmp fb b3;
+      switch_to fb b3;
+      ret fb None);
+  Builder.set_main b "main";
+  Prog.func_exn (Builder.finish b) "main"
+
+let test_predecessors () =
+  let fn = diamond_func () in
+  let preds = Cfg.predecessors fn in
+  Alcotest.(check (list int)) "entry no preds" [] preds.(0);
+  Alcotest.(check (list int)) "join has both" [ 1; 2 ] (List.sort compare preds.(3))
+
+let test_rpo_starts_at_entry () =
+  let fn = diamond_func () in
+  match Cfg.reverse_postorder fn with
+  | 0 :: rest ->
+    Alcotest.(check int) "all blocks" 3 (List.length rest);
+    Alcotest.(check bool) "join last" true (List.nth rest 2 = 3)
+  | _ -> Alcotest.fail "rpo must start at entry"
+
+let test_loop_headers () =
+  let b = Builder.program () in
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let _ = loop fb ~from:(Imm 0) ~below:(Imm 3) (fun _ -> ()) in
+      ret fb None);
+  Builder.set_main b "main";
+  let fn = Prog.func_exn (Builder.finish b) "main" in
+  let headers = Loops.headers fn in
+  let count = Array.to_list headers |> List.filter Fun.id |> List.length in
+  Alcotest.(check int) "exactly one header" 1 count;
+  Alcotest.(check bool) "entry is not a header" false headers.(0)
+
+(* ---- liveness ---- *)
+
+let test_liveness_straightline () =
+  (* r0 = param used by a store at the end; temp defined and dead quickly *)
+  let b = Builder.program () in
+  Builder.global b "gl" ~size:8 ();
+  Builder.func b "f" ~nparams:1 (fun fb ->
+      let open Builder in
+      let p = param fb 0 in
+      let t = imm fb 1 in
+      let _dead = add fb (Reg t) (Imm 2) in
+      let g = la fb "gl" in
+      store fb g 0 (Reg p);
+      ret fb None);
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      Builder.call_void fb "f" [ Types.Imm 3 ];
+      Builder.ret fb None);
+  Builder.set_main b "main";
+  let p = Builder.finish b in
+  let fn = Prog.func_exn p "f" in
+  let live = Liveness.compute fn in
+  let at_entry = Liveness.live_before live ~bi:0 ~ii:0 in
+  Alcotest.(check bool) "param live at entry" true (Liveness.IntSet.mem 0 at_entry);
+  (* after the store, nothing is live *)
+  let nblk = List.length fn.blocks.(0).instrs in
+  let at_end = Liveness.live_before live ~bi:0 ~ii:nblk in
+  Alcotest.(check int) "nothing live before ret" 0 (Liveness.IntSet.cardinal at_end)
+
+let test_liveness_across_branch () =
+  let fn = diamond_func () in
+  let live = Liveness.compute fn in
+  (* the condition register (defined by instr 0 of entry) is live before
+     the terminator of block 0 *)
+  let at_term = Liveness.live_before live ~bi:0 ~ii:1 in
+  Alcotest.(check bool) "branch condition live" true
+    (Liveness.IntSet.cardinal at_term > 0)
+
+(* ---- alias analysis ---- *)
+
+let alias_accesses_of body =
+  let b = Builder.program () in
+  Builder.global b "ga" ~size:128 ();
+  Builder.global b "gb" ~size:128 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      body fb;
+      Builder.ret fb None);
+  Builder.set_main b "main";
+  let p = Builder.finish b in
+  Validate.check_exn p;
+  Alias.accesses (Prog.func_exn p "main")
+
+let test_alias_distinct_globals () =
+  let accs =
+    alias_accesses_of (fun fb ->
+        let open Builder in
+        let a = la fb "ga" in
+        let bp = la fb "gb" in
+        let _ = load fb a 0 in
+        store fb bp 0 (Imm 1))
+  in
+  match accs with
+  | [ l; s ] ->
+    Alcotest.(check bool) "no alias across globals" false
+      (Alias.may_alias l.sym s.sym)
+  | _ -> Alcotest.fail "expected two accesses"
+
+let test_alias_same_global_same_offset () =
+  let accs =
+    alias_accesses_of (fun fb ->
+        let open Builder in
+        let a = la fb "ga" in
+        let _ = load fb a 8 in
+        store fb a 8 (Imm 1))
+  in
+  match accs with
+  | [ l; s ] ->
+    Alcotest.(check bool) "same location aliases" true (Alias.may_alias l.sym s.sym)
+  | _ -> Alcotest.fail "expected two accesses"
+
+let test_alias_same_global_distinct_offsets () =
+  let accs =
+    alias_accesses_of (fun fb ->
+        let open Builder in
+        let a = la fb "ga" in
+        let _ = load fb a 0 in
+        store fb a 8 (Imm 1))
+  in
+  match accs with
+  | [ l; s ] ->
+    Alcotest.(check bool) "provably distinct offsets" false
+      (Alias.may_alias l.sym s.sym)
+  | _ -> Alcotest.fail "expected two accesses"
+
+let test_alias_variable_offset_within () =
+  let accs =
+    alias_accesses_of (fun fb ->
+        let open Builder in
+        let a = la fb "ga" in
+        let i = imm fb 3 in
+        let idx = mul fb (Reg i) (Imm 8) in
+        let p = add fb (Reg a) (Reg idx) in
+        let _ = load fb p 0 in
+        store fb a 0 (Imm 1))
+  in
+  match accs with
+  | [ l; s ] ->
+    (* pointer arithmetic over a register: Within ga, may alias *)
+    Alcotest.(check bool) "variable offset may alias" true
+      (Alias.may_alias l.sym s.sym)
+  | _ -> Alcotest.fail "expected two accesses"
+
+let test_alias_loaded_pointer_is_any () =
+  let accs =
+    alias_accesses_of (fun fb ->
+        let open Builder in
+        let a = la fb "ga" in
+        let p = load fb a 0 in
+        (* p was loaded from memory: could point anywhere *)
+        let _ = load fb p 0 in
+        store fb a 64 (Imm 1))
+  in
+  match accs with
+  | [ _; l2; s ] ->
+    Alcotest.(check bool) "loaded pointer aliases everything" true
+      (Alias.may_alias l2.sym s.sym)
+  | _ -> Alcotest.fail "expected three accesses"
+
+let test_alias_const_offset_propagation () =
+  let accs =
+    alias_accesses_of (fun fb ->
+        let open Builder in
+        let a = la fb "ga" in
+        let p = add fb (Reg a) (Imm 16) in
+        let _ = load fb p 0 in
+        store fb a 16 (Imm 1))
+  in
+  match accs with
+  | [ l; s ] ->
+    Alcotest.(check bool) "base+16 aliases offset-16 store" true
+      (Alias.may_alias l.sym s.sym);
+    (match l.sym with
+    | Alias.Exact ("ga", 16) -> ()
+    | _ -> Alcotest.fail "expected exact resolution")
+  | _ -> Alcotest.fail "expected two accesses"
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "predecessors" `Quick test_predecessors;
+          Alcotest.test_case "rpo" `Quick test_rpo_starts_at_entry;
+          Alcotest.test_case "loop headers" `Quick test_loop_headers;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "straightline" `Quick test_liveness_straightline;
+          Alcotest.test_case "across branch" `Quick test_liveness_across_branch;
+        ] );
+      ( "alias",
+        [
+          Alcotest.test_case "distinct globals" `Quick test_alias_distinct_globals;
+          Alcotest.test_case "same global same offset" `Quick test_alias_same_global_same_offset;
+          Alcotest.test_case "distinct offsets" `Quick test_alias_same_global_distinct_offsets;
+          Alcotest.test_case "variable offset" `Quick test_alias_variable_offset_within;
+          Alcotest.test_case "loaded pointer" `Quick test_alias_loaded_pointer_is_any;
+          Alcotest.test_case "const offset propagation" `Quick test_alias_const_offset_propagation;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Tests for checkpoint insertion, Penny pruning and recovery slices,
+   including an analogue of the paper's Fig. 4(b) example. *)
+
+open Cwsp_ir
+open Cwsp_idem
+open Cwsp_ckpt
+
+let compile_func ?(prune = true) build =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:256 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      build fb;
+      Builder.ret fb None);
+  Builder.set_main b "main";
+  let p = Builder.finish b in
+  Validate.check_exn p;
+  let fn = Region_form.run_func (Prog.func_exn p "main") in
+  (Pass.run_func ~prune fn, p)
+
+let count_ckpts (fn : Prog.func) =
+  Prog.fold_instrs
+    (fun n _ _ ins -> match ins with Types.Ckpt _ -> n + 1 | _ -> n)
+    0 fn
+
+(* Fig. 4(b) analogue: a region whose three live-out registers are an
+   immediate (100), an immediate (1), and a shift over a value from an
+   earlier region. All three checkpoints must be pruned, and the recovery
+   slice must rebuild them. *)
+let test_fig4_pruning () =
+  let result, _ =
+    compile_func (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        (* Rg0: r3-equivalent defined here *)
+        let r3_src = load fb g 0 in
+        fence fb (* forces a region boundary: Rg0 | Rg1 *);
+        (* Rg1: two immediates and a shift over the earlier value *)
+        let r0 = imm fb 100 in
+        let r1 = imm fb 1 in
+        let r3 = bin fb Shl (Reg r3_src) (Imm 2) in
+        fence fb (* Rg1 | Rg2 *);
+        (* Rg2 uses all three *)
+        store fb g 8 (Reg r0);
+        store fb g 16 (Reg r1);
+        store fb g 24 (Reg r3))
+  in
+  let unpruned, _ = compile_func ~prune:false (fun fb ->
+      let open Builder in
+      let g = la fb "g" in
+      let r3_src = load fb g 0 in
+      fence fb;
+      let r0 = imm fb 100 in
+      let r1 = imm fb 1 in
+      let r3 = bin fb Shl (Reg r3_src) (Imm 2) in
+      fence fb;
+      store fb g 8 (Reg r0);
+      store fb g 16 (Reg r1);
+      store fb g 24 (Reg r3))
+  in
+  Alcotest.(check bool) "pruning removed checkpoints" true
+    (count_ckpts result.fn < count_ckpts unpruned.fn);
+  (* find a slice that rematerializes an immediate 100 *)
+  let has_imm100 =
+    Hashtbl.fold
+      (fun _ slice acc ->
+        acc
+        || List.exists
+             (fun (_, e) -> match e with Slice.EImm 100 -> true | _ -> false)
+             slice)
+      result.slices false
+  in
+  Alcotest.(check bool) "slice rebuilds the immediate" true has_imm100;
+  (* and one that applies a shift over a slot *)
+  let has_shift_over_slot =
+    Hashtbl.fold
+      (fun _ slice acc ->
+        acc
+        || List.exists
+             (fun (_, e) ->
+               match e with
+               | Slice.EBin (Types.Shl, Slice.ESlot _, Slice.EImm 2) -> true
+               | _ -> false)
+             slice)
+      result.slices false
+  in
+  Alcotest.(check bool) "slice shifts a checkpointed value" true
+    has_shift_over_slot
+
+(* Loop-invariant base pointers must not be re-checkpointed every
+   iteration: their checkpoint at the loop-header boundary is pruned via
+   rematerialization (EAddr) or inheritance. *)
+let test_loop_invariant_pointer_pruned () =
+  let result, _ =
+    compile_func (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let _ =
+          loop fb ~from:(Imm 0) ~below:(Imm 8) (fun i ->
+              let off = mul fb (Reg i) (Imm 8) in
+              let a = add fb (Reg g) (Reg off) in
+              store fb a 0 (Reg i))
+        in
+        ())
+  in
+  (* the pointer register (the La result) must not appear as a kept Ckpt
+     inside the loop header block *)
+  let addr_remat =
+    Hashtbl.fold
+      (fun _ slice acc ->
+        acc
+        || List.exists
+             (fun (_, e) -> match e with Slice.EAddr "g" -> true | _ -> false)
+             slice)
+      result.slices false
+  in
+  Alcotest.(check bool) "pointer rematerialized from @g" true addr_remat
+
+let test_induction_variable_kept () =
+  let result, _ =
+    compile_func (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let _ =
+          loop fb ~from:(Imm 0) ~below:(Imm 8) (fun i ->
+              let off = mul fb (Reg i) (Imm 8) in
+              let a = add fb (Reg g) (Reg off) in
+              store fb a 0 (Reg i))
+        in
+        ())
+  in
+  (* a loop-carried register is genuinely changing: some checkpoint stays *)
+  Alcotest.(check bool) "some checkpoint survives" true (count_ckpts result.fn > 0)
+
+let test_no_prune_keeps_all () =
+  let r, _ =
+    compile_func ~prune:false (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let v = imm fb 5 in
+        fence fb;
+        store fb g 0 (Reg v))
+  in
+  Alcotest.(check int) "kept = inserted" r.inserted r.kept;
+  Alcotest.(check int) "ckpts in code" r.inserted (count_ckpts r.fn)
+
+let test_slices_cover_live_ins () =
+  (* every slice restores at least the registers later used *)
+  let r, _ =
+    compile_func (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let a = imm fb 7 in
+        let b' = load fb g 0 in
+        fence fb;
+        store fb g 8 (Reg (add fb (Reg a) (Reg b'))))
+  in
+  (* the boundary before the last region must provide both a and b' *)
+  let some_slice_with_two =
+    Hashtbl.fold (fun _ s acc -> acc || List.length s >= 2) r.slices false
+  in
+  Alcotest.(check bool) "a two-register slice exists" true some_slice_with_two
+
+(* Functional check of slice evaluation: a slice over slots must evaluate
+   to the machine's register values when slots hold them. *)
+let test_slice_eval () =
+  let slot_tbl = Hashtbl.create 4 in
+  Hashtbl.replace slot_tbl 3 41;
+  let slot r = Option.value ~default:0 (Hashtbl.find_opt slot_tbl r) in
+  let addr_of _ = 0x1000 in
+  let e = Slice.EBin (Types.Add, Slice.ESlot 3, Slice.EImm 1) in
+  Alcotest.(check int) "slot+1" 42 (Slice.eval ~slot ~addr_of e);
+  let e2 = Slice.EBin (Types.Add, Slice.EAddr "g", Slice.EImm 8) in
+  Alcotest.(check int) "addr+8" 0x1008 (Slice.eval ~slot ~addr_of e2);
+  Alcotest.(check (list int)) "slot refs" [ 3 ] (Slice.slot_refs e)
+
+(* Checkpoint instrumentation must never change program semantics. *)
+let test_instrumentation_preserves_semantics () =
+  List.iter
+    (fun name ->
+      let w = Cwsp_workloads.Registry.find_exn name in
+      let p = w.build ~scale:1 in
+      let plain = Cwsp_interp.Machine.run_functional p in
+      let compiled =
+        Cwsp_compiler.Pipeline.compile ~config:Cwsp_compiler.Pipeline.cwsp p
+      in
+      let instrumented = Cwsp_interp.Machine.run_functional compiled.prog in
+      Alcotest.(check (list int))
+        (name ^ " outputs preserved")
+        (Cwsp_interp.Machine.outputs plain)
+        (Cwsp_interp.Machine.outputs instrumented))
+    [ "bzip2"; "radix"; "tatp" ]
+
+let () =
+  Alcotest.run "ckpt"
+    [
+      ( "pruning",
+        [
+          Alcotest.test_case "fig4 analogue" `Quick test_fig4_pruning;
+          Alcotest.test_case "loop-invariant pointer" `Quick test_loop_invariant_pointer_pruned;
+          Alcotest.test_case "induction kept" `Quick test_induction_variable_kept;
+          Alcotest.test_case "no-prune keeps all" `Quick test_no_prune_keeps_all;
+        ] );
+      ( "slices",
+        [
+          Alcotest.test_case "cover live-ins" `Quick test_slices_cover_live_ins;
+          Alcotest.test_case "evaluation" `Quick test_slice_eval;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "instrumentation neutral" `Slow
+            test_instrumentation_preserves_semantics;
+        ] );
+    ]

@@ -1,0 +1,232 @@
+(* Tests for idempotent region formation: hitting set, antidependence
+   detection, boundary placement, and the no-violations postcondition. *)
+
+open Cwsp_ir
+open Cwsp_idem
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- hitting set ---- *)
+
+let stabbed (c : int list) (itv : Hitting.interval) =
+  List.exists (fun x -> itv.lo < x && x <= itv.hi) c
+
+let prop_stab_covers_all =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 15)
+        (pair (int_range 0 30) (int_range 1 10) >|= fun (lo, len) ->
+         { Hitting.lo; hi = lo + len }))
+  in
+  QCheck.Test.make ~name:"stab covers every interval" ~count:300
+    (QCheck.make gen) (fun intervals ->
+      let cuts = Hitting.stab intervals in
+      List.for_all (stabbed cuts) intervals)
+
+let test_stab_optimal_on_overlap () =
+  (* three intervals sharing one point need exactly one cut *)
+  let intervals =
+    [ { Hitting.lo = 0; hi = 5 }; { Hitting.lo = 2; hi = 6 }; { Hitting.lo = 4; hi = 9 } ]
+  in
+  Alcotest.(check int) "single cut" 1 (List.length (Hitting.stab intervals))
+
+let test_stab_disjoint_needs_each () =
+  let intervals =
+    [ { Hitting.lo = 0; hi = 1 }; { Hitting.lo = 5; hi = 6 }; { Hitting.lo = 10; hi = 11 } ]
+  in
+  Alcotest.(check int) "three cuts" 3 (List.length (Hitting.stab intervals))
+
+(* ---- region formation on constructed functions ---- *)
+
+let compile_main ?(globals = [ ("g", 256) ]) body =
+  let b = Builder.program () in
+  List.iter (fun (n, s) -> Builder.global b n ~size:s ()) globals;
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      body fb;
+      Builder.ret fb None);
+  Builder.set_main b "main";
+  let p = Builder.finish b in
+  Validate.check_exn p;
+  Region_form.run p
+
+let count_boundaries fn = Region_form.boundary_count fn
+
+let test_entry_boundary () =
+  let p = compile_main (fun _ -> ()) in
+  let fn = Prog.func_exn p "main" in
+  (match fn.blocks.(0).instrs with
+  | Types.Boundary _ :: _ -> ()
+  | _ -> Alcotest.fail "entry boundary missing");
+  Alcotest.(check int) "exactly one" 1 (count_boundaries fn)
+
+let test_antidep_cut_in_block () =
+  (* load g[0]; store g[0] -> must be separated by a boundary *)
+  let p =
+    compile_main (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let v = load fb g 0 in
+        store fb g 0 (Reg (add fb (Reg v) (Imm 1))))
+  in
+  let fn = Prog.func_exn p "main" in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map Antidep.pair_to_string (Antidep.violations fn));
+  Alcotest.(check bool) "extra boundary inserted" true (count_boundaries fn >= 2)
+
+let test_no_cut_without_alias () =
+  (* load g[0]; store g[8]: provably disjoint, single region suffices *)
+  let p =
+    compile_main (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let v = load fb g 0 in
+        store fb g 8 (Reg v))
+  in
+  let fn = Prog.func_exn p "main" in
+  Alcotest.(check int) "only the entry boundary" 1 (count_boundaries fn)
+
+let test_loop_header_boundary () =
+  let p =
+    compile_main (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let _ =
+          loop fb ~from:(Imm 0) ~below:(Imm 4) (fun i ->
+              let off = mul fb (Reg i) (Imm 8) in
+              let a = add fb (Reg g) (Reg off) in
+              store fb a 0 (Reg i))
+        in
+        ())
+  in
+  let fn = Prog.func_exn p "main" in
+  (* entry boundary + loop header boundary at least *)
+  Alcotest.(check bool) "boundaries >= 2" true (count_boundaries fn >= 2);
+  Alcotest.(check (list string)) "clean" []
+    (List.map Antidep.pair_to_string (Antidep.violations fn))
+
+let test_sync_isolated () =
+  let p =
+    compile_main (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let v = load fb g 0 in
+        let _ = atomic_rmw fb Types.Add g 0 (Reg v) in
+        store fb g 0 (Imm 1))
+  in
+  let fn = Prog.func_exn p "main" in
+  (* the atomic gets boundaries on both sides *)
+  let instrs = fn.blocks.(0).instrs in
+  let rec check = function
+    | Types.Boundary _ :: Types.Atomic_rmw _ :: Types.Boundary _ :: _ -> true
+    | _ :: rest -> check rest
+    | [] -> false
+  in
+  Alcotest.(check bool) "atomic fenced by boundaries" true (check instrs);
+  Alcotest.(check (list string)) "clean" []
+    (List.map Antidep.pair_to_string (Antidep.violations fn))
+
+let test_call_boundary_after () =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:64 ();
+  Builder.func b "callee" ~nparams:0 (fun fb -> Builder.ret fb None);
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      call_void fb "callee" [];
+      ret fb None);
+  Builder.set_main b "main";
+  let p = Region_form.run (Builder.finish b) in
+  let fn = Prog.func_exn p "main" in
+  let instrs = fn.blocks.(0).instrs in
+  let rec check = function
+    | Types.Call _ :: Types.Boundary _ :: _ -> true
+    | _ :: rest -> check rest
+    | [] -> false
+  in
+  Alcotest.(check bool) "boundary after call" true (check instrs)
+
+let test_no_adjacent_boundaries () =
+  let p =
+    compile_main (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        fence fb;
+        fence fb;
+        store fb g 0 (Imm 1))
+  in
+  let fn = Prog.func_exn p "main" in
+  Prog.iter_instrs
+    (fun bi ii ins ->
+      match ins with
+      | Types.Boundary _ -> (
+        let blk = fn.blocks.(bi) in
+        match List.nth_opt blk.instrs (ii + 1) with
+        | Some (Types.Boundary _) -> Alcotest.fail "adjacent boundaries"
+        | _ -> ())
+      | _ -> ())
+    fn
+
+(* the checker finds a violation when boundaries are removed *)
+let test_checker_detects_removed_boundary () =
+  let p =
+    compile_main (fun fb ->
+        let open Builder in
+        let g = la fb "g" in
+        let v = load fb g 0 in
+        store fb g 0 (Reg v))
+  in
+  let fn = Prog.func_exn p "main" in
+  let stripped =
+    {
+      fn with
+      Prog.blocks =
+        Array.map
+          (fun (blk : Prog.block) ->
+            {
+              blk with
+              instrs =
+                List.filter
+                  (fun i -> match i with Types.Boundary _ -> false | _ -> true)
+                  blk.instrs;
+            })
+          fn.blocks;
+    }
+  in
+  Alcotest.(check bool) "violations reappear" true
+    (Antidep.violations stripped <> [])
+
+(* all runtime functions form cleanly *)
+let test_runtime_regions_clean () =
+  let b = Builder.program () in
+  Cwsp_runtime.Libc.add b;
+  Cwsp_runtime.Kernel.add b;
+  Builder.func b "main" ~nparams:0 (fun fb -> Builder.ret fb None);
+  Builder.set_main b "main";
+  let p = Region_form.run (Builder.finish b) in
+  List.iter
+    (fun (name, fn) ->
+      Alcotest.(check (list string)) (name ^ " clean") []
+        (List.map Antidep.pair_to_string (Antidep.violations fn)))
+    p.funcs
+
+let () =
+  Alcotest.run "idem"
+    [
+      ( "hitting",
+        [
+          qtest prop_stab_covers_all;
+          Alcotest.test_case "optimal on overlap" `Quick test_stab_optimal_on_overlap;
+          Alcotest.test_case "disjoint" `Quick test_stab_disjoint_needs_each;
+        ] );
+      ( "region-form",
+        [
+          Alcotest.test_case "entry boundary" `Quick test_entry_boundary;
+          Alcotest.test_case "antidep cut" `Quick test_antidep_cut_in_block;
+          Alcotest.test_case "no spurious cut" `Quick test_no_cut_without_alias;
+          Alcotest.test_case "loop header" `Quick test_loop_header_boundary;
+          Alcotest.test_case "sync isolated" `Quick test_sync_isolated;
+          Alcotest.test_case "call boundary" `Quick test_call_boundary_after;
+          Alcotest.test_case "no adjacent boundaries" `Quick test_no_adjacent_boundaries;
+          Alcotest.test_case "checker detects stripping" `Quick test_checker_detects_removed_boundary;
+          Alcotest.test_case "runtime library clean" `Quick test_runtime_regions_clean;
+        ] );
+    ]

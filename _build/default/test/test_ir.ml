@@ -1,0 +1,266 @@
+(* Tests for the IR: types, evaluation semantics, builder, validator. *)
+
+open Cwsp_ir
+open Types
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- uses / defs ---- *)
+
+let test_uses_defs () =
+  Alcotest.(check (list int)) "bin uses" [ 1; 2 ] (uses (Bin (Add, 0, Reg 1, Reg 2)));
+  Alcotest.(check (option int)) "bin def" (Some 0) (def (Bin (Add, 0, Reg 1, Reg 2)));
+  Alcotest.(check (list int)) "store uses" [ 3; 4 ] (uses (Store (3, 0, Reg 4)));
+  Alcotest.(check (option int)) "store no def" None (def (Store (3, 0, Reg 4)));
+  Alcotest.(check (option int)) "call ret def" (Some 7)
+    (def (Call ("f", [ Imm 1 ], Some 7)));
+  Alcotest.(check (list int)) "ckpt uses" [ 5 ] (uses (Ckpt 5));
+  Alcotest.(check bool) "atomic is sync" true (is_sync (Atomic_rmw (Add, 0, 1, 0, Imm 1)));
+  Alcotest.(check bool) "store not sync" false (is_sync (Store (0, 0, Imm 1)));
+  Alcotest.(check bool) "ckpt writes memory" true (writes_memory (Ckpt 0));
+  Alcotest.(check bool) "load reads memory" true (reads_memory (Load (0, 1, 8)))
+
+let test_term_succs () =
+  Alcotest.(check (list int)) "jmp" [ 3 ] (term_succs (Jmp 3));
+  Alcotest.(check (list int)) "br" [ 1; 2 ] (term_succs (Br (0, 1, 2)));
+  Alcotest.(check (list int)) "br same target deduped" [ 1 ] (term_succs (Br (0, 1, 1)));
+  Alcotest.(check (list int)) "ret" [] (term_succs (Ret None))
+
+(* ---- eval semantics ---- *)
+
+let test_eval_basic () =
+  Alcotest.(check int) "add" 7 (Eval.binop Add 3 4);
+  Alcotest.(check int) "sub" (-1) (Eval.binop Sub 3 4);
+  Alcotest.(check int) "div by zero total" 0 (Eval.binop Div 5 0);
+  Alcotest.(check int) "rem by zero total" 0 (Eval.binop Rem 5 0);
+  Alcotest.(check int) "div min by -1" (-min_int) (Eval.binop Div min_int (-1));
+  Alcotest.(check int) "shl" 8 (Eval.binop Shl 1 3);
+  Alcotest.(check int) "shift by 63 is zero (lsl)" 0 (Eval.binop Shl 1 63);
+  Alcotest.(check int) "ashr sign" (-1) (Eval.binop Ashr (-1) 5);
+  Alcotest.(check int) "cmp lt true" 1 (Eval.cmpop Lt 1 2);
+  Alcotest.(check int) "cmp ge false" 0 (Eval.cmpop Ge 1 2)
+
+let prop_eval_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:300
+    QCheck.(pair int int)
+    (fun (a, b) -> Eval.binop Add a b = Eval.binop Add b a)
+
+let prop_eval_sub_add_roundtrip =
+  QCheck.Test.make ~name:"a+b-b = a" ~count:300
+    QCheck.(pair int int)
+    (fun (a, b) -> Eval.binop Sub (Eval.binop Add a b) b = a)
+
+let prop_eval_cmp_total_order =
+  QCheck.Test.make ~name:"exactly one of lt/eq/gt" ~count:300
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      Eval.cmpop Lt a b + Eval.cmpop Eq a b + Eval.cmpop Gt a b = 1)
+
+(* ---- builder ---- *)
+
+let tiny_program () =
+  let b = Builder.program () in
+  Builder.global b "data" ~size:64 ~init:[ (0, 42) ] ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let p = la fb "data" in
+      let v = load fb p 0 in
+      let w = add fb (Reg v) (Imm 1) in
+      store fb p 8 (Reg w);
+      call_void fb "__out" [ Reg w ];
+      ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b
+
+let test_builder_valid () =
+  let p = tiny_program () in
+  Alcotest.(check (list string)) "validates" [] (Validate.check p)
+
+let test_builder_loop_structure () =
+  let b = Builder.program () in
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let acc = imm fb 0 in
+      let _ =
+        loop fb ~from:(Imm 0) ~below:(Imm 10) (fun i ->
+            emit fb (Bin (Add, acc, Reg acc, Reg i)))
+      in
+      call_void fb "__out" [ Reg acc ];
+      ret fb None);
+  Builder.set_main b "main";
+  let p = Builder.finish b in
+  Validate.check_exn p;
+  let m = Cwsp_interp.Machine.run_functional p in
+  Alcotest.(check (list int)) "sum 0..9" [ 45 ] (Cwsp_interp.Machine.outputs m)
+
+let test_builder_rejects_unterminated () =
+  let b = Builder.program () in
+  Alcotest.check_raises "unterminated block"
+    (Invalid_argument "Builder.func: block 0 of f not terminated") (fun () ->
+      Builder.func b "f" ~nparams:0 (fun _fb -> ()))
+
+let test_builder_rejects_double_term () =
+  let b = Builder.program () in
+  let exn = ref None in
+  (try
+     Builder.func b "f" ~nparams:0 (fun fb ->
+         Builder.ret fb None;
+         Builder.ret fb None)
+   with Invalid_argument m -> exn := Some m);
+  Alcotest.(check bool) "raised" true (!exn <> None)
+
+(* ---- validator ---- *)
+
+let test_validator_catches_bad_global () =
+  let p = tiny_program () in
+  let bad =
+    {
+      p with
+      Prog.funcs =
+        [
+          ( "main",
+            {
+              (Prog.func_exn p "main") with
+              Prog.blocks =
+                [| { Prog.instrs = [ La (0, "nonexistent") ]; term = Ret None } |];
+            } );
+        ];
+    }
+  in
+  Alcotest.(check bool) "error reported" true (Validate.check bad <> [])
+
+let test_validator_catches_bad_register () =
+  let fn =
+    {
+      Prog.name = "main";
+      nparams = 0;
+      nregs = 1;
+      blocks = [| { Prog.instrs = [ Mov (5, Imm 0) ]; term = Ret None } |];
+    }
+  in
+  let p = { Prog.globals = []; funcs = [ ("main", fn) ]; main = "main" } in
+  Alcotest.(check bool) "register out of range" true (Validate.check p <> [])
+
+let test_validator_catches_bad_label () =
+  let fn =
+    {
+      Prog.name = "main";
+      nparams = 0;
+      nregs = 1;
+      blocks = [| { Prog.instrs = []; term = Jmp 9 } |];
+    }
+  in
+  let p = { Prog.globals = []; funcs = [ ("main", fn) ]; main = "main" } in
+  Alcotest.(check bool) "label out of range" true (Validate.check p <> [])
+
+let test_validator_intrinsic_arity () =
+  let fn =
+    {
+      Prog.name = "main";
+      nparams = 0;
+      nregs = 1;
+      blocks =
+        [| { Prog.instrs = [ Call ("__out", [], None) ]; term = Ret None } |];
+    }
+  in
+  let p = { Prog.globals = []; funcs = [ ("main", fn) ]; main = "main" } in
+  Alcotest.(check bool) "arity error" true (Validate.check p <> [])
+
+(* ---- pretty-printing ---- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_smoke () =
+  let p = tiny_program () in
+  let s = Pp.program_str p in
+  Alcotest.(check bool) "mentions main" true (contains s "func main");
+  Alcotest.(check bool) "mentions global" true (contains s "global @data")
+
+(* ---- parser round-trips ---- *)
+
+let test_parse_roundtrip_tiny () =
+  let p = tiny_program () in
+  let printed = Pp.program_str p in
+  let reparsed = Parse.program printed in
+  Alcotest.(check (list string)) "reparsed validates" [] (Validate.check reparsed);
+  Alcotest.(check string) "print-parse-print fixpoint" printed
+    (Pp.program_str reparsed);
+  let m1 = Cwsp_interp.Machine.run_functional p in
+  let m2 = Cwsp_interp.Machine.run_functional reparsed in
+  Alcotest.(check (list int)) "same behaviour" (Cwsp_interp.Machine.outputs m1)
+    (Cwsp_interp.Machine.outputs m2)
+
+let test_parse_roundtrip_workloads () =
+  List.iter
+    (fun name ->
+      let w = Cwsp_workloads.Registry.find_exn name in
+      (* round-trip the *compiled* binary too: boundaries and checkpoints
+         must survive the text format *)
+      let compiled =
+        Cwsp_compiler.Pipeline.compile ~config:Cwsp_compiler.Pipeline.cwsp
+          (w.build ~scale:1)
+      in
+      let printed = Pp.program_str compiled.prog in
+      let reparsed = Parse.program printed in
+      Alcotest.(check (list string)) (name ^ " validates") []
+        (Validate.check reparsed);
+      Alcotest.(check string)
+        (name ^ " fixpoint")
+        printed
+        (Pp.program_str reparsed))
+    [ "bzip2"; "radix"; "tatp"; "c" ]
+
+let test_parse_errors () =
+  let bad line =
+    try
+      ignore (Parse.program line);
+      false
+    with Parse.Parse_error _ | Failure _ -> true
+  in
+  Alcotest.(check bool) "garbage instruction" true
+    (bad "main = m\nfunc m(0 params, 1 regs):\n.b0:\n  r0 = frobnicate 1, 2\n  ret\n");
+  Alcotest.(check bool) "no main" true (bad "global @g : 8 bytes\n");
+  Alcotest.(check bool) "unterminated block" true
+    (bad "main = m\nfunc m(0 params, 1 regs):\n.b0:\n  r0 = mov 1\n")
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "uses/defs" `Quick test_uses_defs;
+          Alcotest.test_case "term succs" `Quick test_term_succs;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "basic" `Quick test_eval_basic;
+          qtest prop_eval_add_commutes;
+          qtest prop_eval_sub_add_roundtrip;
+          qtest prop_eval_cmp_total_order;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "valid output" `Quick test_builder_valid;
+          Alcotest.test_case "loop helper" `Quick test_builder_loop_structure;
+          Alcotest.test_case "unterminated rejected" `Quick test_builder_rejects_unterminated;
+          Alcotest.test_case "double terminator rejected" `Quick test_builder_rejects_double_term;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "bad global" `Quick test_validator_catches_bad_global;
+          Alcotest.test_case "bad register" `Quick test_validator_catches_bad_register;
+          Alcotest.test_case "bad label" `Quick test_validator_catches_bad_label;
+          Alcotest.test_case "intrinsic arity" `Quick test_validator_intrinsic_arity;
+        ] );
+      ("pp", [ Alcotest.test_case "smoke" `Quick test_pp_smoke ]);
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip tiny" `Quick test_parse_roundtrip_tiny;
+          Alcotest.test_case "roundtrip compiled workloads" `Slow
+            test_parse_roundtrip_workloads;
+          Alcotest.test_case "errors rejected" `Quick test_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the timing simulator: timestamp queues, caches, hierarchy,
+   and engine-level monotonicity properties. *)
+
+open Cwsp_sim
+open Cwsp_interp
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Tsq ---- *)
+
+let prop_tsq_fifo_completions_monotone =
+  QCheck.Test.make ~name:"Tsq completions non-decreasing" ~count:200
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size (Gen.int_range 1 50)
+           (pair (float_range 0.0 100.0) (float_range 0.1 5.0))))
+    (fun (size, items) ->
+      let q = Tsq.create ~size in
+      let ready = ref 0.0 in
+      List.for_all
+        (fun (dt, service) ->
+          ready := !ready +. dt;
+          let prev = Tsq.last_completion q in
+          let _, c = Tsq.push q ~ready:!ready ~service in
+          c >= prev)
+        items)
+
+let prop_tsq_admit_after_ready =
+  QCheck.Test.make ~name:"Tsq admit >= ready" ~count:200
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size (Gen.int_range 1 50)
+           (pair (float_range 0.0 10.0) (float_range 0.1 5.0))))
+    (fun (size, items) ->
+      let q = Tsq.create ~size in
+      let ready = ref 0.0 in
+      List.for_all
+        (fun (dt, service) ->
+          ready := !ready +. dt;
+          let a, c = Tsq.push q ~ready:!ready ~service in
+          a >= !ready && c >= a +. service -. 1e-9)
+        items)
+
+let test_tsq_backpressure () =
+  (* queue of 2 with slow service: the third push must wait *)
+  let q = Tsq.create ~size:2 in
+  let _, c1 = Tsq.push q ~ready:0.0 ~service:10.0 in
+  let _ = Tsq.push q ~ready:0.0 ~service:10.0 in
+  let a3, _ = Tsq.push q ~ready:0.0 ~service:10.0 in
+  Alcotest.(check (float 1e-9)) "waits for first completion" c1 a3
+
+let test_tsq_occupancy_bounded () =
+  let q = Tsq.create ~size:4 in
+  for _ = 1 to 20 do
+    ignore (Tsq.push q ~ready:0.0 ~service:100.0)
+  done;
+  Alcotest.(check bool) "occupancy <= size" true (Tsq.occupancy q ~now:1.0 <= 4)
+
+(* ---- Cache ---- *)
+
+let test_cache_hit_after_fill () =
+  let c = Cache.create { cname = "t"; size_bytes = 1024; assoc = 2; hit_ns = 1.0 } in
+  let r1 = Cache.access c ~addr:0 ~write:false in
+  Alcotest.(check bool) "first is miss" false r1.hit;
+  let r2 = Cache.access c ~addr:8 ~write:false in
+  Alcotest.(check bool) "same line hits" true r2.hit
+
+let test_cache_dirty_eviction () =
+  (* direct-mapped 2-set cache: two lines conflicting in set 0 *)
+  let c = Cache.create { cname = "t"; size_bytes = 128; assoc = 1; hit_ns = 1.0 } in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  let r = Cache.access c ~addr:128 ~write:false in
+  Alcotest.(check (option int)) "dirty line evicted" (Some 0) r.evicted_dirty_line
+
+let test_cache_lru () =
+  (* 2-way, 1 set (128B): touch A, B, re-touch A, insert C -> B evicted *)
+  let c = Cache.create { cname = "t"; size_bytes = 128; assoc = 2; hit_ns = 1.0 } in
+  ignore (Cache.access c ~addr:0 ~write:true) (* A *);
+  ignore (Cache.access c ~addr:128 ~write:true) (* B *);
+  ignore (Cache.access c ~addr:0 ~write:false) (* refresh A *);
+  let r = Cache.access c ~addr:256 ~write:false (* C *) in
+  Alcotest.(check (option int)) "LRU (B) evicted" (Some 128) r.evicted_dirty_line;
+  let ra = Cache.access c ~addr:0 ~write:false in
+  Alcotest.(check bool) "A survives" true ra.hit
+
+let test_cache_miss_rate () =
+  let c = Cache.create { cname = "t"; size_bytes = 1024; assoc = 2; hit_ns = 1.0 } in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  Alcotest.(check (float 1e-9)) "1 of 2" 0.5 (Cache.miss_rate c)
+
+(* ---- Hierarchy ---- *)
+
+let test_hierarchy_levels () =
+  let cfg =
+    {
+      Config.default with
+      levels =
+        [
+          { cname = "l1"; size_bytes = 128; assoc = 1; hit_ns = 1.0 };
+          { cname = "l2"; size_bytes = 1024; assoc = 2; hit_ns = 10.0 };
+        ];
+    }
+  in
+  let h = Hierarchy.create cfg in
+  let o1 = Hierarchy.access h ~addr:0 ~write:false in
+  Alcotest.(check bool) "cold miss reaches memory" true o1.from_memory;
+  Alcotest.(check (float 1e-9)) "memory latency" cfg.mem.read_ns o1.latency_ns;
+  let o2 = Hierarchy.access h ~addr:0 ~write:false in
+  Alcotest.(check (float 1e-9)) "l1 hit" 1.0 o2.latency_ns;
+  (* evict addr 0 from l1 (conflict), it should then hit in l2 *)
+  ignore (Hierarchy.access h ~addr:128 ~write:false);
+  let o3 = Hierarchy.access h ~addr:0 ~write:false in
+  Alcotest.(check (float 1e-9)) "l2 hit" 10.0 o3.latency_ns
+
+(* ---- engine properties over a fixed synthetic trace ---- *)
+
+let synthetic_trace ~stores ~spread =
+  let tr = Trace.create () in
+  for i = 0 to stores - 1 do
+    Trace.push tr (Event.encode Boundary ~payload:0);
+    for _ = 1 to 6 do
+      Trace.push tr (Event.encode Alu ~payload:0)
+    done;
+    Trace.push tr (Event.encode Store ~payload:(i * 8 mod spread));
+    Trace.push tr (Event.encode Load ~payload:(i * 64 mod spread))
+  done;
+  tr
+
+let cycles cfg scheme tr = (Engine.run_trace cfg scheme tr).elapsed_ns
+
+let test_baseline_no_persist_stalls () =
+  let tr = synthetic_trace ~stores:2000 ~spread:65536 in
+  let st = Engine.run_trace Config.default Engine.Baseline tr in
+  Alcotest.(check (float 0.0)) "no pb stall" 0.0 st.stall_pb_ns;
+  Alcotest.(check (float 0.0)) "no rbt stall" 0.0 st.stall_rbt_ns;
+  Alcotest.(check int) "no nvm writes" 0 st.nvm_writes
+
+let test_cwsp_slower_than_baseline () =
+  let tr = synthetic_trace ~stores:2000 ~spread:65536 in
+  let b = cycles Config.default Engine.Baseline tr in
+  let c = cycles Config.default (Engine.Cwsp Engine.cwsp_full) tr in
+  Alcotest.(check bool) "cwsp >= baseline" true (c >= b)
+
+let test_bandwidth_monotonicity () =
+  let tr = synthetic_trace ~stores:4000 ~spread:65536 in
+  let at bw =
+    cycles
+      { Config.default with path_bandwidth_gbs = bw }
+      (Engine.Cwsp Engine.cwsp_full) tr
+  in
+  Alcotest.(check bool) "1GB/s >= 4GB/s" true (at 1.0 >= at 4.0 -. 1e-6);
+  Alcotest.(check bool) "4GB/s >= 32GB/s" true (at 4.0 >= at 32.0 -. 1e-6)
+
+let test_rbt_monotonicity () =
+  let tr = synthetic_trace ~stores:4000 ~spread:65536 in
+  let at n =
+    cycles { Config.default with rbt_entries = n } (Engine.Cwsp Engine.cwsp_full) tr
+  in
+  Alcotest.(check bool) "RBT-8 >= RBT-32" true (at 8 >= at 32 -. 1e-6)
+
+let test_wpq_monotonicity () =
+  let tr = synthetic_trace ~stores:4000 ~spread:65536 in
+  let at n =
+    cycles { Config.default with wpq_entries = n } (Engine.Cwsp Engine.cwsp_full) tr
+  in
+  Alcotest.(check bool) "WPQ-8 >= WPQ-32" true (at 8 >= at 32 -. 1e-6)
+
+let test_drain_slower_than_speculation () =
+  let tr = synthetic_trace ~stores:4000 ~spread:65536 in
+  let spec = cycles Config.default (Engine.Cwsp Engine.cwsp_full) tr in
+  let drain =
+    cycles Config.default
+      (Engine.Cwsp
+         { Engine.cwsp_full with mc_speculation = false; boundary_drain = true })
+      tr
+  in
+  Alcotest.(check bool) "MC speculation helps" true (drain >= spec)
+
+let test_ido_slower_than_cwsp () =
+  let tr = synthetic_trace ~stores:4000 ~spread:65536 in
+  let c = cycles Config.default (Engine.Cwsp Engine.cwsp_full) tr in
+  let i = cycles Config.default Engine.Ido tr in
+  Alcotest.(check bool) "ido >= cwsp" true (i >= c)
+
+let test_storage_bytes () =
+  Alcotest.(check int) "paper's 176 bytes" 176 (Engine.storage_bytes ~rbt_entries:16)
+
+let test_deterministic_replay () =
+  let tr = synthetic_trace ~stores:1000 ~spread:65536 in
+  let a = cycles Config.default (Engine.Cwsp Engine.cwsp_full) tr in
+  let b = cycles Config.default (Engine.Cwsp Engine.cwsp_full) tr in
+  Alcotest.(check (float 0.0)) "bit-identical" a b
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "tsq",
+        [
+          qtest prop_tsq_fifo_completions_monotone;
+          qtest prop_tsq_admit_after_ready;
+          Alcotest.test_case "backpressure" `Quick test_tsq_backpressure;
+          Alcotest.test_case "occupancy bounded" `Quick test_tsq_occupancy_bounded;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit after fill" `Quick test_cache_hit_after_fill;
+          Alcotest.test_case "dirty eviction" `Quick test_cache_dirty_eviction;
+          Alcotest.test_case "lru" `Quick test_cache_lru;
+          Alcotest.test_case "miss rate" `Quick test_cache_miss_rate;
+        ] );
+      ("hierarchy", [ Alcotest.test_case "levels" `Quick test_hierarchy_levels ]);
+      ( "engine",
+        [
+          Alcotest.test_case "baseline free" `Quick test_baseline_no_persist_stalls;
+          Alcotest.test_case "cwsp >= baseline" `Quick test_cwsp_slower_than_baseline;
+          Alcotest.test_case "bandwidth monotone" `Quick test_bandwidth_monotonicity;
+          Alcotest.test_case "rbt monotone" `Quick test_rbt_monotonicity;
+          Alcotest.test_case "wpq monotone" `Quick test_wpq_monotonicity;
+          Alcotest.test_case "speculation helps" `Quick test_drain_slower_than_speculation;
+          Alcotest.test_case "ido slower" `Quick test_ido_slower_than_cwsp;
+          Alcotest.test_case "rbt storage = 176B" `Quick test_storage_bytes;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_replay;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* Unit and property tests for Cwsp_util. *)
+
+open Cwsp_util
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams differ" true (xs <> ys)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"Rng.int in range" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_skewed_range =
+  QCheck.Test.make ~name:"Rng.skewed in range" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.skewed rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 7 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ---- Stats ---- *)
+
+let test_gmean_basic () =
+  Alcotest.(check (float 1e-9)) "gmean of equal" 2.0 (Stats.gmean [ 2.0; 2.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "gmean 1x4" 2.0 (Stats.gmean [ 1.0; 4.0 ])
+
+let test_gmean_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive" (Invalid_argument "Stats.gmean: non-positive input")
+    (fun () -> ignore (Stats.gmean [ 1.0; 0.0 ]))
+
+let prop_gmean_between_min_max =
+  QCheck.Test.make ~name:"gmean within [min,max]" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.01 100.0))
+    (fun xs ->
+      let g = Stats.gmean xs in
+      let lo, hi = Stats.min_max xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+let prop_mean_scale =
+  QCheck.Test.make ~name:"mean scales linearly" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range (-100.) 100.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let m2 = Stats.mean (List.map (fun x -> 2.0 *. x) xs) in
+      abs_float (m2 -. (2.0 *. m)) < 1e-6)
+
+let test_stddev () =
+  Alcotest.(check (float 1e-9)) "constant has zero stddev" 0.0
+    (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-9)) "known sample" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_acc () =
+  let a = Stats.Acc.create () in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Stats.Acc.mean a);
+  Stats.Acc.add a 1.0;
+  Stats.Acc.add a 3.0;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.Acc.mean a);
+  Alcotest.(check int) "count" 2 (Stats.Acc.count a)
+
+(* ---- Table ---- *)
+
+let test_table_alignment () =
+  let s = Table.render ~headers:[ "a"; "bb" ] [ [ "xxx"; "1" ]; [ "y"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | h :: _sep :: r1 :: r2 :: _ ->
+    Alcotest.(check int) "equal widths" (String.length h) (String.length r1);
+    Alcotest.(check int) "equal widths" (String.length h) (String.length r2)
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check bool) "contains data" true
+    (String.length s > 0)
+
+let test_table_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row")
+    (fun () -> ignore (Table.render ~headers:[ "a" ] [ [ "1"; "2" ] ]))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          qtest prop_rng_int_range;
+          qtest prop_rng_skewed_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "gmean basic" `Quick test_gmean_basic;
+          Alcotest.test_case "gmean non-positive" `Quick test_gmean_rejects_nonpositive;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "acc" `Quick test_acc;
+          qtest prop_gmean_between_min_max;
+          qtest prop_mean_scale;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "ragged rejected" `Quick test_table_ragged_rejected;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Registry-wide workload sanity: all 38 applications build, validate,
+   run to completion deterministically, and have the advertised
+   character. *)
+
+open Cwsp_ir
+open Cwsp_interp
+open Cwsp_workloads
+
+let all = Registry.all
+
+let test_registry_census () =
+  Alcotest.(check int) "38 applications" 38 (List.length all);
+  Alcotest.(check int) "CPU2006" 10 (List.length (Registry.by_suite Defs.Cpu2006));
+  Alcotest.(check int) "CPU2017" 7 (List.length (Registry.by_suite Defs.Cpu2017));
+  Alcotest.(check int) "Mini-apps" 2 (List.length (Registry.by_suite Defs.Miniapps));
+  Alcotest.(check int) "SPLASH3" 10 (List.length (Registry.by_suite Defs.Splash3));
+  Alcotest.(check int) "WHISPER" 6 (List.length (Registry.by_suite Defs.Whisper));
+  Alcotest.(check int) "STAMP" 3 (List.length (Registry.by_suite Defs.Stamp));
+  let names = Registry.names in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  Alcotest.(check bool) "find lbm" true (Registry.find "lbm" <> None);
+  Alcotest.(check bool) "find nothing" true (Registry.find "nope" = None);
+  Alcotest.check_raises "find_exn" (Invalid_argument "unknown workload \"nope\"")
+    (fun () -> ignore (Registry.find_exn "nope"))
+
+let test_all_build_and_validate () =
+  List.iter
+    (fun (w : Defs.t) ->
+      let p = w.build ~scale:1 in
+      Alcotest.(check (list string)) (w.name ^ " validates") [] (Validate.check p))
+    all
+
+let test_all_run_to_completion () =
+  List.iter
+    (fun (w : Defs.t) ->
+      let p = w.build ~scale:1 in
+      let m = Machine.create (Machine.link p) in
+      (try Machine.run ~fuel:3_000_000 m Machine.no_hooks
+       with Machine.Fuel_exhausted ->
+         Alcotest.failf "%s did not finish within fuel" w.name);
+      Alcotest.(check bool)
+        (w.name ^ " produced output")
+        true
+        (Machine.outputs m <> []))
+    all
+
+let test_deterministic () =
+  List.iter
+    (fun name ->
+      let w = Registry.find_exn name in
+      let m1 = Machine.run_functional (w.build ~scale:1) in
+      let m2 = Machine.run_functional (w.build ~scale:1) in
+      Alcotest.(check (list int)) (name ^ " deterministic") (Machine.outputs m1)
+        (Machine.outputs m2);
+      Alcotest.(check bool) (name ^ " memories equal") true
+        (Memory.equal m1.mem m2.mem))
+    [ "astar"; "radix"; "c"; "tpcc"; "kmeans" ]
+
+let test_traces_have_stores_and_syscalls () =
+  List.iter
+    (fun (w : Defs.t) ->
+      let _, tr = Machine.trace_of_program (w.build ~scale:1) in
+      let s = Trace.summarize tr in
+      Alcotest.(check bool) (w.name ^ " has stores") true (s.stores > 0);
+      Alcotest.(check bool)
+        (w.name ^ " trace is reasonably sized")
+        true
+        (s.instructions > 10_000 && s.instructions < 2_500_000))
+    all
+
+let test_scale_grows_work () =
+  let w = Registry.find_exn "sjeng" in
+  let _, t1 = Machine.trace_of_program (w.build ~scale:1) in
+  let _, t2 = Machine.trace_of_program (w.build ~scale:2) in
+  Alcotest.(check bool) "scale 2 is bigger" true
+    (Trace.length t2 > Trace.length t1)
+
+let test_memory_intensive_flags () =
+  let mi = Registry.memory_intensive in
+  Alcotest.(check bool) "subset non-trivial" true (List.length mi >= 8);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " flagged") true
+        (List.exists (fun (w : Defs.t) -> w.name = name) mi))
+    [ "lbm"; "xsbench"; "lulesh"; "tatp" ]
+
+(* the memory-intensive subset must actually miss the SRAM LLC *)
+let test_memory_intensive_behavior () =
+  List.iter
+    (fun name ->
+      let w = Registry.find_exn name in
+      let st =
+        Cwsp_core.Api.stats ~label:"test-workloads" w Cwsp_schemes.Schemes.baseline
+          Cwsp_sim.Config.default
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s llc-miss %.2f > 0.2" name st.llc_miss_rate)
+        true (st.llc_miss_rate > 0.2))
+    [ "lbm"; "xsbench"; "sps" ]
+
+(* the suite-defining characters used throughout the evaluation *)
+let test_splash3_is_store_dense () =
+  let density suite =
+    let ws = Registry.by_suite suite in
+    let per (w : Defs.t) =
+      let _, tr = Machine.trace_of_program (w.build ~scale:1) in
+      let s = Trace.summarize tr in
+      float_of_int s.stores /. float_of_int s.instructions
+    in
+    Cwsp_util.Stats.mean (List.map per ws)
+  in
+  Alcotest.(check bool) "SPLASH3 denser than CPU2006" true
+    (density Defs.Splash3 > density Defs.Cpu2006)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "census" `Quick test_registry_census;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "memory-intensive flags" `Quick test_memory_intensive_flags;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "all validate" `Slow test_all_build_and_validate;
+          Alcotest.test_case "all complete" `Slow test_all_run_to_completion;
+          Alcotest.test_case "deterministic" `Slow test_deterministic;
+          Alcotest.test_case "traces sized" `Slow test_traces_have_stores_and_syscalls;
+          Alcotest.test_case "scale grows" `Slow test_scale_grows_work;
+        ] );
+      ( "character",
+        [
+          Alcotest.test_case "memory intensity" `Slow test_memory_intensive_behavior;
+          Alcotest.test_case "splash3 store-dense" `Slow test_splash3_is_store_dense;
+        ] );
+    ]
