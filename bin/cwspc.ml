@@ -37,7 +37,7 @@ let config_of_string = function
   | s -> Error (`Msg (Printf.sprintf "unknown config %S" s))
 
 let run list workload input emit config dump_ir report slices simulate validate
-    scale =
+    scale verify =
   if list then (
     list_workloads ();
     `Ok ())
@@ -130,7 +130,25 @@ let run list workload input emit config dump_ir report slices simulate validate
               | Error e -> Printf.printf "FAIL @%d: %s\n" crash_at e
             done;
             Printf.printf "recovery validation: %d/%d crash points ok\n" !ok points);
-          `Ok ())
+          if verify then begin
+            let diags = Cwsp_verify.Verify.run compiled in
+            List.iter
+              (fun d -> print_endline (Cwsp_verify.Diag.to_string d))
+              diags;
+            let errs = Cwsp_verify.Verify.errors diags in
+            if errs <> [] then
+              `Error
+                ( false,
+                  Printf.sprintf "verification failed with %d error(s)"
+                    (List.length errs) )
+            else begin
+              Printf.printf "verify: ok (%d regions, %d warnings)\n"
+                (Pipeline.nboundaries compiled)
+                (List.length diags);
+              `Ok ()
+            end
+          end
+          else `Ok ())
 
 let cmd =
   let list =
@@ -183,11 +201,19 @@ let cmd =
   let scale =
     Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc:"Workload scale factor.")
   in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Run the static crash-consistency verifier on the compiled \
+             program; exit non-zero on any error diagnostic.")
+  in
   let term =
     Term.(
       ret
         (const run $ list $ workload $ input $ emit $ config $ dump_ir $ report
-       $ slices $ simulate $ validate $ scale))
+       $ slices $ simulate $ validate $ scale $ verify))
   in
   Cmd.v
     (Cmd.info "cwspc" ~version:"1.0"

@@ -1,0 +1,39 @@
+(** verify-all — sweep the static crash-consistency verifier over every
+    registry workload under each instrumented pipeline configuration.
+    Prints one line per (workload, config) pair and exits non-zero if any
+    error-severity diagnostic is found anywhere. *)
+
+open Cwsp_compiler
+
+let configs =
+  [ Pipeline.cwsp; Pipeline.cwsp_no_prune; Pipeline.regions_only ]
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (w : Cwsp_workloads.Defs.t) ->
+      List.iter
+        (fun config ->
+          let compiled = Pipeline.compile ~config (w.build ~scale:1) in
+          let diags = Cwsp_verify.Verify.run compiled in
+          let errs = Cwsp_verify.Verify.errors diags in
+          let warnings = List.length diags - List.length errs in
+          Printf.printf "%-12s %-14s regions=%-5d %s\n" w.name
+            (Pipeline.config_name config)
+            (Pipeline.nboundaries compiled)
+            (if errs <> [] then
+               Printf.sprintf "FAIL (%d errors)" (List.length errs)
+             else if warnings > 0 then
+               Printf.sprintf "ok (%d warnings)" warnings
+             else "ok");
+          if errs <> [] then begin
+            incr failures;
+            print_string (Cwsp_verify.Verify.report errs);
+            print_newline ()
+          end)
+        configs)
+    Cwsp_workloads.Registry.all;
+  if !failures > 0 then begin
+    Printf.eprintf "verify-all: %d failing (workload, config) pairs\n" !failures;
+    exit 1
+  end

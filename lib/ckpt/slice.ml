@@ -61,3 +61,9 @@ let rec slot_refs = function
   | EImm _ | EAddr _ -> []
   | ESlot r -> [ r ]
   | EBin (_, a, b) | ECmp (_, a, b) -> slot_refs a @ slot_refs b
+
+(** All globals an expression takes the address of. *)
+let rec expr_globals = function
+  | EImm _ | ESlot _ -> []
+  | EAddr g -> [ g ]
+  | EBin (_, a, b) | ECmp (_, a, b) -> expr_globals a @ expr_globals b

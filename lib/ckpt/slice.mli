@@ -32,3 +32,6 @@ val slot_restored : t -> Types.reg list
 
 (** All checkpoint slots an expression reads. *)
 val slot_refs : expr -> Types.reg list
+
+(** All globals an expression takes the address of. *)
+val expr_globals : expr -> string list

@@ -60,6 +60,18 @@ type compiled = {
 
 let nboundaries (c : compiled) = Array.length c.slices
 
+(* Optional post-compile hook: the verifier registers itself here so that
+   every compile in the process has its output independently checked.
+   Kept as an injection point (rather than a direct dependency) because
+   the verifier library depends on this one. *)
+let post_compile_hook : (compiled -> unit) option ref = ref None
+let set_post_compile_hook f = post_compile_hook := Some f
+let clear_post_compile_hook () = post_compile_hook := None
+
+let run_post_compile_hook c =
+  (match !post_compile_hook with Some f -> f c | None -> ());
+  c
+
 (* Renumber boundary ids globally (dense, program-wide) and rekey the
    per-function slice tables accordingly. *)
 let renumber (funcs : (string * Prog.func * (int, Slice.t) Hashtbl.t) list) :
@@ -101,6 +113,7 @@ let compile ?(config = cwsp) (p : Prog.t) : compiled =
   let p = if config.optimize then Opt.run p else p in
   Validate.check_exn p;
   if not config.region_formation then
+    run_post_compile_hook
     {
       prog = p;
       cconfig = config;
@@ -148,7 +161,9 @@ let compile ?(config = cwsp) (p : Prog.t) : compiled =
       { p with funcs = List.map (fun (f : Prog.func) -> (f.name, f)) funcs' }
     in
     Validate.check_exn prog;
-    { prog; cconfig = config; slices; boundary_owner = owners; reports = List.rev !reports }
+    run_post_compile_hook
+      { prog; cconfig = config; slices; boundary_owner = owners;
+        reports = List.rev !reports }
   end
 
 let report_to_string (c : compiled) =

@@ -49,7 +49,16 @@ type compiled = {
 (** Total region count of the compiled program. *)
 val nboundaries : compiled -> int
 
-(** Run the configured pipeline; validates before and after. *)
+(** Run the configured pipeline; validates before and after, then applies
+    the post-compile hook (if installed) to the result. *)
 val compile : ?config:config -> Prog.t -> compiled
+
+(** Install a function applied to every [compile] result — the injection
+    point the [Cwsp_verify] library uses to check each compile's output
+    without a circular library dependency. The hook may raise to reject
+    the compile. *)
+val set_post_compile_hook : (compiled -> unit) -> unit
+
+val clear_post_compile_hook : unit -> unit
 
 val report_to_string : compiled -> string

@@ -23,6 +23,9 @@ let check_func (prog : Prog.t) (fn : Prog.func) : string list =
   let check_label l =
     if l < 0 || l >= nblocks then err "%s: label %d out of range" fn.name l
   in
+  (* boundary ids key per-function recovery metadata, so a repeat would
+     make recovery restore the wrong slice *)
+  let bids = Hashtbl.create 16 in
   Array.iteri
     (fun bi (blk : Prog.block) ->
       List.iter
@@ -47,7 +50,11 @@ let check_func (prog : Prog.t) (fn : Prog.func) : string list =
                 if List.length args <> f.nparams then
                   err "%s: call to %s with %d args, expected %d" fn.name callee
                     (List.length args) f.nparams))
-          | Boundary id -> if id < 0 then err "%s: negative boundary id" fn.name
+          | Boundary id ->
+            if id < 0 then err "%s: negative boundary id" fn.name
+            else if Hashtbl.mem bids id then
+              err "%s: duplicate boundary id %d" fn.name id
+            else Hashtbl.replace bids id ()
           | Bin _ | Cmp _ | Mov _ | Load _ | Store _ | Atomic_rmw _ | Cas _
           | Fence | Ckpt _ -> ())
         blk.instrs;

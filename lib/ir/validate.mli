@@ -1,7 +1,7 @@
 (** Structural validation of IR programs: label and register ranges,
     referenced globals/functions exist, unique names, call arities,
-    boundary ids non-negative. Run after construction and after every
-    compiler pass in tests. *)
+    boundary ids non-negative and unique within their function. Run
+    after construction and after every compiler pass in tests. *)
 
 (** Intrinsics resolved by the interpreter rather than the program:
     name -> arity. [__out v] appends [v] to the machine's observable

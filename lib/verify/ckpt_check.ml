@@ -1,0 +1,143 @@
+(** Checkpoint-coverage verification (paper Sections IV-B, IV-C, VII).
+
+    Recomputes each boundary's live-in set with a fresh
+    [Cwsp_analysis.Liveness] run over the *final* (post-pruning) code and
+    proves that recovery can rebuild every live-in register: each one
+    must have a recovery-slice entry, every checkpoint slot a slice reads
+    must belong to a checkpoint instruction that survived Penny pruning,
+    slot reads must name registers whose defining checkpoint can actually
+    have executed before the boundary, and address expressions must
+    resolve against the program's globals — the three value sources of
+    Fig. 4(b), checked independently of the [Pass] that built the
+    slices. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+open Cwsp_ckpt
+module IntSetU = Set.Make (Int)
+
+(* Positions (bi, ii, id) of every boundary of the function. *)
+let boundaries_of (fn : Prog.func) =
+  Prog.fold_instrs
+    (fun acc bi ii ins ->
+      match ins with Types.Boundary id -> (bi, ii, id) :: acc | _ -> acc)
+    [] fn
+  |> List.rev
+
+(* Registers with a surviving Ckpt instruction anywhere in the function. *)
+let checkpointed_regs (fn : Prog.func) =
+  Prog.fold_instrs
+    (fun acc _ _ ins ->
+      match ins with Types.Ckpt r -> IntSetU.add r acc | _ -> acc)
+    IntSetU.empty fn
+
+let check_func ~(prog : Prog.t) ~(slices : Slice.t array)
+    ~(boundary_owner : string array) (fn : Prog.func) : Diag.t list =
+  let live = Liveness.compute fn in
+  let reachable = Cfg.reachable fn in
+  let ckpted = checkpointed_regs fn in
+  (* def positions per register, for the slot-validity check *)
+  let defs : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  Prog.iter_instrs
+    (fun bi ii ins ->
+      match Types.def ins with
+      | Some d -> Hashtbl.replace defs d ((bi, ii) :: (try Hashtbl.find defs d with Not_found -> []))
+      | None -> ())
+    fn;
+  (* block-level reachability with at least one edge, memoized per source *)
+  let reach_memo : (int, bool array) Hashtbl.t = Hashtbl.create 8 in
+  let reaches_via_edge src dst =
+    let closure =
+      match Hashtbl.find_opt reach_memo src with
+      | Some c -> c
+      | None ->
+        let c = Array.make (Array.length fn.blocks) false in
+        let rec dfs b =
+          if not c.(b) then begin
+            c.(b) <- true;
+            List.iter dfs (Cfg.successors fn b)
+          end
+        in
+        List.iter dfs (Cfg.successors fn src);
+        Hashtbl.replace reach_memo src c;
+        c
+    in
+    closure.(dst)
+  in
+  let def_reaches r ~bi ~ii =
+    match Hashtbl.find_opt defs r with
+    | None -> false
+    | Some ps ->
+      List.exists
+        (fun (dbi, dii) -> (dbi = bi && dii < ii) || reaches_via_edge dbi bi)
+        ps
+  in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun (bi, ii, id) ->
+      if
+        reachable.(bi)
+        && id >= 0
+        && id < Array.length slices
+        && boundary_owner.(id) = fn.name
+        (* out-of-range / foreign ids are Struct_check findings *)
+      then begin
+        let slice = slices.(id) in
+        (* (1) every live-in register is covered by a slice entry *)
+        Liveness.live_before live ~bi ~ii
+        |> Liveness.IntSet.iter (fun r ->
+               if not (List.mem_assoc r slice) then
+                 add
+                   (Diag.error Live_in_uncovered ~func:fn.name ~block:bi
+                      ~instr:ii
+                      "register r%d is live into region %d but its recovery \
+                       slice cannot restore it"
+                      r id));
+        List.iter
+          (fun (r, expr) ->
+            (* (2) referenced slots survived pruning *)
+            List.iter
+              (fun s ->
+                if not (IntSetU.mem s ckpted) then
+                  add
+                    (Diag.error Slot_not_checkpointed ~func:fn.name ~block:bi
+                       ~instr:ii
+                       "slice for r%d at region %d reads slot[r%d] but no \
+                        checkpoint of r%d survives pruning"
+                       r id s s)
+                else if
+                  (* (3) the slot's register can have been defined (and hence
+                     checkpointed) before the boundary runs *)
+                  s >= fn.nparams && not (def_reaches s ~bi ~ii)
+                then
+                  add
+                    (Diag.error Slot_ref_undefined ~func:fn.name ~block:bi
+                       ~instr:ii
+                       "slice for r%d at region %d reads slot[r%d], but r%d \
+                        has no definition reaching this boundary"
+                       r id s s))
+              (Slice.slot_refs expr);
+            (* (4) address expressions resolve *)
+            List.iter
+              (fun g ->
+                if Prog.find_global prog g = None then
+                  add
+                    (Diag.error Slice_unknown_global ~func:fn.name ~block:bi
+                       ~instr:ii
+                       "slice for r%d at region %d takes the address of \
+                        unknown global %s"
+                       r id g))
+              (Slice.expr_globals expr))
+          slice
+      end)
+    (boundaries_of fn);
+  List.rev !diags
+
+(** Checkpoint-coverage diagnostics for every function of a compiled
+    program that carries checkpoints. *)
+let check (compiled : Cwsp_compiler.Pipeline.compiled) : Diag.t list =
+  let { Cwsp_compiler.Pipeline.prog; slices; boundary_owner; _ } = compiled in
+  List.concat_map
+    (fun (_, fn) -> check_func ~prog ~slices ~boundary_owner fn)
+    prog.funcs

@@ -1,0 +1,21 @@
+(** Checkpoint-coverage verification (Sections IV-B, IV-C, VII):
+    recomputes per-boundary live-ins on the final code and proves every
+    live-in register is restorable from its recovery slice — slice entry
+    present, referenced checkpoint slots survive pruning and are
+    definable before the boundary, address expressions name real
+    globals. *)
+
+open Cwsp_ir
+open Cwsp_ckpt
+
+(** One function; [slices]/[boundary_owner] are the global tables of the
+    compiled program it came from. *)
+val check_func :
+  prog:Prog.t ->
+  slices:Slice.t array ->
+  boundary_owner:string array ->
+  Prog.func ->
+  Diag.t list
+
+(** Every function of a compiled program. *)
+val check : Cwsp_compiler.Pipeline.compiled -> Diag.t list

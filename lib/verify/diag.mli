@@ -1,0 +1,46 @@
+(** Structured diagnostics for the static crash-consistency verifier:
+    a rule identifier, a severity, a (function, block, instruction)
+    position and a human-readable message. *)
+
+type severity = Error | Warning
+
+type rule =
+  | Antidep               (** uncut memory antidependence (IV-A) *)
+  | Entry_boundary        (** function entry not opened by a boundary *)
+  | Loop_boundary         (** loop header without a boundary *)
+  | Sync_boundary         (** atomic/fence not isolated by boundaries *)
+  | Call_boundary         (** call site without a trailing boundary *)
+  | Live_in_uncovered     (** live-in register with no slice entry (IV-B) *)
+  | Slot_not_checkpointed (** slice slot with no surviving checkpoint (IV-C) *)
+  | Slot_ref_undefined    (** slice reads a register defined only after its boundary *)
+  | Slice_unknown_global  (** slice address expression names a missing global *)
+  | Duplicate_boundary_id
+  | Nonmonotone_boundary_id
+  | Boundary_id_range     (** id outside the slice table, or owner mismatch *)
+  | Ckpt_placement        (** checkpoint not attached to a following boundary *)
+  | Ckpt_area_store       (** user store targets the checkpoint slot region *)
+
+(** Stable kebab-case name, used by tests and the CLI. *)
+val rule_name : rule -> string
+
+val severity_name : severity -> string
+
+type t = {
+  rule : rule;
+  severity : severity;
+  func : string;
+  block : int;  (** -1 for program-level findings *)
+  instr : int;
+  message : string;
+}
+
+val error :
+  rule -> func:string -> block:int -> instr:int ->
+  ('a, unit, string, t) format4 -> 'a
+
+val warning :
+  rule -> func:string -> block:int -> instr:int ->
+  ('a, unit, string, t) format4 -> 'a
+
+val to_string : t -> string
+val is_error : t -> bool

@@ -1,0 +1,160 @@
+(** Independent idempotence verification (paper Section IV-A).
+
+    [Cwsp_idem.Antidep] both drives region formation and re-checks its
+    result, so a bug there is invisible to the pipeline. This module
+    re-derives the antidependence-freedom invariant with a different
+    algorithm: for every may-aliasing (load, store) pair it asks whether
+    the store can execute after the load with no region boundary
+    committing in between, by a forward instruction-level search from the
+    load that stops at boundaries — rather than Antidep's block-level
+    boundary-position precomputation.
+
+    It also checks the boundary *placement* rules of [Region_form] that
+    the antidependence test alone cannot see: a boundary opens every
+    function, every loop header starts a fresh region (one per
+    iteration), synchronization points are isolated into their own
+    single-instruction region, and every call site is followed by a
+    boundary. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+
+let is_boundary = function Types.Boundary _ -> true | _ -> false
+let is_ckpt = function Types.Ckpt _ -> true | _ -> false
+
+(* ---- antidependence re-derivation ---- *)
+
+(** All uncut may-alias antidependences, found by forward search from each
+    load. A path is a sequence of instruction positions in execution
+    order containing no [Boundary]; reaching a may-aliasing store over
+    such a path is exactly the re-execution hazard of Section IV-A. *)
+let antidep_diags (fn : Prog.func) : Diag.t list =
+  let accesses = Alias.accesses fn in
+  let loads = List.filter (fun (a : Alias.access) -> a.reads) accesses in
+  let code = Array.map (fun (b : Prog.block) -> Array.of_list b.instrs) fn.blocks in
+  (* write accesses indexed by position, for the may-alias test *)
+  let write_sym : (int * int, Alias.sym) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Alias.access) ->
+      if a.writes then Hashtbl.replace write_sym (a.a_bi, a.a_ii) a.sym)
+    accesses;
+  let diags = ref [] in
+  let check_load (l : Alias.access) =
+    let entered = Array.make (Array.length fn.blocks) false in
+    let worklist = Queue.create () in
+    (* scan block [bi] from instruction [pos]; returns without enqueueing
+       successors when a boundary cuts the path *)
+    let rec scan bi pos =
+      if pos >= Array.length code.(bi) then
+        List.iter
+          (fun s ->
+            if not entered.(s) then begin
+              entered.(s) <- true;
+              Queue.add s worklist
+            end)
+          (Cfg.successors fn bi)
+      else if is_boundary code.(bi).(pos) then ()
+      else begin
+        (match Hashtbl.find_opt write_sym (bi, pos) with
+        | Some ssym
+          when (bi, pos) <> (l.a_bi, l.a_ii) && Alias.may_alias l.sym ssym ->
+          diags :=
+            Diag.error Antidep ~func:fn.name ~block:bi ~instr:pos
+              "store may overwrite the input of load at (%d,%d) with no \
+               boundary in between"
+              l.a_bi l.a_ii
+            :: !diags
+        | _ -> ());
+        scan bi (pos + 1)
+      end
+    in
+    scan l.a_bi (l.a_ii + 1);
+    while not (Queue.is_empty worklist) do
+      scan (Queue.pop worklist) 0
+    done
+  in
+  List.iter check_load loads;
+  List.rev !diags
+
+(* ---- boundary placement rules ---- *)
+
+(* First non-checkpoint instruction of a block, if any. *)
+let first_real_instr (blk : Prog.block) =
+  List.find_opt (fun ins -> not (is_ckpt ins)) blk.instrs
+
+(* Next non-checkpoint instruction strictly after position [ii]. *)
+let next_real_instr code ~bi ~ii =
+  let n = Array.length code.(bi) in
+  let rec go j =
+    if j >= n then None
+    else if is_ckpt code.(bi).(j) then go (j + 1)
+    else Some code.(bi).(j)
+  in
+  go (ii + 1)
+
+(* Previous non-checkpoint instruction strictly before position [ii]. *)
+let prev_real_instr code ~bi ~ii =
+  let rec go j =
+    if j < 0 then None
+    else if is_ckpt code.(bi).(j) then go (j - 1)
+    else Some code.(bi).(j)
+  in
+  go (ii - 1)
+
+let placement_diags (fn : Prog.func) : Diag.t list =
+  let code = Array.map (fun (b : Prog.block) -> Array.of_list b.instrs) fn.blocks in
+  let headers = Loops.headers fn in
+  let reachable = Cfg.reachable fn in
+  let diags = ref [] in
+  let err rule ~block ~instr fmt =
+    Printf.ksprintf
+      (fun m ->
+        diags := Diag.error rule ~func:fn.name ~block ~instr "%s" m :: !diags)
+      fmt
+  in
+  (* entry region *)
+  (match first_real_instr fn.blocks.(0) with
+  | Some (Types.Boundary _) -> ()
+  | Some _ | None ->
+    err Entry_boundary ~block:0 ~instr:0 "function entry is not a region boundary");
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      if reachable.(bi) then begin
+        (* loop headers: one region per iteration *)
+        if bi > 0 && headers.(bi) then (
+          match first_real_instr blk with
+          | Some (Types.Boundary _) -> ()
+          | Some _ | None ->
+            err Loop_boundary ~block:bi ~instr:0
+              "loop header does not start a fresh region");
+        List.iteri
+          (fun ii ins ->
+            if Types.is_sync ins then begin
+              (match prev_real_instr code ~bi ~ii with
+              | Some (Types.Boundary _) -> ()
+              | Some _ | None ->
+                err Sync_boundary ~block:bi ~instr:ii
+                  "synchronization point not preceded by a boundary");
+              match next_real_instr code ~bi ~ii with
+              | Some (Types.Boundary _) -> ()
+              | Some _ | None ->
+                err Sync_boundary ~block:bi ~instr:ii
+                  "synchronization point not followed by a boundary"
+            end
+            else
+              match ins with
+              | Types.Call (callee, _, _) -> (
+                match next_real_instr code ~bi ~ii with
+                | Some (Types.Boundary _) -> ()
+                | Some _ | None ->
+                  err Call_boundary ~block:bi ~instr:ii
+                    "call to %s not followed by a boundary" callee)
+              | _ -> ())
+          blk.instrs
+      end)
+    fn.blocks;
+  List.rev !diags
+
+(** All idempotence diagnostics of one region-formed function. *)
+let check (fn : Prog.func) : Diag.t list =
+  antidep_diags fn @ placement_diags fn

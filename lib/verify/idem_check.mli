@@ -1,0 +1,17 @@
+(** Independent idempotence verification (Section IV-A): re-derives
+    memory-antidependence freedom over the final boundary placement with
+    a forward path search (an algorithm disjoint from
+    [Cwsp_idem.Antidep]'s), and checks the [Region_form] placement rules
+    — entry boundary, loop-header boundaries, isolated synchronization
+    points, post-call boundaries. *)
+
+open Cwsp_ir
+
+(** Antidependence diagnostics only. *)
+val antidep_diags : Prog.func -> Diag.t list
+
+(** Boundary placement diagnostics only. *)
+val placement_diags : Prog.func -> Diag.t list
+
+(** Both, for one region-formed function. *)
+val check : Prog.func -> Diag.t list

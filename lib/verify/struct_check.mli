@@ -1,0 +1,18 @@
+(** Structural well-formedness: global boundary-id discipline (unique,
+    monotone, dense over the recovery-slice table with matching owners)
+    for renumbered programs, plus configuration-independent lints —
+    checkpoint-to-boundary attachment and stores into the hardware
+    checkpoint slot area. *)
+
+open Cwsp_ir
+
+(** Boundary-id lint over a whole renumbered program; [slices_len] is the
+    recovery table size. Only meaningful after region formation. *)
+val id_diags :
+  slices_len:int -> boundary_owner:string array -> Prog.t -> Diag.t list
+
+val ckpt_placement_diags : Prog.func -> Diag.t list
+val ckpt_area_diags : Prog.func -> Diag.t list
+
+(** Both per-function lints. *)
+val check_func : Prog.func -> Diag.t list

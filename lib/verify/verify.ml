@@ -1,0 +1,52 @@
+(** Top-level driver of the static crash-consistency verifier.
+
+    [run] re-derives the cWSP invariants appropriate to the compile
+    configuration — structural lints always; idempotence (antidependence
+    freedom + boundary placement) and boundary-id discipline once region
+    formation ran; checkpoint coverage once checkpoints were inserted —
+    and returns the combined diagnostics. The verifier shares only the
+    base analyses ([Alias], [Liveness], [Cfg], [Loops]) with the
+    compiler; every judgement about boundaries, checkpoints and slices is
+    recomputed from the final program, translation-validation style, so
+    a bug in [Region_form] or [Pass] shows up as a diagnostic here rather
+    than as silent state corruption after a power failure. *)
+
+open Cwsp_ir
+open Cwsp_compiler
+
+let run (c : Pipeline.compiled) : Diag.t list =
+  let cfg = c.Pipeline.cconfig in
+  let (prog : Prog.t) = c.Pipeline.prog in
+  let per_func f = List.concat_map (fun (_, fn) -> f fn) prog.funcs in
+  let structural = per_func Struct_check.check_func in
+  let ids =
+    if cfg.Pipeline.region_formation then
+      Struct_check.id_diags
+        ~slices_len:(Array.length c.Pipeline.slices)
+        ~boundary_owner:c.Pipeline.boundary_owner prog
+    else []
+  in
+  let idem =
+    if cfg.Pipeline.region_formation then per_func Idem_check.check else []
+  in
+  let ckpt =
+    if cfg.Pipeline.region_formation && cfg.Pipeline.checkpoints then
+      Ckpt_check.check c
+    else []
+  in
+  structural @ ids @ idem @ ckpt
+
+let errors diags = List.filter Diag.is_error diags
+
+let report diags = String.concat "\n" (List.map Diag.to_string diags)
+
+let check_exn c =
+  match errors (run c) with
+  | [] -> ()
+  | errs ->
+    failwith
+      (Printf.sprintf "cwsp_verify: %d error(s) in compiled program:\n%s"
+         (List.length errs) (report errs))
+
+(** Make every [Pipeline.compile] in the process verify its own output. *)
+let install_pipeline_hook () = Pipeline.set_post_compile_hook check_exn

@@ -1,0 +1,20 @@
+(** Top-level driver: runs every checker family applicable to the
+    compile configuration and returns the combined diagnostics. *)
+
+open Cwsp_compiler
+
+(** All diagnostics of a compiled program. *)
+val run : Pipeline.compiled -> Diag.t list
+
+(** Error-severity diagnostics only. *)
+val errors : Diag.t list -> Diag.t list
+
+(** Render one diagnostic per line. *)
+val report : Diag.t list -> string
+
+(** Raise [Failure] with a rendered report if [run] yields any error. *)
+val check_exn : Pipeline.compiled -> unit
+
+(** Install [check_exn] as the pipeline's post-compile hook, so every
+    [Pipeline.compile] in the process verifies its own output. *)
+val install_pipeline_hook : unit -> unit

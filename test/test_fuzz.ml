@@ -256,7 +256,26 @@ let test_alias_soundness () =
       accesses
   done
 
+(* The static verifier as a fuzzing oracle: every randomized program,
+   compiled under every instrumented configuration, must verify clean. *)
+let test_verifier_clean () =
+  List.iter
+    (fun config ->
+      for seed = 1 to 80 do
+        let prog = gen_program seed in
+        let compiled = Cwsp_compiler.Pipeline.compile ~config prog in
+        match Cwsp_verify.Verify.(errors (run compiled)) with
+        | [] -> ()
+        | errs ->
+          Alcotest.failf "seed %d (%s): %s" seed
+            (Cwsp_compiler.Pipeline.config_name config)
+            (Cwsp_verify.Verify.report errs)
+      done)
+    Cwsp_compiler.Pipeline.[ cwsp; cwsp_no_prune; regions_only ]
+
 let () =
+  (* have every compile below re-checked by the static verifier *)
+  Cwsp_verify.Verify.install_pipeline_hook ();
   Alcotest.run "fuzz"
     [
       ( "pipeline",
@@ -269,5 +288,7 @@ let () =
             test_crash_recovery_fuzz;
           Alcotest.test_case "alias soundness (80 programs)" `Slow
             test_alias_soundness;
+          Alcotest.test_case "verifier clean (80 programs x 3 configs)" `Slow
+            test_verifier_clean;
         ] );
     ]

@@ -153,6 +153,38 @@ let test_validator_catches_bad_label () =
   let p = { Prog.globals = []; funcs = [ ("main", fn) ]; main = "main" } in
   Alcotest.(check bool) "label out of range" true (Validate.check p <> [])
 
+let test_validator_duplicate_boundary_id () =
+  let fn =
+    {
+      Prog.name = "main";
+      nparams = 0;
+      nregs = 1;
+      blocks =
+        [|
+          {
+            Prog.instrs = [ Boundary 3; Mov (0, Imm 1); Boundary 3 ];
+            term = Ret None;
+          };
+        |];
+    }
+  in
+  let p = { Prog.globals = []; funcs = [ ("main", fn) ]; main = "main" } in
+  Alcotest.(check bool) "duplicate boundary id" true (Validate.check p <> []);
+  let fn_ok =
+    {
+      fn with
+      Prog.blocks =
+        [|
+          {
+            Prog.instrs = [ Boundary 3; Mov (0, Imm 1); Boundary 4 ];
+            term = Ret None;
+          };
+        |];
+    }
+  in
+  let p_ok = { Prog.globals = []; funcs = [ ("main", fn_ok) ]; main = "main" } in
+  Alcotest.(check (list string)) "distinct ids fine" [] (Validate.check p_ok)
+
 let test_validator_intrinsic_arity () =
   let fn =
     {
@@ -254,6 +286,8 @@ let () =
           Alcotest.test_case "bad register" `Quick test_validator_catches_bad_register;
           Alcotest.test_case "bad label" `Quick test_validator_catches_bad_label;
           Alcotest.test_case "intrinsic arity" `Quick test_validator_intrinsic_arity;
+          Alcotest.test_case "duplicate boundary id" `Quick
+            test_validator_duplicate_boundary_id;
         ] );
       ("pp", [ Alcotest.test_case "smoke" `Quick test_pp_smoke ]);
       ( "parse",

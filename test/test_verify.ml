@@ -1,0 +1,355 @@
+(* Tests for the static crash-consistency verifier.
+
+   Positive direction: real pipeline output — registry workloads and a
+   hand-built program under every instrumented configuration — verifies
+   with zero errors.
+
+   Negative direction: a corpus of hand-corrupted compiled programs, each
+   damaging exactly one invariant the compiler is supposed to establish
+   (dropped boundaries, stripped checkpoints, doctored slices, forged
+   boundary ids, stray checkpoints, stores into the checkpoint area), and
+   each required to trigger its expected diagnostic rule. *)
+
+open Cwsp_ir
+open Cwsp_compiler
+open Cwsp_ckpt
+
+(* A program exercising every boundary-placement rule: an antidependence
+   (load/store of the same word of [g]), a fence, a loop, and calls. *)
+let base_prog () =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:64 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let base = la fb "g" in
+      let v = load fb base 0 in
+      let w = add fb (Reg v) (Imm 1) in
+      store fb base 0 (Reg w);
+      fence fb;
+      let acc = imm fb 0 in
+      let _ =
+        loop fb ~from:(Types.Imm 0) ~below:(Types.Imm 4) (fun i ->
+            emit fb (Types.Bin (Types.Add, acc, Types.Reg acc, Types.Reg i)))
+      in
+      call_void fb "__out" [ Reg acc ];
+      call_void fb "__out" [ Reg v ];
+      ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b
+
+let compile ?(config = Pipeline.cwsp) () = Pipeline.compile ~config (base_prog ())
+
+let main_fn (c : Pipeline.compiled) = Prog.func_exn c.prog "main"
+
+(* ---- corruption plumbing ---- *)
+
+let with_main_blocks f (c : Pipeline.compiled) =
+  let fn = main_fn c in
+  { c with Pipeline.prog = Prog.with_func c.prog { fn with Prog.blocks = f fn.blocks } }
+
+let with_slice id f (c : Pipeline.compiled) =
+  let slices = Array.copy c.Pipeline.slices in
+  slices.(id) <- f slices.(id);
+  { c with Pipeline.slices = slices }
+
+let map_instrs f =
+  with_main_blocks
+    (Array.map (fun (blk : Prog.block) -> { blk with instrs = List.map f blk.instrs }))
+
+let drop_at bi ii =
+  with_main_blocks
+    (Array.mapi (fun i (blk : Prog.block) ->
+         if i <> bi then blk
+         else { blk with instrs = List.filteri (fun j _ -> j <> ii) blk.instrs }))
+
+(* first instruction position satisfying [p] *)
+let find_instr c p =
+  let res = ref None in
+  Prog.iter_instrs
+    (fun bi ii ins -> if !res = None && p ins then res := Some (bi, ii))
+    (main_fn c);
+  match !res with
+  | Some x -> x
+  | None -> Alcotest.fail "test_verify: instruction not found"
+
+(* first boundary of block [bi] at or after [ii] *)
+let boundary_after c bi ii =
+  let res = ref None in
+  Prog.iter_instrs
+    (fun bi' ii' ins ->
+      match ins with
+      | Types.Boundary id when bi' = bi && ii' >= ii && !res = None ->
+        res := Some (ii', id)
+      | _ -> ())
+    (main_fn c);
+  match !res with
+  | Some x -> x
+  | None -> Alcotest.fail "test_verify: boundary not found"
+
+(* last boundary of block [bi] strictly before [ii] *)
+let boundary_before c bi ii =
+  let res = ref None in
+  Prog.iter_instrs
+    (fun bi' ii' ins ->
+      match ins with
+      | Types.Boundary id when bi' = bi && ii' < ii -> res := Some (ii', id)
+      | _ -> ())
+    (main_fn c);
+  match !res with
+  | Some x -> x
+  | None -> Alcotest.fail "test_verify: boundary not found"
+
+(* boundaries of main in traversal order, as (bi, ii, id) *)
+let boundaries c =
+  Prog.fold_instrs
+    (fun acc bi ii ins ->
+      match ins with Types.Boundary id -> (bi, ii, id) :: acc | _ -> acc)
+    [] (main_fn c)
+  |> List.rev
+
+(* ---- assertions ---- *)
+
+let has_rule rule diags =
+  List.exists (fun (d : Cwsp_verify.Diag.t) -> d.rule = rule) diags
+
+let expect_rule name rule corrupted =
+  let diags = Cwsp_verify.Verify.run corrupted in
+  if not (has_rule rule diags) then
+    Alcotest.failf "%s: expected rule %s, verifier said:\n%s" name
+      (Cwsp_verify.Diag.rule_name rule)
+      (match diags with [] -> "(clean)" | _ -> Cwsp_verify.Verify.report diags)
+
+let expect_clean name compiled =
+  match Cwsp_verify.Verify.(errors (run compiled)) with
+  | [] -> ()
+  | errs -> Alcotest.failf "%s: unexpected errors:\n%s" name (Cwsp_verify.Verify.report errs)
+
+(* ---- positive: real pipeline output verifies clean ---- *)
+
+let test_base_program_clean () =
+  List.iter
+    (fun config ->
+      expect_clean (Pipeline.config_name config) (compile ~config ()))
+    Pipeline.[ cwsp; cwsp_no_prune; regions_only; baseline ]
+
+let test_workloads_clean () =
+  List.iter
+    (fun name ->
+      let w = Cwsp_workloads.Registry.find_exn name in
+      List.iter
+        (fun config ->
+          expect_clean
+            (name ^ "/" ^ Pipeline.config_name config)
+            (Pipeline.compile ~config (w.build ~scale:1)))
+        Pipeline.[ cwsp; cwsp_no_prune; regions_only ])
+    [ "radix"; "tatp"; "rb"; "bzip2" ]
+
+(* ---- negative: each corruption triggers its rule ---- *)
+
+(* Drop the boundary phase 2 inserted between the aliasing load and store. *)
+let test_corrupt_antidep () =
+  let c = compile () in
+  let lbi, lii = find_instr c (function Types.Load _ -> true | _ -> false) in
+  let bii, _ = boundary_after c lbi lii in
+  expect_rule "antidep" Cwsp_verify.Diag.Antidep (drop_at lbi bii c)
+
+let test_corrupt_entry_boundary () =
+  let c = compile () in
+  let bi, ii = find_instr c (function Types.Boundary _ -> true | _ -> false) in
+  Alcotest.(check int) "entry boundary opens block 0" 0 bi;
+  expect_rule "entry" Cwsp_verify.Diag.Entry_boundary (drop_at bi ii c)
+
+let test_corrupt_loop_boundary () =
+  let c = compile () in
+  let headers = Cwsp_analysis.Loops.headers (main_fn c) in
+  let hdr =
+    match Array.to_list (Array.mapi (fun i h -> (i, h)) headers)
+          |> List.find_opt (fun (_, h) -> h)
+    with
+    | Some (i, _) -> i
+    | None -> Alcotest.fail "no loop header"
+  in
+  let ii, _ = boundary_after c hdr 0 in
+  expect_rule "loop" Cwsp_verify.Diag.Loop_boundary (drop_at hdr ii c)
+
+let test_corrupt_sync_boundary () =
+  let c = compile () in
+  let fbi, fii = find_instr c (function Types.Fence -> true | _ -> false) in
+  let ii, _ = boundary_before c fbi fii in
+  expect_rule "sync" Cwsp_verify.Diag.Sync_boundary (drop_at fbi ii c)
+
+let test_corrupt_call_boundary () =
+  let c = compile () in
+  let cbi, cii =
+    find_instr c (function Types.Call ("__out", _, _) -> true | _ -> false)
+  in
+  let ii, _ = boundary_after c cbi cii in
+  expect_rule "call" Cwsp_verify.Diag.Call_boundary (drop_at cbi ii c)
+
+(* Remove the slice entry of a register that is live into a region. *)
+let test_corrupt_live_in_uncovered () =
+  let c = compile () in
+  let live = Cwsp_analysis.Liveness.compute (main_fn c) in
+  let target =
+    List.find_map
+      (fun (bi, ii, id) ->
+        match
+          Cwsp_analysis.Liveness.(IntSet.choose_opt (live_before live ~bi ~ii))
+        with
+        | Some r when List.mem_assoc r c.Pipeline.slices.(id) -> Some (id, r)
+        | _ -> None)
+      (boundaries c)
+  in
+  match target with
+  | None -> Alcotest.fail "no boundary with live-ins"
+  | Some (id, r) ->
+    expect_rule "live-in" Cwsp_verify.Diag.Live_in_uncovered
+      (with_slice id (List.remove_assoc r) c)
+
+(* Strip every checkpoint but keep the slices that read their slots. *)
+let test_corrupt_strip_ckpts () =
+  let c = compile ~config:Pipeline.cwsp_no_prune () in
+  let any_slot =
+    Array.exists
+      (List.exists (fun (_, e) -> Slice.slot_refs e <> []))
+      c.Pipeline.slices
+  in
+  Alcotest.(check bool) "some slice reads a slot" true any_slot;
+  let stripped =
+    with_main_blocks
+      (Array.map (fun (blk : Prog.block) ->
+           {
+             blk with
+             instrs =
+               List.filter
+                 (function Types.Ckpt _ -> false | _ -> true)
+                 blk.instrs;
+           }))
+      c
+  in
+  expect_rule "stripped ckpts" Cwsp_verify.Diag.Slot_not_checkpointed stripped
+
+(* Make the entry region's slice read the slot of a register that is only
+   defined (and checkpointed) later. *)
+let test_corrupt_slot_ref_undefined () =
+  let c = compile ~config:Pipeline.cwsp_no_prune () in
+  let _, lii = find_instr c (function Types.Load _ -> true | _ -> false) in
+  let v =
+    match (main_fn c).blocks.(0).instrs |> List.filteri (fun j _ -> j = lii) with
+    | [ Types.Load (dst, _, _) ] -> dst
+    | _ -> Alcotest.fail "load not in entry block"
+  in
+  let _, _, entry_id = List.hd (boundaries c) in
+  expect_rule "slot-ref" Cwsp_verify.Diag.Slot_ref_undefined
+    (with_slice entry_id (fun _ -> [ (0, Slice.ESlot v) ]) c)
+
+let test_corrupt_slice_unknown_global () =
+  let c = compile () in
+  let id =
+    match
+      List.find_opt (fun (_, _, id) -> c.Pipeline.slices.(id) <> []) (boundaries c)
+    with
+    | Some (_, _, id) -> id
+    | None -> Alcotest.fail "no nonempty slice"
+  in
+  expect_rule "unknown global" Cwsp_verify.Diag.Slice_unknown_global
+    (with_slice id
+       (fun slice ->
+         match slice with
+         | (r, _) :: rest -> (r, Slice.EAddr "no_such_global") :: rest
+         | [] -> assert false)
+       c)
+
+let test_corrupt_duplicate_boundary_id () =
+  let c = compile () in
+  match boundaries c with
+  | (_, _, id0) :: (_, _, id1) :: _ ->
+    expect_rule "duplicate id" Cwsp_verify.Diag.Duplicate_boundary_id
+      (map_instrs
+         (function
+           | Types.Boundary id when id = id1 -> Types.Boundary id0
+           | ins -> ins)
+         c)
+  | _ -> Alcotest.fail "need two boundaries"
+
+let test_corrupt_nonmonotone_boundary_id () =
+  let c = compile () in
+  match boundaries c with
+  | (_, _, id0) :: (_, _, id1) :: _ ->
+    expect_rule "swapped ids" Cwsp_verify.Diag.Nonmonotone_boundary_id
+      (map_instrs
+         (function
+           | Types.Boundary id when id = id0 -> Types.Boundary id1
+           | Types.Boundary id when id = id1 -> Types.Boundary id0
+           | ins -> ins)
+         c)
+  | _ -> Alcotest.fail "need two boundaries"
+
+let test_corrupt_boundary_id_range () =
+  let c = compile () in
+  let _, _, id0 = List.hd (boundaries c) in
+  expect_rule "id out of range" Cwsp_verify.Diag.Boundary_id_range
+    (map_instrs
+       (function
+         | Types.Boundary id when id = id0 ->
+           Types.Boundary (Array.length c.Pipeline.slices + 7)
+         | ins -> ins)
+       c)
+
+(* A checkpoint with no boundary behind it checkpoints for nobody. *)
+let test_corrupt_ckpt_placement () =
+  let c = compile () in
+  expect_rule "stray ckpt" Cwsp_verify.Diag.Ckpt_placement
+    (with_main_blocks
+       (Array.mapi (fun i (blk : Prog.block) ->
+            if i <> 0 then blk
+            else { blk with instrs = blk.instrs @ [ Types.Ckpt 0 ] }))
+       c)
+
+(* A user store aimed at the hardware checkpoint slot area. *)
+let test_ckpt_area_store () =
+  let b = Builder.program () in
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let p = imm fb 0x2000_0000 in
+      store fb p 0 (Imm 7);
+      ret fb None);
+  Builder.set_main b "main";
+  let compiled =
+    Pipeline.compile ~config:Pipeline.baseline (Builder.finish b)
+  in
+  expect_rule "ckpt area store" Cwsp_verify.Diag.Ckpt_area_store compiled
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "positive",
+        [
+          Alcotest.test_case "base program clean" `Quick test_base_program_clean;
+          Alcotest.test_case "workloads clean" `Quick test_workloads_clean;
+        ] );
+      ( "corrupted",
+        [
+          Alcotest.test_case "antidep" `Quick test_corrupt_antidep;
+          Alcotest.test_case "entry boundary" `Quick test_corrupt_entry_boundary;
+          Alcotest.test_case "loop boundary" `Quick test_corrupt_loop_boundary;
+          Alcotest.test_case "sync boundary" `Quick test_corrupt_sync_boundary;
+          Alcotest.test_case "call boundary" `Quick test_corrupt_call_boundary;
+          Alcotest.test_case "live-in uncovered" `Quick
+            test_corrupt_live_in_uncovered;
+          Alcotest.test_case "stripped checkpoints" `Quick
+            test_corrupt_strip_ckpts;
+          Alcotest.test_case "slot ref undefined" `Quick
+            test_corrupt_slot_ref_undefined;
+          Alcotest.test_case "slice unknown global" `Quick
+            test_corrupt_slice_unknown_global;
+          Alcotest.test_case "duplicate boundary id" `Quick
+            test_corrupt_duplicate_boundary_id;
+          Alcotest.test_case "nonmonotone boundary id" `Quick
+            test_corrupt_nonmonotone_boundary_id;
+          Alcotest.test_case "boundary id range" `Quick
+            test_corrupt_boundary_id_range;
+          Alcotest.test_case "ckpt placement" `Quick test_corrupt_ckpt_placement;
+          Alcotest.test_case "ckpt area store" `Quick test_ckpt_area_store;
+        ] );
+    ]
