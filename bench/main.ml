@@ -3,10 +3,20 @@
     this repository's own machinery.
 
     Usage:
-      dune exec bench/main.exe               # every figure + microbenches
-      dune exec bench/main.exe -- list       # list experiment ids
-      dune exec bench/main.exe -- fig13 hw   # selected experiments only
-      dune exec bench/main.exe -- bechamel   # microbenches only
+      dune exec bench/main.exe                    # every figure + microbenches
+      dune exec bench/main.exe -- list            # list experiment ids
+      dune exec bench/main.exe -- fig13 hw        # selected experiments only
+      dune exec bench/main.exe -- --jobs 4        # domain-parallel execution
+      dune exec bench/main.exe -- json            # timed run -> BENCH_<run>.json
+      dune exec bench/main.exe -- bechamel        # microbenches only
+
+    [--jobs N] sets the executor's domain-pool width for every
+    experiment plan (plan/execute/render split, DESIGN.md §5); the
+    rendered output is byte-identical for any N. [json] runs each
+    experiment separately, timing it, and writes per-experiment
+    wall-clock, overall elapsed time and headline numbers to
+    BENCH_<timestamp>.json so the perf trajectory stays machine-readable
+    across PRs.
 
     Absolute numbers will not match the paper (the substrate is a
     deterministic OCaml simulator, not gem5 + x86 hardware); the shapes —
@@ -73,8 +83,84 @@ let microbenches () =
         ols)
     tests
 
+(* ---- machine-readable timing runs ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Run every experiment separately, timing plan+execute+render, and
+    write BENCH_<timestamp>.json. *)
+let json_run ~jobs () =
+  let t_all0 = Unix.gettimeofday () in
+  let results =
+    List.map
+      (fun (x : Index.entry) ->
+        let t0 = Unix.gettimeofday () in
+        let headline = Index.run_one x in
+        let dt = Unix.gettimeofday () -. t0 in
+        (x, dt, headline))
+      Index.all
+  in
+  let overall = Unix.gettimeofday () -. t_all0 in
+  let tm = Unix.localtime t_all0 in
+  let run_id =
+    Printf.sprintf "%04d%02d%02d_%02d%02d%02d" (tm.tm_year + 1900)
+      (tm.tm_mon + 1) tm.tm_mday tm.tm_hour tm.tm_min tm.tm_sec
+  in
+  let path = Printf.sprintf "BENCH_%s.json" run_id in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"run\": \"%s\",\n  \"jobs\": %d,\n" run_id jobs;
+  Printf.fprintf oc "  \"overall_elapsed_s\": %.3f,\n" overall;
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i ((x : Index.entry), dt, headline) ->
+      Printf.fprintf oc
+        "    {\"id\": \"%s\", \"title\": \"%s\", \"wall_s\": %.3f, \
+         \"headline\": %s}%s\n"
+        (json_escape x.id) (json_escape x.etitle) dt
+        (match headline with
+        | Some h when Float.is_finite h -> Printf.sprintf "%.6g" h
+        | Some _ | None -> "null")
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (overall %.1fs, %d experiments, jobs=%d)\n" path
+    overall (List.length results) jobs
+
+(* ---- CLI ---- *)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* pull out --jobs N; remaining words select modes/experiments *)
+  let jobs = ref 1 in
+  let rec strip = function
+    | [] -> []
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some v when v >= 1 -> jobs := v
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        exit 1);
+      strip rest
+    | "--jobs" :: [] ->
+      Printf.eprintf "--jobs expects an argument\n";
+      exit 1
+    | x :: rest -> x :: strip rest
+  in
+  let args = strip args in
+  Cwsp_core.Executor.set_default_jobs !jobs;
   match args with
   | [] ->
     Index.run_all ();
@@ -82,15 +168,17 @@ let () =
   | [ "list" ] ->
     List.iter (fun (e : Index.entry) -> Printf.printf "%-10s %s\n" e.id e.etitle)
       Index.all;
-    print_endline "bechamel   Bechamel micro-benchmarks"
+    print_endline "bechamel   Bechamel micro-benchmarks";
+    print_endline "json       timed full run -> BENCH_<run>.json"
   | [ "bechamel" ] -> microbenches ()
+  | [ "json" ] -> json_run ~jobs:!jobs ()
   | ids ->
     List.iter
       (fun id ->
         if id = "bechamel" then microbenches ()
         else
           match Index.find id with
-          | Some e -> e.erun ()
+          | Some e -> ignore (Index.run_one e)
           | None ->
             Printf.eprintf "unknown experiment %S (try 'list')\n" id;
             exit 1)

@@ -15,9 +15,7 @@ let explore name bandwidths =
     Printf.eprintf "unknown workload %S\n" name;
     exit 1
   | Some w ->
-    let slow ?(label = "x") scheme cfg =
-      Cwsp_core.Api.slowdown ~label w ~scheme cfg
-    in
+    let slow scheme cfg = Cwsp_core.Api.slowdown w ~scheme cfg in
     Printf.printf "workload: %s — %s\n\n" w.name w.description;
 
     (* 1. memory technologies (Fig 27 / Tab 1 style) *)
@@ -31,8 +29,7 @@ let explore name bandwidths =
              Printf.sprintf "%.0f" m.read_ns;
              Printf.sprintf "%.1f" m.write_bw_gbs;
              Cwsp_util.Table.f3
-               (slow ~label:("mem-" ^ m.mem_name) Cwsp_schemes.Schemes.cwsp
-                  { Config.default with mem = m });
+               (slow Cwsp_schemes.Schemes.cwsp { Config.default with mem = m });
            ])
          (Nvm.all_techs @ Nvm.cxl_devices));
 
@@ -43,16 +40,14 @@ let explore name bandwidths =
       (List.map
          (fun levels ->
            let base = Config.fig1_levels levels in
-           let t mem label =
-             (Cwsp_core.Api.stats ~label w Cwsp_schemes.Schemes.baseline
+           let t mem =
+             (Cwsp_core.Api.stats w Cwsp_schemes.Schemes.baseline
                 { base with mem })
                .elapsed_ns
            in
            [
              string_of_int levels;
-             Cwsp_util.Table.f3
-               (t Nvm.cxl_pmem (Printf.sprintf "lv%d-p" levels)
-               /. t Nvm.cxl_dram (Printf.sprintf "lv%d-d" levels));
+             Cwsp_util.Table.f3 (t Nvm.cxl_pmem /. t Nvm.cxl_dram);
            ])
          [ 2; 3; 4; 5 ]);
 
@@ -65,9 +60,7 @@ let explore name bandwidths =
            [
              Printf.sprintf "%g" bw;
              Cwsp_util.Table.f3
-               (slow
-                  ~label:(Printf.sprintf "bw-%g" bw)
-                  Cwsp_schemes.Schemes.cwsp
+               (slow Cwsp_schemes.Schemes.cwsp
                   { Config.default with path_bandwidth_gbs = bw });
            ])
          bandwidths)

@@ -1,76 +1,80 @@
 (** The public one-stop API: compile a workload, trace it once, replay the
     trace under any scheme/platform, and compare against the baseline.
 
-    Compiled binaries and traces are memoized per (workload, compile
-    config, scale): the trace/timing split from DESIGN.md §5. Timing
-    statistics are memoized per (workload, scheme, platform label, scale),
-    where the label names the platform variant an experiment runs
-    ("default", "l3", "bw-1GB", ...) — platform records themselves are
-    not hashed. *)
+    Compiled binaries and traces are memoized per (workload, scale,
+    compile config); timing statistics per (workload, scale, scheme,
+    platform fingerprint) — the platform key is a content hash of the
+    full [Config.t] ([Config.fingerprint]), so two experiments can never
+    alias a cache entry by reusing a label string for different
+    platforms.
+
+    All three caches are mutex-protected [Store.t]s, so any layer may be
+    called from multiple domains; the executor ([Executor]) relies on
+    this to replay jobs in parallel. Memoized values are shared
+    read-only after insertion: a [Trace.t] is append-only and complete
+    when stored, and a [Stats.t] is only mutated by the engine run that
+    produces it. *)
 
 open Cwsp_interp
 open Cwsp_compiler
 open Cwsp_sim
 open Cwsp_workloads
 
-let compiled_cache : (string * string, Pipeline.compiled) Hashtbl.t =
-  Hashtbl.create 64
+(* (workload, scale, compile-config name) *)
+type binary_key = string * int * string
 
-let trace_cache : (string * string * int, Trace.t) Hashtbl.t = Hashtbl.create 64
-let stats_cache : (string * string * string * int, Stats.t) Hashtbl.t =
-  Hashtbl.create 256
+(* (workload, scale, scheme name, platform fingerprint) *)
+type stats_key = string * int * string * string
+
+let compiled_cache : (binary_key, Pipeline.compiled) Store.t = Store.create 64
+let trace_cache : (binary_key, Trace.t) Store.t = Store.create 64
+let stats_cache : (stats_key, Stats.t) Store.t = Store.create 256
+
+let binary_key ?(scale = 1) (w : Defs.t) (cc : Pipeline.config) : binary_key =
+  (w.name, scale, Pipeline.config_name cc)
+
+let stats_key ?(scale = 1) (w : Defs.t) (s : Cwsp_schemes.Schemes.t)
+    (cfg : Config.t) : stats_key =
+  (* fingerprint the platform the engine actually runs: the scheme's
+     reconfiguration applied to the experiment's configuration *)
+  (w.name, scale, s.s_name, Config.fingerprint (s.s_reconfig cfg))
 
 (** Compile a workload under a compile configuration (memoized). *)
 let compiled ?(scale = 1) (w : Defs.t) (cc : Pipeline.config) :
     Pipeline.compiled =
-  let key = (w.name ^ "@" ^ string_of_int scale, Pipeline.config_name cc) in
-  match Hashtbl.find_opt compiled_cache key with
-  | Some c -> c
-  | None ->
-    let c = Pipeline.compile ~config:cc (w.build ~scale) in
-    Hashtbl.add compiled_cache key c;
-    c
+  Store.memo compiled_cache (binary_key ~scale w cc) (fun () ->
+      Pipeline.compile ~config:cc (w.build ~scale))
 
 (** Functional commit trace of a workload under a compile configuration
     (memoized). *)
 let trace ?(scale = 1) (w : Defs.t) (cc : Pipeline.config) : Trace.t =
-  let key = (w.name, Pipeline.config_name cc, scale) in
-  match Hashtbl.find_opt trace_cache key with
-  | Some t -> t
-  | None ->
-    let c = compiled ~scale w cc in
-    let _, t = Machine.trace_of_program c.prog in
-    Hashtbl.add trace_cache key t;
-    t
+  Store.memo trace_cache (binary_key ~scale w cc) (fun () ->
+      let c = compiled ~scale w cc in
+      let _, t = Machine.trace_of_program c.prog in
+      t)
 
-(** Timing statistics of a workload under a scheme on a platform.
-    [label] must uniquely identify [cfg] within the experiment space. *)
-let stats ?(scale = 1) ?(label = "default") (w : Defs.t)
-    (s : Cwsp_schemes.Schemes.t) (cfg : Config.t) : Stats.t =
-  let key = (w.name, s.s_name, label, scale) in
-  match Hashtbl.find_opt stats_cache key with
-  | Some st -> st
-  | None ->
-    let tr = trace ~scale w s.s_compile in
-    let st = Engine.run_trace (s.s_reconfig cfg) s.s_engine tr in
-    Hashtbl.add stats_cache key st;
-    st
+(** Timing statistics of a workload under a scheme on a platform. *)
+let stats ?(scale = 1) (w : Defs.t) (s : Cwsp_schemes.Schemes.t)
+    (cfg : Config.t) : Stats.t =
+  Store.memo stats_cache (stats_key ~scale w s cfg) (fun () ->
+      let tr = trace ~scale w s.s_compile in
+      Engine.run_trace (s.s_reconfig cfg) s.s_engine tr)
 
 (** Normalized slowdown of [scheme] against the uninstrumented baseline on
     the *same* platform (the baseline never gets the scheme's platform
     restriction — e.g. ideal PSP is normalized against the DRAM-cache
     baseline, as in Fig. 18). *)
-let slowdown ?(scale = 1) ?(label = "default") (w : Defs.t)
-    ~(scheme : Cwsp_schemes.Schemes.t) (cfg : Config.t) : float =
-  let base = stats ~scale ~label w Cwsp_schemes.Schemes.baseline cfg in
-  let st = stats ~scale ~label w scheme cfg in
+let slowdown ?(scale = 1) (w : Defs.t) ~(scheme : Cwsp_schemes.Schemes.t)
+    (cfg : Config.t) : float =
+  let base = stats ~scale w Cwsp_schemes.Schemes.baseline cfg in
+  let st = stats ~scale w scheme cfg in
   Stats.slowdown st ~baseline:base
 
 (** Clear all memoized state (used by tests that tweak workload scale). *)
 let reset_caches () =
-  Hashtbl.reset compiled_cache;
-  Hashtbl.reset trace_cache;
-  Hashtbl.reset stats_cache
+  Store.reset compiled_cache;
+  Store.reset trace_cache;
+  Store.reset stats_cache
 
 (** End-to-end crash-consistency validation of a workload (compile with
     the full cWSP pipeline, inject a power failure, recover, compare NVM

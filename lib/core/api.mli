@@ -2,15 +2,30 @@
     the trace under any scheme/platform, compare against the baseline,
     and validate crash recovery.
 
-    Compiled binaries and traces are memoized per (workload, compile
-    config, scale); timing statistics per (workload, scheme, platform
-    label, scale) — [label] must uniquely name the platform variant an
-    experiment runs ("default", "fig21-4", ...). *)
+    Compiled binaries and traces are memoized per (workload, scale,
+    compile config); timing statistics per (workload, scale, scheme,
+    platform fingerprint) — the platform key hashes the full [Config.t]
+    contents, so distinct platforms can never alias. All caches are
+    mutex-protected and safe to populate from multiple domains
+    ([Executor]). *)
 
 open Cwsp_interp
 open Cwsp_compiler
 open Cwsp_sim
 open Cwsp_workloads
+
+(** (workload, scale, compile-config name): identifies a compiled binary
+    and its trace. *)
+type binary_key = string * int * string
+
+(** (workload, scale, scheme name, platform fingerprint): identifies one
+    simulation point. *)
+type stats_key = string * int * string * string
+
+val binary_key : ?scale:int -> Defs.t -> Pipeline.config -> binary_key
+
+val stats_key :
+  ?scale:int -> Defs.t -> Cwsp_schemes.Schemes.t -> Config.t -> stats_key
 
 (** Compile a workload under a compile configuration (memoized). *)
 val compiled : ?scale:int -> Defs.t -> Pipeline.config -> Pipeline.compiled
@@ -20,24 +35,14 @@ val trace : ?scale:int -> Defs.t -> Pipeline.config -> Trace.t
 
 (** Timing statistics of a workload under a scheme on a platform. *)
 val stats :
-  ?scale:int ->
-  ?label:string ->
-  Defs.t ->
-  Cwsp_schemes.Schemes.t ->
-  Config.t ->
-  Stats.t
+  ?scale:int -> Defs.t -> Cwsp_schemes.Schemes.t -> Config.t -> Stats.t
 
 (** Normalized slowdown against the uninstrumented baseline on the same
     platform; the baseline never gets the scheme's platform restriction
     (e.g. ideal PSP is normalized against the DRAM-cache baseline, as in
     Fig. 18). *)
 val slowdown :
-  ?scale:int ->
-  ?label:string ->
-  Defs.t ->
-  scheme:Cwsp_schemes.Schemes.t ->
-  Config.t ->
-  float
+  ?scale:int -> Defs.t -> scheme:Cwsp_schemes.Schemes.t -> Config.t -> float
 
 (** Clear all memoized state. *)
 val reset_caches : unit -> unit

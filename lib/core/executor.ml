@@ -1,0 +1,81 @@
+(** The execute layer: deduplicate declared jobs, generate each shared
+    trace exactly once, then replay the timing points across an OCaml 5
+    domain pool.
+
+    Execution is two phases with a barrier between them:
+
+    1. {b traces} — one task per distinct (workload, scale, compile
+       config); each compiles the binary and interprets it into a commit
+       trace ([Api.trace], memoized).
+    2. {b stats} — one task per distinct simulation point; each replays
+       its (already memoized) trace under the point's scheme/platform
+       ([Api.stats], memoized).
+
+    The barrier guarantees phase 2 never interprets: every trace a stats
+    task needs is a cache hit, so no work is duplicated across domains
+    regardless of which domain picks which task.
+
+    Domain-safety contract (see DESIGN.md §5): tasks share only
+    [Api]'s mutex-protected stores and the immutable values inside them
+    (traces are complete before they are published; a [Stats.t] is only
+    mutated by the engine run that produces it). Everything else the
+    engine and interpreter touch is allocated per run. [jobs = 1] runs
+    on the calling domain with no spawns — byte-identical to the
+    pre-parallel harness by construction, and the render layer's
+    deterministic iteration makes higher [jobs] produce identical output
+    too. *)
+
+let default_jobs = ref 1
+
+(** Set the pool width [run] uses when no explicit [~jobs] is given —
+    how [bench/main.exe -- --jobs N] reaches every driver. *)
+let set_default_jobs n = default_jobs := max 1 n
+
+(* Work-stealing-free pool: an atomic cursor over an immutable task
+   array. Tasks are coarse (whole simulation runs), so contention on the
+   cursor is negligible. *)
+let run_pool ~jobs (tasks : (unit -> unit) array) =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if jobs <= 1 || n = 1 then Array.iter (fun f -> f ()) tasks
+  else begin
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          tasks.(i) ();
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned
+  end
+
+(* Keep the first job per key, preserving declaration order. *)
+let dedupe key_of js =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun j ->
+      let k = key_of j in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    js
+
+(** Execute a job plan: dedupe, trace phase, barrier, stats phase.
+    [jobs] defaults to the harness-wide setting ([set_default_jobs]). *)
+let run ?jobs (plan : Job.t list) =
+  let jobs = match jobs with Some n -> max 1 n | None -> !default_jobs in
+  let points = dedupe Job.key plan in
+  let traces = dedupe Job.trace_key points in
+  run_pool ~jobs
+    (Array.of_list (List.map (fun j () -> Job.execute_trace j) traces));
+  run_pool ~jobs (Array.of_list (List.map (fun j () -> Job.execute j) points))

@@ -1,0 +1,12 @@
+(** The execute layer: deduplicate declared jobs, generate each shared
+    trace exactly once, then replay the timing points across an OCaml 5
+    domain pool. Two phases with a barrier: traces (one per distinct
+    workload/scale/compile-config), then stats (one per distinct
+    simulation point, every trace already a cache hit). [jobs = 1] runs
+    on the calling domain with no spawns. *)
+
+(** Pool width used when [run] gets no explicit [~jobs] (default 1). *)
+val set_default_jobs : int -> unit
+
+(** Execute a job plan: dedupe, trace phase, barrier, stats phase. *)
+val run : ?jobs:int -> Job.t list -> unit

@@ -1,0 +1,34 @@
+(** A mutex-protected memoization table — the result store behind
+    [Api]'s caches and the executor's job results.
+
+    Domain-safety contract: [memo] runs the producer {e outside} the
+    lock (simulation runs take milliseconds to seconds; serializing them
+    would defeat the executor). If two domains race on the same absent
+    key, both compute — deterministically producing equal values — and
+    the first writer wins, so every later [find_opt]/[memo] observes one
+    canonical value. The executor deduplicates jobs up front, making
+    such races a non-event in practice. *)
+
+type ('k, 'v) t = { mu : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
+
+let create n = { mu = Mutex.create (); tbl = Hashtbl.create n }
+
+let find_opt t k = Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.tbl k)
+
+let length t = Mutex.protect t.mu (fun () -> Hashtbl.length t.tbl)
+
+(** [memo t k produce] returns the stored value for [k], computing it
+    with [produce] if absent. First writer wins on a race. *)
+let memo t k produce =
+  match find_opt t k with
+  | Some v -> v
+  | None ->
+    let v = produce () in
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.tbl k with
+        | Some v' -> v'
+        | None ->
+          Hashtbl.add t.tbl k v;
+          v)
+
+let reset t = Mutex.protect t.mu (fun () -> Hashtbl.reset t.tbl)

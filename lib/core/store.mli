@@ -1,0 +1,20 @@
+(** A mutex-protected memoization table — the result store behind
+    [Api]'s caches and the executor's job results.
+
+    Contract: producers run outside the lock; a race on an absent key
+    computes twice (deterministically equal values) and the first writer
+    wins, so all readers observe one canonical value per key. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+
+(** Number of stored results. *)
+val length : ('k, 'v) t -> int
+
+(** [memo t k produce]: stored value for [k], computing if absent.
+    First writer wins on a race. *)
+val memo : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val reset : ('k, 'v) t -> unit

@@ -1,4 +1,16 @@
-(** Shared infrastructure for the per-figure experiment drivers.
+(** Shared infrastructure for the per-figure experiment drivers, built
+    around the plan/execute/render split (DESIGN.md §5):
+
+    - {b plan} — a driver declares its simulation points as pure
+      [Cwsp_core.Job.t] values; a [series] pairs a table column with both
+      the points it needs and the function that reads the memoized
+      result.
+    - {b execute} — [Cwsp_core.Executor.run] deduplicates the points,
+      generates each shared trace once and replays the timing runs
+      across a domain pool.
+    - {b render} — the table helpers below iterate workloads and series
+      in declaration order, so output is deterministic and identical for
+      any pool width.
 
     Conventions: every driver prints the same series the paper's figure
     plots — per-workload values with per-suite and overall geometric
@@ -8,6 +20,7 @@
 
 open Cwsp_util
 open Cwsp_workloads
+open Cwsp_core
 
 let workloads = Registry.all
 
@@ -22,14 +35,51 @@ let banner title =
   let line = String.make (String.length title) '=' in
   Printf.printf "\n%s\n%s\n" title line
 
+(** One table column: the simulation points it needs (plan side) and the
+    evaluation reading their memoized results (render side). *)
+type series = {
+  col : string;
+  points : Defs.t -> Job.t list;
+  eval : Defs.t -> float;
+}
+
+(** Slowdown column: [scheme] vs the baseline on [cfg]. *)
+let slowdown_series ?scale col scheme cfg =
+  {
+    col;
+    points = (fun w -> Job.slowdown ?scale w ~scheme cfg);
+    eval = (fun w -> Api.slowdown ?scale w ~scheme cfg);
+  }
+
+(** Metric column: [metric] over the stats of [scheme] on [cfg]. *)
+let stats_series ?scale col scheme cfg metric =
+  {
+    col;
+    points = (fun w -> [ Job.stats ?scale w scheme cfg ]);
+    eval = (fun w -> metric (Api.stats ?scale w scheme cfg));
+  }
+
+(** Trace-metric column: [metric] over the commit trace of [compile]. *)
+let trace_series ?scale col compile metric =
+  {
+    col;
+    points = (fun w -> [ Job.trace ?scale w compile ]);
+    eval = (fun w -> metric (Api.trace ?scale w compile));
+  }
+
+(** The plan of a series list over a workload subset. *)
+let plan ?(subset = workloads) series =
+  List.concat_map
+    (fun (w : Defs.t) -> List.concat_map (fun s -> s.points w) series)
+    subset
+
 (** Per-workload table: one row per workload, one column per series, plus
-    per-suite gmean rows and an overall gmean row. [series] pairs a column
-    header with an evaluation function. Returns the overall gmeans in
-    series order. *)
+    per-suite gmean rows and an overall gmean row. Returns the overall
+    gmeans in series order. *)
 let per_workload_table ?(subset = workloads) ?(agg = Gmean) ~series () =
-  let headers = "workload" :: "suite" :: List.map fst series in
+  let headers = "workload" :: "suite" :: List.map (fun s -> s.col) series in
   let values =
-    List.map (fun (w : Defs.t) -> (w, List.map (fun (_, f) -> f w) series)) subset
+    List.map (fun (w : Defs.t) -> (w, List.map (fun s -> s.eval w) series)) subset
   in
   let row_of (w : Defs.t) vs =
     w.name :: Defs.suite_name w.suite :: List.map Table.f2 vs
@@ -60,9 +110,9 @@ let per_workload_table ?(subset = workloads) ?(agg = Gmean) ~series () =
 (** Per-suite table for the sweeps: one row per suite plus All; one column
     per series. Returns the All-gmean per series. *)
 let per_suite_table ?(subset = workloads) ~series () =
-  let headers = "suite" :: List.map fst series in
+  let headers = "suite" :: List.map (fun s -> s.col) series in
   let values =
-    List.map (fun (w : Defs.t) -> (w, List.map (fun (_, f) -> f w) series)) subset
+    List.map (fun (w : Defs.t) -> (w, List.map (fun s -> s.eval w) series)) subset
   in
   let suite_row suite =
     let vs = List.filter (fun ((w : Defs.t), _) -> w.suite = suite) values in
@@ -81,15 +131,16 @@ let per_suite_table ?(subset = workloads) ~series () =
   Table.print ~headers rows;
   overall
 
-(** A cWSP-slowdown sweep over platform variants: [variants] are
-    (column header, platform label, config). *)
-let cwsp_sweep ~variants () =
-  let series =
-    List.map
-      (fun (name, label, cfg) ->
-        ( name,
-          fun (w : Defs.t) ->
-            Cwsp_core.Api.slowdown ~label w ~scheme:Cwsp_schemes.Schemes.cwsp cfg ))
-      variants
-  in
-  per_suite_table ~series ()
+(** Series of a cWSP-slowdown sweep over platform variants: [variants]
+    are (column header, config) pairs. *)
+let cwsp_sweep_series variants =
+  List.map
+    (fun (name, cfg) -> slowdown_series name Cwsp_schemes.Schemes.cwsp cfg)
+    variants
+
+(** Standalone-run scaffold: execute the plan (on the harness-wide pool),
+    then render. Keeps each driver's [run] a one-call reproduction of
+    its figure. *)
+let execute_then_render ~plan:p ~render () =
+  Executor.run (p ());
+  render ()

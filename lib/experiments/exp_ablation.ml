@@ -11,6 +11,7 @@
 
 open Cwsp_compiler
 open Cwsp_sim
+open Cwsp_core
 
 let title = "Ablation (extension): design choices vs full cWSP"
 
@@ -32,28 +33,33 @@ let no_opt_baseline : Cwsp_schemes.Schemes.t =
 
 (* unoptimized cWSP against an unoptimized baseline: isolates the
    persistence cost when both sides carry the same instruction bloat *)
-let noopt_slowdown (w : Cwsp_workloads.Defs.t) =
+let noopt_series =
   let cfg = Config.default in
-  let base = Cwsp_core.Api.stats ~label:"abl" w no_opt_baseline cfg in
-  let st = Cwsp_core.Api.stats ~label:"abl" w no_opt_scheme cfg in
-  Stats.slowdown st ~baseline:base
+  {
+    Exp.col = "no-opt (both)";
+    points =
+      (fun w ->
+        [ Job.stats w no_opt_baseline cfg; Job.stats w no_opt_scheme cfg ]);
+    eval =
+      (fun w ->
+        Stats.slowdown
+          (Api.stats w no_opt_scheme cfg)
+          ~baseline:(Api.stats w no_opt_baseline cfg));
+  }
 
-let run () =
-  Exp.banner title;
+let series =
   let cfg = Config.default in
-  let series =
-    [
-      ( "cWSP",
-        fun w -> Cwsp_core.Api.slowdown ~label:"abl" w ~scheme:Cwsp_schemes.Schemes.cwsp cfg );
-      ( "no-MC-spec",
-        fun w ->
-          Cwsp_core.Api.slowdown ~label:"abl" w
-            ~scheme:Cwsp_schemes.Schemes.cwsp_no_speculation cfg );
-      ( "no-pruning",
-        fun w ->
-          Cwsp_core.Api.slowdown ~label:"abl" w
-            ~scheme:Cwsp_schemes.Schemes.cwsp_no_prune cfg );
-      ("no-opt (both)", noopt_slowdown);
-    ]
-  in
+  [
+    Exp.slowdown_series "cWSP" Cwsp_schemes.Schemes.cwsp cfg;
+    Exp.slowdown_series "no-MC-spec" Cwsp_schemes.Schemes.cwsp_no_speculation cfg;
+    Exp.slowdown_series "no-pruning" Cwsp_schemes.Schemes.cwsp_no_prune cfg;
+    noopt_series;
+  ]
+
+let plan () = Exp.plan series
+
+let render () =
+  Exp.banner title;
   Exp.per_suite_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

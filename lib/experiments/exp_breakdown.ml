@@ -6,17 +6,20 @@
     everywhere). Values are percent of the cWSP run's total time. *)
 
 open Cwsp_sim
+open Cwsp_core
 
 let title = "Breakdown (extension): cWSP stall attribution per suite"
 
 let pct part total = 100.0 *. part /. total
 
+let plan () =
+  List.concat_map
+    (fun w -> Job.slowdown w ~scheme:Cwsp_schemes.Schemes.cwsp Config.default)
+    Cwsp_workloads.Registry.all
+
 let row_of (w : Cwsp_workloads.Defs.t) =
-  let st = Cwsp_core.Api.stats ~label:"breakdown" w Cwsp_schemes.Schemes.cwsp Config.default in
-  let base =
-    Cwsp_core.Api.stats ~label:"breakdown" w Cwsp_schemes.Schemes.baseline
-      Config.default
-  in
+  let st = Api.stats w Cwsp_schemes.Schemes.cwsp Config.default in
+  let base = Api.stats w Cwsp_schemes.Schemes.baseline Config.default in
   let t = st.elapsed_ns in
   (* instruction bloat: extra instructions the instrumented binary
      executes, charged at one cycle each *)
@@ -29,7 +32,7 @@ let row_of (w : Cwsp_workloads.Defs.t) =
     pct st.stall_sync_ns t,
     pct (st.stall_wb_ns +. st.stall_wpq_hit_ns) t )
 
-let run () =
+let render () =
   Exp.banner title;
   let rows =
     List.filter_map
@@ -57,3 +60,5 @@ let run () =
     ~headers:[ "suite"; "instr bloat"; "PB/path"; "RBT"; "sync drain"; "WB+WPQ" ]
     rows;
   rows
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -8,7 +8,10 @@ open Cwsp_sim
 
 let title = "Energy (extension): backup requirement and NVM write energy"
 
-let run () =
+(* analytic model over the configuration — no simulation points *)
+let plan () : Cwsp_core.Job.t list = []
+
+let render () =
   Exp.banner title;
   let cfg = Config.default in
   print_endline "residual (battery/capacitor) requirement on power failure:";
@@ -41,6 +44,8 @@ let run () =
     "\ncWSP's persistence domain is %dx smaller than eADR's flush set\n"
     (eadr / max 1 cwsp);
   eadr / max 1 cwsp
+
+let run () = Exp.execute_then_render ~plan ~render ()
 
 let ratio () =
   let cfg = Config.default in

@@ -5,7 +5,11 @@
     persist traffic into the same shared WPQs and persist-path bandwidth,
     so cWSP's overhead grows with the thread count while staying moderate
     thanks to MC speculation. Sync-heavy workloads additionally pay
-    persist drains at every critical-section boundary (Section VIII). *)
+    persist drains at every critical-section boundary (Section VIII).
+
+    The multi-core engine ([Engine_mp]) consumes per-thread traces rather
+    than [Api]'s single-threaded memo pipeline, so this driver has no
+    shareable plan points; its cells compute during render. *)
 
 let title = "MP (extension): cWSP overhead vs core count (shared MCs)"
 
@@ -35,7 +39,9 @@ let slowdown ?(cfg = Cwsp_sim.Config.default) (w : Cwsp_workloads.W_parallel.t)
   in
   cwsp.elapsed_ns /. base.elapsed_ns
 
-let run () =
+let plan () : Cwsp_core.Job.t list = []
+
+let render () =
   Exp.banner title;
   let thread_counts = [ 1; 2; 4; 8 ] in
   let rows =
@@ -62,3 +68,5 @@ let run () =
     ~headers:("workload" :: List.map (Printf.sprintf "%d cores") thread_counts)
     rows;
   rows
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -6,29 +6,38 @@
     deep-hierarchy premise. *)
 
 open Cwsp_sim
+open Cwsp_core
 open Cwsp_workloads
 
 let title = "Fig 1: CXL-PMEM vs CXL-DRAM slowdown, 2..5 cache levels"
 
-let slowdown_at_levels levels (w : Defs.t) =
-  let base = Config.fig1_levels levels in
-  let pmem_cfg = { base with mem = Nvm.cxl_pmem } in
-  let dram_cfg = { base with mem = Nvm.cxl_dram } in
-  let label n = Printf.sprintf "fig1-%d-%s" levels n in
-  let st_pmem =
-    Cwsp_core.Api.stats ~label:(label "pmem") w Cwsp_schemes.Schemes.baseline pmem_cfg
-  in
-  let st_dram =
-    Cwsp_core.Api.stats ~label:(label "dram") w Cwsp_schemes.Schemes.baseline dram_cfg
-  in
-  Stats.slowdown st_pmem ~baseline:st_dram
+let baseline = Cwsp_schemes.Schemes.baseline
 
-let run () =
+let configs_at levels =
+  let base = Config.fig1_levels levels in
+  ({ base with mem = Nvm.cxl_pmem }, { base with mem = Nvm.cxl_dram })
+
+let series =
+  List.map
+    (fun levels ->
+      let pmem_cfg, dram_cfg = configs_at levels in
+      {
+        Exp.col = Printf.sprintf "%d levels" levels;
+        points =
+          (fun w ->
+            [ Job.stats w baseline pmem_cfg; Job.stats w baseline dram_cfg ]);
+        eval =
+          (fun w ->
+            Stats.slowdown
+              (Api.stats w baseline pmem_cfg)
+              ~baseline:(Api.stats w baseline dram_cfg));
+      })
+    [ 2; 3; 4; 5 ]
+
+let plan () = Exp.plan ~subset:Registry.memory_intensive series
+
+let render () =
   Exp.banner title;
-  let series =
-    List.map
-      (fun levels ->
-        (Printf.sprintf "%d levels" levels, slowdown_at_levels levels))
-      [ 2; 3; 4; 5 ]
-  in
   Exp.per_workload_table ~subset:Registry.memory_intensive ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -6,16 +6,19 @@ open Cwsp_sim
 
 let title = "Fig 6: average L1D write-buffer occupancy"
 
-let occupancy scheme (w : Cwsp_workloads.Defs.t) =
-  let st = Cwsp_core.Api.stats w scheme Config.default in
-  Cwsp_util.Stats.Acc.mean st.wb_occupancy
+let occupancy (st : Stats.t) = Cwsp_util.Stats.Acc.mean st.wb_occupancy
 
-let run () =
+let series =
+  [
+    Exp.stats_series "baseline" Cwsp_schemes.Schemes.baseline Config.default
+      occupancy;
+    Exp.stats_series "cWSP" Cwsp_schemes.Schemes.cwsp Config.default occupancy;
+  ]
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let series =
-    [
-      ("baseline", occupancy Cwsp_schemes.Schemes.baseline);
-      ("cWSP", occupancy Cwsp_schemes.Schemes.cwsp);
-    ]
-  in
   Exp.per_workload_table ~agg:Exp.Mean ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -7,11 +7,16 @@ open Cwsp_sim
 
 let title = "Fig 8: WPQ hits per 1M instructions (cWSP)"
 
-let hpmi (w : Cwsp_workloads.Defs.t) =
-  let st = Cwsp_core.Api.stats w Cwsp_schemes.Schemes.cwsp Config.default in
-  Stats.wpq_hits_per_minstr st
+let series =
+  [
+    Exp.stats_series "WPQ-HPMI" Cwsp_schemes.Schemes.cwsp Config.default
+      Stats.wpq_hits_per_minstr;
+  ]
 
-let run () =
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let series = [ ("WPQ-HPMI", hpmi) ] in
   Exp.per_workload_table ~agg:Exp.Mean ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

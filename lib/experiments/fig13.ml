@@ -4,14 +4,19 @@
 
 let title = "Fig 13: cWSP slowdown vs baseline (4GB/s persist path)"
 
-let run () =
+let series =
+  [
+    Exp.slowdown_series "cWSP" Cwsp_schemes.Schemes.cwsp Cwsp_sim.Config.default;
+  ]
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let cfg = Cwsp_sim.Config.default in
-  let series =
-    [ ("cWSP", fun w -> Cwsp_core.Api.slowdown w ~scheme:Cwsp_schemes.Schemes.cwsp cfg) ]
-  in
   match Exp.per_workload_table ~series () with
   | [ overall ] ->
     Printf.printf "paper: 1.06 overall; measured: %.2f\n" overall;
     overall
   | _ -> assert false
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -10,20 +10,19 @@ let title = "Fig 14: cWSP vs ReplayCache and Capri (4GB/s and 32GB/s)"
 
 let cfg_bw bw = { Config.default with path_bandwidth_gbs = bw }
 
-let slowdown scheme bw (w : Cwsp_workloads.Defs.t) =
-  Cwsp_core.Api.slowdown
-    ~label:(Printf.sprintf "fig14-bw%g" bw)
-    w ~scheme (cfg_bw bw)
+let series =
+  [
+    Exp.slowdown_series "ReplayCache" Schemes.replaycache (cfg_bw 4.0);
+    Exp.slowdown_series "Capri-4GB" Schemes.capri (cfg_bw 4.0);
+    Exp.slowdown_series "Capri-32GB" Schemes.capri (cfg_bw 32.0);
+    Exp.slowdown_series "cWSP-4GB" Schemes.cwsp (cfg_bw 4.0);
+    Exp.slowdown_series "cWSP-32GB" Schemes.cwsp (cfg_bw 32.0);
+  ]
 
-let run () =
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let series =
-    [
-      ("ReplayCache", slowdown Schemes.replaycache 4.0);
-      ("Capri-4GB", slowdown Schemes.capri 4.0);
-      ("Capri-32GB", slowdown Schemes.capri 32.0);
-      ("cWSP-4GB", slowdown Schemes.cwsp 4.0);
-      ("cWSP-32GB", slowdown Schemes.cwsp 32.0);
-    ]
-  in
   Exp.per_suite_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -4,13 +4,16 @@
 
 let title = "Fig 15: per-optimization ablation (cumulative stages)"
 
-let run () =
+let series =
+  List.map
+    (fun (name, scheme) ->
+      Exp.slowdown_series name scheme Cwsp_sim.Config.default)
+    Cwsp_schemes.Schemes.fig15_stages
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let cfg = Cwsp_sim.Config.default in
-  let series =
-    List.map
-      (fun (name, scheme) ->
-        (name, fun w -> Cwsp_core.Api.slowdown ~label:"fig15" w ~scheme cfg))
-      Cwsp_schemes.Schemes.fig15_stages
-  in
   Exp.per_suite_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -18,18 +18,19 @@ let print_table1 () =
            Printf.sprintf "%.1f" d.write_bw_gbs ])
        Nvm.cxl_devices)
 
-let slowdown_on (dev : Nvm.t) (w : Defs.t) =
-  Cwsp_core.Api.slowdown
-    ~label:("fig17-" ^ dev.mem_name)
-    w ~scheme:Cwsp_schemes.Schemes.cwsp (Config.cxl dev)
+let series =
+  List.map
+    (fun (d : Nvm.t) ->
+      Exp.slowdown_series (d.mem_name ^ "-cWSP") Cwsp_schemes.Schemes.cwsp
+        (Config.cxl d))
+    Nvm.cxl_devices
 
-let run () =
+let plan () = Exp.plan ~subset:Registry.memory_intensive series
+
+let render () =
   Exp.banner title;
   print_table1 ();
   print_newline ();
-  let series =
-    List.map
-      (fun (d : Nvm.t) -> (d.mem_name ^ "-cWSP", slowdown_on d))
-      Nvm.cxl_devices
-  in
   Exp.per_workload_table ~subset:Registry.memory_intensive ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

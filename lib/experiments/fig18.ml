@@ -7,19 +7,17 @@ open Cwsp_workloads
 
 let title = "Fig 18: cWSP vs ideal PSP (BBB/eADR/LightPC)"
 
-let run () =
-  Exp.banner title;
+let series =
   let cfg = Cwsp_sim.Config.default in
-  let series =
-    [
-      ( "cWSP",
-        fun w ->
-          Cwsp_core.Api.slowdown ~label:"fig18" w
-            ~scheme:Cwsp_schemes.Schemes.cwsp cfg );
-      ( "idealPSP",
-        fun w ->
-          Cwsp_core.Api.slowdown ~label:"fig18" w
-            ~scheme:Cwsp_schemes.Schemes.psp_ideal cfg );
-    ]
-  in
+  [
+    Exp.slowdown_series "cWSP" Cwsp_schemes.Schemes.cwsp cfg;
+    Exp.slowdown_series "idealPSP" Cwsp_schemes.Schemes.psp_ideal cfg;
+  ]
+
+let plan () = Exp.plan ~subset:Registry.memory_intensive series
+
+let render () =
+  Exp.banner title;
   Exp.per_workload_table ~subset:Registry.memory_intensive ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

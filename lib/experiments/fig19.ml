@@ -5,10 +5,6 @@
 
 let title = "Fig 19: dynamic instructions per region (cWSP binary)"
 
-let lengths_of (w : Cwsp_workloads.Defs.t) =
-  let tr = Cwsp_core.Api.trace w Cwsp_compiler.Pipeline.cwsp in
-  Cwsp_interp.Trace.region_lengths tr
-
 let avg lens =
   match lens with
   | [] -> 1.0
@@ -22,18 +18,26 @@ let percentile lens p =
     let n = List.length sorted in
     float_of_int (List.nth sorted (min (n - 1) (p * n / 100)))
 
-let run () =
-  Exp.banner title;
-  let series =
-    [
-      ("mean", fun w -> avg (lengths_of w));
-      ("p50", fun w -> percentile (lengths_of w) 50);
-      ("p90", fun w -> percentile (lengths_of w) 90);
-    ]
+let series =
+  let over_lengths col metric =
+    Exp.trace_series col Cwsp_compiler.Pipeline.cwsp (fun tr ->
+        metric (Cwsp_interp.Trace.region_lengths tr))
   in
+  [
+    over_lengths "mean" avg;
+    over_lengths "p50" (fun lens -> percentile lens 50);
+    over_lengths "p90" (fun lens -> percentile lens 90);
+  ]
+
+let plan () = Exp.plan series
+
+let render () =
+  Exp.banner title;
   match Exp.per_workload_table ~series () with
   | overall :: _ ->
     Printf.printf "paper: 38.15 overall average; measured gmean of means: %.1f\n"
       overall;
     overall
   | _ -> assert false
+
+let run () = Exp.execute_then_render ~plan ~render ()

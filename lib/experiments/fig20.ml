@@ -3,15 +3,16 @@
 
 let title = "Fig 20: cWSP slowdown with an added L3"
 
-let run () =
+let series =
+  [
+    Exp.slowdown_series "cWSP-L3" Cwsp_schemes.Schemes.cwsp
+      Cwsp_sim.Config.with_l3;
+  ]
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let cfg = Cwsp_sim.Config.with_l3 in
-  let series =
-    [
-      ( "cWSP-L3",
-        fun w ->
-          Cwsp_core.Api.slowdown ~label:"fig20" w
-            ~scheme:Cwsp_schemes.Schemes.cwsp cfg );
-    ]
-  in
   Exp.per_workload_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

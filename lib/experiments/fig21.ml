@@ -6,14 +6,18 @@ open Cwsp_sim
 
 let title = "Fig 21: persist-path bandwidth sweep"
 
-let run () =
+let series =
+  Exp.cwsp_sweep_series
+    (List.map
+       (fun bw ->
+         ( Printf.sprintf "%gGB" bw,
+           { Config.default with path_bandwidth_gbs = bw } ))
+       [ 1.0; 2.0; 4.0; 10.0; 20.0; 32.0 ])
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let variants =
-    List.map
-      (fun bw ->
-        ( Printf.sprintf "%gGB" bw,
-          Printf.sprintf "fig21-%g" bw,
-          { Config.default with path_bandwidth_gbs = bw } ))
-      [ 1.0; 2.0; 4.0; 10.0; 20.0; 32.0 ]
-  in
-  Exp.cwsp_sweep ~variants ()
+  Exp.per_suite_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

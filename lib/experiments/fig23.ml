@@ -6,14 +6,17 @@ open Cwsp_sim
 
 let title = "Fig 23: persist-path latency sweep"
 
-let run () =
+let series =
+  Exp.cwsp_sweep_series
+    (List.map
+       (fun lat ->
+         (Printf.sprintf "Lat-%g" lat, { Config.default with path_latency_ns = lat }))
+       [ 10.0; 20.0; 30.0; 40.0 ])
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let variants =
-    List.map
-      (fun lat ->
-        ( Printf.sprintf "Lat-%g" lat,
-          Printf.sprintf "fig23-%g" lat,
-          { Config.default with path_latency_ns = lat } ))
-      [ 10.0; 20.0; 30.0; 40.0 ]
-  in
-  Exp.cwsp_sweep ~variants ()
+  Exp.per_suite_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

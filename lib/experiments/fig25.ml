@@ -5,14 +5,17 @@ open Cwsp_sim
 
 let title = "Fig 25: persist buffer (PB) size sweep"
 
-let run () =
+let series =
+  Exp.cwsp_sweep_series
+    (List.map
+       (fun n ->
+         (Printf.sprintf "PB-%d" n, { Config.default with pb_entries = n }))
+       [ 20; 40; 50; 60 ])
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let variants =
-    List.map
-      (fun n ->
-        ( Printf.sprintf "PB-%d" n,
-          Printf.sprintf "fig25-%d" n,
-          { Config.default with pb_entries = n } ))
-      [ 20; 40; 50; 60 ]
-  in
-  Exp.cwsp_sweep ~variants ()
+  Exp.per_suite_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

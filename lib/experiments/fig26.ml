@@ -6,14 +6,17 @@ open Cwsp_sim
 
 let title = "Fig 26: NVM WPQ size sweep"
 
-let run () =
+let series =
+  Exp.cwsp_sweep_series
+    (List.map
+       (fun n ->
+         (Printf.sprintf "WPQ-%d" n, { Config.default with wpq_entries = n }))
+       [ 8; 16; 24; 32 ])
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let variants =
-    List.map
-      (fun n ->
-        ( Printf.sprintf "WPQ-%d" n,
-          Printf.sprintf "fig26-%d" n,
-          { Config.default with wpq_entries = n } ))
-      [ 8; 16; 24; 32 ]
-  in
-  Exp.cwsp_sweep ~variants ()
+  Exp.per_suite_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -6,12 +6,16 @@ open Cwsp_sim
 
 let title = "Fig 27: NVM technology sweep"
 
-let run () =
+let series =
+  Exp.cwsp_sweep_series
+    (List.map
+       (fun (tech : Nvm.t) -> (tech.mem_name, { Config.default with mem = tech }))
+       Nvm.all_techs)
+
+let plan () = Exp.plan series
+
+let render () =
   Exp.banner title;
-  let variants =
-    List.map
-      (fun (tech : Nvm.t) ->
-        (tech.mem_name, "fig27-" ^ tech.mem_name, { Config.default with mem = tech }))
-      Nvm.all_techs
-  in
-  Exp.cwsp_sweep ~variants ()
+  Exp.per_suite_table ~series ()
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -5,7 +5,11 @@
     executes the recovery protocol and checks NVM-state equality with a
     failure-free run. Also reports what the paper argues analytically:
     the recovery cost is tiny because only tens of instructions are
-    re-executed. *)
+    re-executed.
+
+    The plan declares the compiled binaries and traces (the shared,
+    memoizable part); the crash injections themselves re-execute the
+    machine with per-run state and stay in the render step. *)
 
 open Cwsp_workloads
 
@@ -14,6 +18,12 @@ let title = "Recovery: crash injection + protocol validation"
 (* Workloads exercised heavily here; the full sweep over all 38 runs in
    the test suite. *)
 let sample = [ "lbm"; "radix"; "c"; "tatp"; "xz" ]
+
+let plan () =
+  List.map
+    (fun name ->
+      Cwsp_core.Job.trace (Registry.find_exn name) Cwsp_compiler.Pipeline.cwsp)
+    sample
 
 let validate_workload ?(crashes = 12) (w : Defs.t) =
   let tr = Cwsp_core.Api.trace w Cwsp_compiler.Pipeline.cwsp in
@@ -29,7 +39,7 @@ let validate_workload ?(crashes = 12) (w : Defs.t) =
   done;
   (!ok, !failed, float_of_int !restored /. float_of_int (max 1 !ok))
 
-let run () =
+let render () =
   Exp.banner title;
   let rows =
     List.map
@@ -48,3 +58,5 @@ let run () =
   in
   Printf.printf "crash-consistency violations: %d\n" total_failed;
   total_failed
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -10,7 +10,10 @@ let cwsp_bytes ~rbt_entries = Cwsp_sim.Engine.storage_bytes ~rbt_entries
 
 let capri_bytes_per_core ~n_mcs = (n_mcs + 1) * 18 * 1024
 
-let run () =
+(* pure arithmetic — no simulation points to declare *)
+let plan () : Cwsp_core.Job.t list = []
+
+let render () =
   Exp.banner title;
   let cwsp = cwsp_bytes ~rbt_entries:Cwsp_sim.Config.default.rbt_entries in
   let capri2 = capri_bytes_per_core ~n_mcs:2 in
@@ -25,3 +28,5 @@ let run () =
   Printf.printf "paper: 176 bytes vs 54KB (346x); measured ratio: %.0fx\n"
     (float_of_int (capri_bytes_per_core ~n_mcs:1) /. float_of_int cwsp);
   cwsp
+
+let run () = Exp.execute_then_render ~plan ~render ()

@@ -1,36 +1,68 @@
-(** Experiment index: id -> driver. [bench/main.exe] runs these. *)
+(** Experiment index: id -> (plan, render). [bench/main.exe] runs these.
 
-type entry = { id : string; etitle : string; erun : unit -> unit }
+    [run_all] is the whole-evaluation pipeline: concatenate every
+    driver's plan, hand the union to the executor (which dedupes shared
+    points — e.g. the default-platform baseline appears in a dozen
+    figures but runs once), then render every driver in declaration
+    order. Rendering only reads memoized results, so output is
+    byte-identical for any pool width. *)
 
-let e id etitle erun = { id; etitle; erun }
+type entry = {
+  id : string;
+  etitle : string;
+  eplan : unit -> Cwsp_core.Job.t list;
+  erender : unit -> float option;
+      (** renders the figure; returns its headline number if it has one *)
+}
+
+let e id etitle eplan erender = { id; etitle; eplan; erender }
+
+(* headline adapters *)
+let headline_f render () = Some (render ())
+let headline_i render () = Some (float_of_int (render ()))
+let headline_none render () =
+  ignore (render ());
+  None
 
 let all : entry list =
   [
-    e "fig1" Fig01.title (fun () -> ignore (Fig01.run ()));
-    e "fig6" Fig06.title (fun () -> ignore (Fig06.run ()));
-    e "fig8" Fig08.title (fun () -> ignore (Fig08.run ()));
-    e "fig13" Fig13.title (fun () -> ignore (Fig13.run ()));
-    e "fig14" Fig14.title (fun () -> ignore (Fig14.run ()));
-    e "fig15" Fig15.title (fun () -> ignore (Fig15.run ()));
-    e "fig17" Fig17.title (fun () -> ignore (Fig17.run ()));
-    e "fig18" Fig18.title (fun () -> ignore (Fig18.run ()));
-    e "fig19" Fig19.title (fun () -> ignore (Fig19.run ()));
-    e "fig20" Fig20.title (fun () -> ignore (Fig20.run ()));
-    e "fig21" Fig21.title (fun () -> ignore (Fig21.run ()));
-    e "fig22" Fig22.title (fun () -> ignore (Fig22.run ()));
-    e "fig23" Fig23.title (fun () -> ignore (Fig23.run ()));
-    e "fig24" Fig24.title (fun () -> ignore (Fig24.run ()));
-    e "fig25" Fig25.title (fun () -> ignore (Fig25.run ()));
-    e "fig26" Fig26.title (fun () -> ignore (Fig26.run ()));
-    e "fig27" Fig27.title (fun () -> ignore (Fig27.run ()));
-    e "hw" Hw_overhead.title (fun () -> ignore (Hw_overhead.run ()));
-    e "recovery" Fig_recovery.title (fun () -> ignore (Fig_recovery.run ()));
-    e "mp" Exp_mp.title (fun () -> ignore (Exp_mp.run ()));
-    e "energy" Exp_energy.title (fun () -> ignore (Exp_energy.run ()));
-    e "breakdown" Exp_breakdown.title (fun () -> ignore (Exp_breakdown.run ()));
-    e "ablation" Exp_ablation.title (fun () -> ignore (Exp_ablation.run ()));
+    e "fig1" Fig01.title Fig01.plan (headline_none Fig01.render);
+    e "fig6" Fig06.title Fig06.plan (headline_none Fig06.render);
+    e "fig8" Fig08.title Fig08.plan (headline_none Fig08.render);
+    e "fig13" Fig13.title Fig13.plan (headline_f Fig13.render);
+    e "fig14" Fig14.title Fig14.plan (headline_none Fig14.render);
+    e "fig15" Fig15.title Fig15.plan (headline_none Fig15.render);
+    e "fig17" Fig17.title Fig17.plan (headline_none Fig17.render);
+    e "fig18" Fig18.title Fig18.plan (headline_none Fig18.render);
+    e "fig19" Fig19.title Fig19.plan (headline_f Fig19.render);
+    e "fig20" Fig20.title Fig20.plan (headline_none Fig20.render);
+    e "fig21" Fig21.title Fig21.plan (headline_none Fig21.render);
+    e "fig22" Fig22.title Fig22.plan (headline_none Fig22.render);
+    e "fig23" Fig23.title Fig23.plan (headline_none Fig23.render);
+    e "fig24" Fig24.title Fig24.plan (headline_none Fig24.render);
+    e "fig25" Fig25.title Fig25.plan (headline_none Fig25.render);
+    e "fig26" Fig26.title Fig26.plan (headline_none Fig26.render);
+    e "fig27" Fig27.title Fig27.plan (headline_none Fig27.render);
+    e "hw" Hw_overhead.title Hw_overhead.plan (headline_i Hw_overhead.render);
+    e "recovery" Fig_recovery.title Fig_recovery.plan
+      (headline_i Fig_recovery.render);
+    e "mp" Exp_mp.title Exp_mp.plan (headline_none Exp_mp.render);
+    e "energy" Exp_energy.title Exp_energy.plan (headline_i Exp_energy.render);
+    e "breakdown" Exp_breakdown.title Exp_breakdown.plan
+      (headline_none Exp_breakdown.render);
+    e "ablation" Exp_ablation.title Exp_ablation.plan
+      (headline_none Exp_ablation.render);
   ]
 
 let find id = List.find_opt (fun x -> x.id = id) all
 
-let run_all () = List.iter (fun x -> x.erun ()) all
+(** Plan + execute + render one experiment. *)
+let run_one (x : entry) : float option =
+  Cwsp_core.Executor.run (x.eplan ());
+  x.erender ()
+
+(** Plan + execute + render the full evaluation: one deduplicated
+    executor pass over every driver's points, then serial rendering. *)
+let run_all () =
+  Cwsp_core.Executor.run (List.concat_map (fun x -> x.eplan ()) all);
+  List.iter (fun x -> ignore (x.erender ())) all

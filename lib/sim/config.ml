@@ -96,6 +96,28 @@ let fig1_levels n =
 (** CXL platform of Section IX-C: local DRAM as LLC atop a CXL device. *)
 let cxl device = { default with mem = device }
 
+(** Stable content fingerprint of a configuration, covering every field
+    that affects simulation timing. Used as a memoization-key component so
+    that two distinct platforms can never alias, no matter how an
+    experiment labels them. *)
+let fingerprint t =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d:%g;" l.cname l.size_bytes l.assoc l.hit_ns))
+    t.levels;
+  Buffer.add_string buf
+    (Printf.sprintf "|wb%d:%g|%s:%g:%g:%g|mc%d" t.wb_entries t.wb_drain_ns
+       t.mem.mem_name t.mem.read_ns t.mem.write_ns t.mem.write_bw_gbs t.n_mcs);
+  Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf ":%g" x))
+    t.numa_extra_ns;
+  Buffer.add_string buf
+    (Printf.sprintf "|wpq%d|bw%g|lat%g|pb%d|rbt%d|cyc%g|at%g|mlp%g"
+       t.wpq_entries t.path_bandwidth_gbs t.path_latency_ns t.pb_entries
+       t.rbt_entries t.cycle_ns t.atomic_ns t.mlp);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let entry_gap_ns t = 8.0 /. t.path_bandwidth_gbs
 (* WPQ media drain per 8-byte entry *)
 let wpq_service_ns t = 8.0 /. t.mem.write_bw_gbs

@@ -53,6 +53,10 @@ val fig1_levels : int -> t
 (** CXL platform of Section IX-C. *)
 val cxl : Nvm.t -> t
 
+(** Stable content fingerprint covering every timing-relevant field; a
+    memoization-key component (two distinct platforms can never alias). *)
+val fingerprint : t -> string
+
 (** Persist-path send slot per 8-byte entry. *)
 val entry_gap_ns : t -> float
 

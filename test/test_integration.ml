@@ -7,8 +7,8 @@ open Cwsp_schemes
 
 let w = Cwsp_workloads.Registry.find_exn
 
-let slow ?(label = "test-integration") ?(cfg = Config.default) name scheme =
-  Cwsp_core.Api.slowdown ~label (w name) ~scheme cfg
+let slow ?(cfg = Config.default) name scheme =
+  Cwsp_core.Api.slowdown (w name) ~scheme cfg
 
 (* Fig 13 shape: low single/low-double-digit overhead for compute suites *)
 let test_fig13_shape () =
@@ -30,13 +30,13 @@ let test_fig13_splash_worse () =
 let test_fig14_shape () =
   let bw b = { Config.default with path_bandwidth_gbs = b } in
   let names = [ "radix"; "water-ns"; "p" ] in
-  let gm scheme cfg label =
-    Cwsp_util.Stats.gmean (List.map (fun n -> slow ~label ~cfg n scheme) names)
+  let gm scheme cfg =
+    Cwsp_util.Stats.gmean (List.map (fun n -> slow ~cfg n scheme) names)
   in
-  let cwsp4 = gm Schemes.cwsp (bw 4.0) "ti-bw4" in
-  let capri4 = gm Schemes.capri (bw 4.0) "ti-bw4" in
-  let capri32 = gm Schemes.capri (bw 32.0) "ti-bw32" in
-  let rc = gm Schemes.replaycache (bw 4.0) "ti-bw4" in
+  let cwsp4 = gm Schemes.cwsp (bw 4.0) in
+  let capri4 = gm Schemes.capri (bw 4.0) in
+  let capri32 = gm Schemes.capri (bw 32.0) in
+  let rc = gm Schemes.replaycache (bw 4.0) in
   Alcotest.(check bool)
     (Printf.sprintf "capri4 (%.2f) > cwsp4 (%.2f)" capri4 cwsp4)
     true (capri4 > cwsp4);
@@ -79,9 +79,7 @@ let test_fig19_shape () =
 (* Fig 21 shape: overhead falls with persist-path bandwidth and flattens *)
 let test_fig21_shape () =
   let at b =
-    slow ~label:(Printf.sprintf "ti-f21-%g" b)
-      ~cfg:{ Config.default with path_bandwidth_gbs = b }
-      "radix" Schemes.cwsp
+    slow ~cfg:{ Config.default with path_bandwidth_gbs = b } "radix" Schemes.cwsp
   in
   let s1 = at 1.0 and s4 = at 4.0 and s10 = at 10.0 and s32 = at 32.0 in
   Alcotest.(check bool) "1 >= 4" true (s1 >= s4 -. 0.001);
@@ -91,18 +89,14 @@ let test_fig21_shape () =
 (* Fig 22 shape: RBT 8 worse than 32 on short-region suites *)
 let test_fig22_shape () =
   let at n =
-    slow ~label:(Printf.sprintf "ti-f22-%d" n)
-      ~cfg:{ Config.default with rbt_entries = n }
-      "radix" Schemes.cwsp
+    slow ~cfg:{ Config.default with rbt_entries = n } "radix" Schemes.cwsp
   in
   Alcotest.(check bool) "rbt8 >= rbt32" true (at 8 >= at 32 -. 0.001)
 
 (* Fig 26 shape: WPQ 8 worse than 24 for write-dense suites *)
 let test_fig26_shape () =
   let at n =
-    slow ~label:(Printf.sprintf "ti-f26-%d" n)
-      ~cfg:{ Config.default with wpq_entries = n }
-      "water-ns" Schemes.cwsp
+    slow ~cfg:{ Config.default with wpq_entries = n } "water-ns" Schemes.cwsp
   in
   Alcotest.(check bool) "wpq8 >= wpq24" true (at 8 >= at 24 -. 0.001)
 
@@ -111,12 +105,12 @@ let test_fig1_shape () =
   let ratio levels name =
     let base = Config.fig1_levels levels in
     let pm =
-      Cwsp_core.Api.stats ~label:(Printf.sprintf "ti-f1p-%d" levels) (w name)
-        Schemes.baseline { base with mem = Nvm.cxl_pmem }
+      Cwsp_core.Api.stats (w name) Schemes.baseline
+        { base with mem = Nvm.cxl_pmem }
     in
     let dr =
-      Cwsp_core.Api.stats ~label:(Printf.sprintf "ti-f1d-%d" levels) (w name)
-        Schemes.baseline { base with mem = Nvm.cxl_dram }
+      Cwsp_core.Api.stats (w name) Schemes.baseline
+        { base with mem = Nvm.cxl_dram }
     in
     Stats.slowdown pm ~baseline:dr
   in
@@ -133,9 +127,7 @@ let test_fig27_shape () =
   List.iter
     (fun (tech : Nvm.t) ->
       let s =
-        slow ~label:("ti-f27-" ^ tech.mem_name)
-          ~cfg:{ Config.default with mem = tech }
-          "lbm" Schemes.cwsp
+        slow ~cfg:{ Config.default with mem = tech } "lbm" Schemes.cwsp
       in
       Alcotest.(check bool)
         (Printf.sprintf "%s overhead %.2f < 1.3" tech.mem_name s)

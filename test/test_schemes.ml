@@ -6,7 +6,7 @@ open Cwsp_schemes
 let w name = Cwsp_workloads.Registry.find_exn name
 
 let slow name scheme =
-  Cwsp_core.Api.slowdown ~label:"test-schemes" (w name) ~scheme Config.default
+  Cwsp_core.Api.slowdown (w name) ~scheme Config.default
 
 let test_baseline_is_one () =
   Alcotest.(check (float 1e-9)) "baseline/baseline" 1.0

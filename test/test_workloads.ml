@@ -93,7 +93,7 @@ let test_memory_intensive_behavior () =
     (fun name ->
       let w = Registry.find_exn name in
       let st =
-        Cwsp_core.Api.stats ~label:"test-workloads" w Cwsp_schemes.Schemes.baseline
+        Cwsp_core.Api.stats w Cwsp_schemes.Schemes.baseline
           Cwsp_sim.Config.default
       in
       Alcotest.(check bool)
