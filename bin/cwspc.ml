@@ -37,7 +37,7 @@ let config_of_string = function
   | s -> Error (`Msg (Printf.sprintf "unknown config %S" s))
 
 let run list workload input emit config dump_ir report slices simulate validate
-    scale verify =
+    scale verify format =
   if list then (
     list_workloads ();
     `Ok ())
@@ -131,22 +131,23 @@ let run list workload input emit config dump_ir report slices simulate validate
             done;
             Printf.printf "recovery validation: %d/%d crash points ok\n" !ok points);
           if verify then begin
-            let diags = Cwsp_verify.Verify.run compiled in
-            List.iter
-              (fun d -> print_endline (Cwsp_verify.Diag.to_string d))
-              diags;
+            let diags = Cwsp_verify.Verify.(normalize (run compiled)) in
             let errs = Cwsp_verify.Verify.errors diags in
+            (match format with
+            | `Json -> print_endline (Cwsp_verify.Verify.report_json diags)
+            | `Text ->
+              if diags <> [] then
+                print_endline (Cwsp_verify.Verify.report diags);
+              if errs = [] then
+                Printf.printf "verify: ok (%d regions, %d warnings)\n"
+                  (Pipeline.nboundaries compiled)
+                  (List.length diags));
             if errs <> [] then
               `Error
                 ( false,
                   Printf.sprintf "verification failed with %d error(s)"
                     (List.length errs) )
-            else begin
-              Printf.printf "verify: ok (%d regions, %d warnings)\n"
-                (Pipeline.nboundaries compiled)
-                (List.length diags);
-              `Ok ()
-            end
+            else `Ok ()
           end
           else `Ok ())
 
@@ -209,11 +210,21 @@ let cmd =
             "Run the static crash-consistency verifier on the compiled \
              program; exit non-zero on any error diagnostic.")
   in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Verifier report format: $(b,text) (one diagnostic per line \
+             plus a summary) or $(b,json) (machine-readable diagnostic \
+             records).")
+  in
   let term =
     Term.(
       ret
         (const run $ list $ workload $ input $ emit $ config $ dump_ir $ report
-       $ slices $ simulate $ validate $ scale $ verify))
+       $ slices $ simulate $ validate $ scale $ verify $ format))
   in
   Cmd.v
     (Cmd.info "cwspc" ~version:"1.0"

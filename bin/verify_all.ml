@@ -1,39 +1,97 @@
-(** verify-all — sweep the static crash-consistency verifier over every
-    registry workload under each instrumented pipeline configuration.
-    Prints one line per (workload, config) pair and exits non-zero if any
-    error-severity diagnostic is found anywhere. *)
+(** verify-all — sweep the static crash-consistency verifier (syntactic
+    tiers + the semantic slice checker) over every registry workload
+    under each instrumented pipeline configuration. One line per
+    (workload, config) pair — or a JSON report with [--format json] —
+    and a non-zero exit if any error-severity diagnostic is found.
+
+    [--jobs N] fans the (workload, config) pairs out over the shared
+    domain pool; the report order is the declaration order regardless
+    of N, so outputs are byte-identical across pool widths. *)
 
 open Cwsp_compiler
 
 let configs =
   [ Pipeline.cwsp; Pipeline.cwsp_no_prune; Pipeline.regions_only ]
 
+type row = {
+  workload : string;
+  config : string;
+  regions : int;
+  diags : Cwsp_verify.Diag.t list;
+}
+
+let verify_pair ((w : Cwsp_workloads.Defs.t), config) : row =
+  let compiled = Pipeline.compile ~config (w.build ~scale:1) in
+  {
+    workload = w.name;
+    config = Pipeline.config_name config;
+    regions = Pipeline.nboundaries compiled;
+    diags = Cwsp_verify.Verify.(normalize (run compiled));
+  }
+
+let print_text rows =
+  Array.iter
+    (fun row ->
+      let errs = Cwsp_verify.Verify.errors row.diags in
+      let warnings = List.length row.diags - List.length errs in
+      Printf.printf "%-12s %-14s regions=%-5d %s\n" row.workload row.config
+        row.regions
+        (if errs <> [] then Printf.sprintf "FAIL (%d errors)" (List.length errs)
+         else if warnings > 0 then Printf.sprintf "ok (%d warnings)" warnings
+         else "ok");
+      if errs <> [] then begin
+        print_string (Cwsp_verify.Verify.report errs);
+        print_newline ()
+      end)
+    rows
+
+let print_json rows =
+  let row_json row =
+    let errs = Cwsp_verify.Verify.errors row.diags in
+    Printf.sprintf
+      "{\"workload\":\"%s\",\"config\":\"%s\",\"regions\":%d,\"errors\":%d,\
+       \"warnings\":%d,\"diagnostics\":%s}"
+      row.workload row.config row.regions (List.length errs)
+      (List.length row.diags - List.length errs)
+      (Cwsp_verify.Verify.report_json row.diags)
+  in
+  print_string "[\n";
+  Array.iteri
+    (fun i row ->
+      print_string (row_json row);
+      if i < Array.length rows - 1 then print_string ",";
+      print_newline ())
+    rows;
+  print_string "]\n"
+
 let () =
-  let failures = ref 0 in
-  List.iter
-    (fun (w : Cwsp_workloads.Defs.t) ->
-      List.iter
-        (fun config ->
-          let compiled = Pipeline.compile ~config (w.build ~scale:1) in
-          let diags = Cwsp_verify.Verify.run compiled in
-          let errs = Cwsp_verify.Verify.errors diags in
-          let warnings = List.length diags - List.length errs in
-          Printf.printf "%-12s %-14s regions=%-5d %s\n" w.name
-            (Pipeline.config_name config)
-            (Pipeline.nboundaries compiled)
-            (if errs <> [] then
-               Printf.sprintf "FAIL (%d errors)" (List.length errs)
-             else if warnings > 0 then
-               Printf.sprintf "ok (%d warnings)" warnings
-             else "ok");
-          if errs <> [] then begin
-            incr failures;
-            print_string (Cwsp_verify.Verify.report errs);
-            print_newline ()
-          end)
-        configs)
-    Cwsp_workloads.Registry.all;
-  if !failures > 0 then begin
-    Printf.eprintf "verify-all: %d failing (workload, config) pairs\n" !failures;
+  let jobs = ref 1 in
+  let format = ref "text" in
+  Arg.parse
+    [
+      ("--jobs", Arg.Set_int jobs, "N  verify N (workload, config) pairs at a time");
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        "  report format (default text)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "verify_all [--jobs N] [--format text|json]";
+  let pairs =
+    Array.of_list
+      (List.concat_map
+         (fun (w : Cwsp_workloads.Defs.t) ->
+           List.map (fun config -> (w, config)) configs)
+         Cwsp_workloads.Registry.all)
+  in
+  let rows = Cwsp_core.Executor.map_pool ~jobs:!jobs verify_pair pairs in
+  (match !format with "json" -> print_json rows | _ -> print_text rows);
+  let failures =
+    Array.fold_left
+      (fun acc row ->
+        if Cwsp_verify.Verify.errors row.diags <> [] then acc + 1 else acc)
+      0 rows
+  in
+  if failures > 0 then begin
+    Printf.eprintf "verify-all: %d failing (workload, config) pairs\n" failures;
     exit 1
   end

@@ -1,0 +1,65 @@
+(** Generic block-level worklist dataflow solver.
+
+    One fixpoint engine shared by every analysis in the repository:
+    [Liveness] (backward, set union), the reaching-definitions facts the
+    verifier's checkpoint checks consume, and the symbolic
+    translation-validation domain of [Cwsp_verify.Sem_check]. A client
+    supplies a join-semilattice with a bottom element and a per-block
+    transfer function; the solver iterates block states to a fixpoint
+    over the CFG in the requested direction.
+
+    The solver is deliberately *unparameterized over convergence proofs*:
+    domains of unbounded height (e.g. symbolic expressions) must make
+    their [join] collapse disagreement to a finite set of values (top or
+    join-point symbols). A round cap guards against domains that fail to
+    do so; exceeding it raises rather than silently delivering a
+    non-fixpoint. *)
+
+open Cwsp_ir
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  (** Identity of [join]; the initial state of every block. *)
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Merge of two incoming path states. Must be commutative and
+      idempotent up to [equal], with [join bottom x] = [x]. *)
+end
+
+module type PROBLEM = sig
+  module D : DOMAIN
+
+  type ctx
+  (** Per-function precomputed context threaded to [transfer] (e.g. the
+      instruction arrays, alias facts); keeps transfer closures
+      allocation-free inside the fixpoint loop. *)
+
+  val direction : [ `Forward | `Backward ]
+
+  val boundary : ctx -> Prog.func -> D.t
+  (** State flowing into the entry block (forward) or out of every
+      exit block (backward). *)
+
+  val transfer : ctx -> Prog.func -> int -> D.t -> D.t
+  (** [transfer ctx fn bi s] pushes the state through block [bi]:
+      in-state to out-state (forward) or out-state to in-state
+      (backward). *)
+end
+
+module Make (P : PROBLEM) : sig
+  type result = {
+    inb : P.D.t array;  (** per block: state at block entry *)
+    outb : P.D.t array; (** per block: state at block exit *)
+  }
+
+  val solve : P.ctx -> Prog.func -> result
+  (** Worklist fixpoint over the function's CFG. Blocks are seeded in
+      reverse postorder (forward) or postorder (backward) so reducible
+      graphs converge in a small number of sweeps; unreachable blocks
+      keep [D.bottom]. Raises [Failure] if the domain fails to converge
+      within the round cap. *)
+end

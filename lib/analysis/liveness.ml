@@ -1,8 +1,11 @@
-(** Classic backward liveness dataflow.
+(** Classic backward liveness, expressed as a [Dataflow] problem.
 
     The cWSP compiler checkpoints exactly the registers that are live
     across each region boundary (Section IV-B), so the checkpoint passes
-    query [live_before] at boundary positions. *)
+    query [live_before] at boundary positions. The fixpoint itself runs
+    on the shared [Dataflow] worklist engine; this module contributes
+    only the domain (register sets under union) and the per-block
+    backward transfer. *)
 
 open Cwsp_ir
 module IntSet = Set.Make (Int)
@@ -23,36 +26,27 @@ let block_transfer (blk : Prog.block) live_out =
       List.fold_left (fun s r -> IntSet.add r s) live (Types.uses ins))
     live (List.rev blk.instrs)
 
+module Problem = struct
+  module D = struct
+    type t = IntSet.t
+
+    let bottom = IntSet.empty
+    let equal = IntSet.equal
+    let join = IntSet.union
+  end
+
+  type ctx = unit
+
+  let direction = `Backward
+  let boundary () _fn = IntSet.empty
+  let transfer () (fn : Prog.func) bi out = block_transfer fn.blocks.(bi) out
+end
+
+module Solver = Dataflow.Make (Problem)
+
 let compute (fn : Prog.func) : t =
-  let n = Array.length fn.blocks in
-  let live_out = Array.make n IntSet.empty in
-  let live_in = Array.make n IntSet.empty in
-  let preds = Cfg.predecessors fn in
-  let changed = ref true in
-  (* iterate in postorder (reverse of RPO) for fast convergence *)
-  let order = List.rev (Cfg.reverse_postorder fn) in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun bi ->
-        let out =
-          List.fold_left
-            (fun acc s -> IntSet.union acc live_in.(s))
-            IntSet.empty (Cfg.successors fn bi)
-        in
-        let inn = block_transfer fn.blocks.(bi) out in
-        if not (IntSet.equal out live_out.(bi)) then begin
-          live_out.(bi) <- out;
-          changed := true
-        end;
-        if not (IntSet.equal inn live_in.(bi)) then begin
-          live_in.(bi) <- inn;
-          changed := true
-        end;
-        ignore preds)
-      order
-  done;
-  { fn; live_out }
+  let r = Solver.solve () fn in
+  { fn; live_out = r.outb }
 
 (** Live registers immediately before instruction [ii] of block [bi]
     (an index equal to the instruction count addresses the point just

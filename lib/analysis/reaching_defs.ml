@@ -1,0 +1,35 @@
+(** May-reaching definitions (block granularity) as a [Dataflow] client:
+    forward direction, register sets under union, transfer adds every
+    register the block defines. *)
+
+open Cwsp_ir
+module IntSet = Set.Make (Int)
+
+type result = { inb : IntSet.t array; outb : IntSet.t array }
+
+module Problem = struct
+  module D = struct
+    type t = IntSet.t
+
+    let bottom = IntSet.empty
+    let equal = IntSet.equal
+    let join = IntSet.union
+  end
+
+  type ctx = unit
+
+  let direction = `Forward
+  let boundary () _fn = IntSet.empty
+
+  let transfer () (fn : Prog.func) bi inb =
+    List.fold_left
+      (fun acc ins ->
+        match Types.def ins with Some d -> IntSet.add d acc | None -> acc)
+      inb fn.blocks.(bi).instrs
+end
+
+module Solver = Dataflow.Make (Problem)
+
+let solve (fn : Prog.func) : result =
+  let r = Solver.solve () fn in
+  { inb = r.inb; outb = r.outb }

@@ -1,0 +1,16 @@
+(** May-reaching definitions at block granularity, on the shared
+    [Dataflow] solver: which registers have at least one definition on
+    some path from the entry to each block boundary. The verifier's
+    checkpoint checks consume this to decide whether a slot reference
+    can name a register that was actually computed (and hence
+    checkpointed) before its boundary runs. *)
+
+open Cwsp_ir
+module IntSet : Set.S with type elt = int
+
+type result = {
+  inb : IntSet.t array;  (** per block: registers defined on some path to entry *)
+  outb : IntSet.t array; (** per block: same, at block exit *)
+}
+
+val solve : Prog.func -> result

@@ -57,6 +57,19 @@ let run_pool ~jobs (tasks : (unit -> unit) array) =
     List.iter Domain.join spawned
   end
 
+(** Parallel map over the domain pool with deterministic results: each
+    task writes its own slot of the result array, so the output order is
+    the input order no matter which domain ran what. [f] must obey the
+    domain-safety contract above (shared state only through
+    mutex-protected stores). *)
+let map_pool ~jobs (f : 'a -> 'b) (inputs : 'a array) : 'b array =
+  let out = Array.make (Array.length inputs) None in
+  run_pool ~jobs
+    (Array.mapi (fun i x () -> out.(i) <- Some (f x)) inputs);
+  Array.map
+    (function Some y -> y | None -> assert false (* every task ran *))
+    out
+
 (* Keep the first job per key, preserving declaration order. *)
 let dedupe key_of js =
   let seen = Hashtbl.create 64 in

@@ -10,3 +10,9 @@ val set_default_jobs : int -> unit
 
 (** Execute a job plan: dedupe, trace phase, barrier, stats phase. *)
 val run : ?jobs:int -> Job.t list -> unit
+
+(** Parallel map over the domain pool, deterministic: result order is
+    input order regardless of scheduling. [jobs <= 1] maps on the
+    calling domain. [f] must follow the domain-safety contract
+    (DESIGN.md §5b): share state only through mutex-protected stores. *)
+val map_pool : jobs:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -44,33 +44,15 @@ let check_func ~(prog : Prog.t) ~(slices : Slice.t array)
       | Some d -> Hashtbl.replace defs d ((bi, ii) :: (try Hashtbl.find defs d with Not_found -> []))
       | None -> ())
     fn;
-  (* block-level reachability with at least one edge, memoized per source *)
-  let reach_memo : (int, bool array) Hashtbl.t = Hashtbl.create 8 in
-  let reaches_via_edge src dst =
-    let closure =
-      match Hashtbl.find_opt reach_memo src with
-      | Some c -> c
-      | None ->
-        let c = Array.make (Array.length fn.blocks) false in
-        let rec dfs b =
-          if not c.(b) then begin
-            c.(b) <- true;
-            List.iter dfs (Cfg.successors fn b)
-          end
-        in
-        List.iter dfs (Cfg.successors fn src);
-        Hashtbl.replace reach_memo src c;
-        c
-    in
-    closure.(dst)
-  in
+  (* registers with some definition reaching each block entry, from the
+     shared dataflow solver (forward may-analysis, union join) *)
+  let reach = Reaching_defs.solve fn in
   let def_reaches r ~bi ~ii =
+    Reaching_defs.IntSet.mem r reach.Reaching_defs.inb.(bi)
+    ||
     match Hashtbl.find_opt defs r with
     | None -> false
-    | Some ps ->
-      List.exists
-        (fun (dbi, dii) -> (dbi = bi && dii < ii) || reaches_via_edge dbi bi)
-        ps
+    | Some ps -> List.exists (fun (dbi, dii) -> dbi = bi && dii < ii) ps
   in
   let diags = ref [] in
   let add d = diags := d :: !diags in

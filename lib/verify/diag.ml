@@ -23,6 +23,9 @@ type rule =
   | Boundary_id_range    (* id outside the slice table, or owner mismatch *)
   | Ckpt_placement       (* checkpoint not attached to a following boundary *)
   | Ckpt_area_store      (* user store targets the checkpoint slot region *)
+  | Slice_value_mismatch (* semantic: slice provably restores a wrong value *)
+  | Stale_slot_read      (* semantic: slot read holds the wrong vintage *)
+  | Slice_unprovable     (* semantic: neither proven nor refuted *)
 
 let rule_name = function
   | Antidep -> "antidep"
@@ -39,6 +42,9 @@ let rule_name = function
   | Boundary_id_range -> "boundary-id-range"
   | Ckpt_placement -> "ckpt-placement"
   | Ckpt_area_store -> "ckpt-area-store"
+  | Slice_value_mismatch -> "slice-value-mismatch"
+  | Stale_slot_read -> "stale-slot-read"
+  | Slice_unprovable -> "slice-unprovable"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -66,5 +72,47 @@ let to_string d =
   in
   Printf.sprintf "[%s] %s %s: %s" (severity_name d.severity) (rule_name d.rule)
     pos d.message
+
+(* RFC 8259 string escaping; messages embed register/position text only,
+   but escape defensively so the JSON stream is always well-formed. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","func":"%s","block":%d,"instr":%d,"message":"%s"}|}
+    (rule_name d.rule) (severity_name d.severity) (json_escape d.func) d.block
+    d.instr (json_escape d.message)
+
+(* Variant declaration order for the rule component; Stdlib.compare on
+   constant constructors follows it. *)
+let compare a b =
+  let c = Stdlib.compare a.rule b.rule in
+  if c <> 0 then c
+  else
+    let c = String.compare a.func b.func in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.block b.block in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.instr b.instr in
+        if c <> 0 then c
+        else
+          let c = Stdlib.compare a.severity b.severity in
+          if c <> 0 then c else String.compare a.message b.message
 
 let is_error d = d.severity = Error

@@ -19,6 +19,10 @@ type rule =
   | Boundary_id_range     (** id outside the slice table, or owner mismatch *)
   | Ckpt_placement        (** checkpoint not attached to a following boundary *)
   | Ckpt_area_store       (** user store targets the checkpoint slot region *)
+  | Slice_value_mismatch  (** semantic: slice provably restores a wrong value (IV-C/VII) *)
+  | Stale_slot_read       (** semantic: slice shape is right but a slot it reads
+                              holds the wrong vintage (pruned/clobbered checkpoint) *)
+  | Slice_unprovable      (** semantic: equality neither proven nor refuted *)
 
 (** Stable kebab-case name, used by tests and the CLI. *)
 val rule_name : rule -> string
@@ -43,4 +47,14 @@ val warning :
   ('a, unit, string, t) format4 -> 'a
 
 val to_string : t -> string
+
+(** One-line JSON record [{"rule":…,"severity":…,"func":…,"block":…,
+    "instr":…,"message":…}] for CI annotation; strings are escaped per
+    RFC 8259. *)
+val to_json : t -> string
+
+(** Total order for stable reports: (rule, func, block, instr, severity,
+    message). Rule order follows the variant declaration order. *)
+val compare : t -> t -> int
+
 val is_error : t -> bool

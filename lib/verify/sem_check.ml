@@ -1,0 +1,511 @@
+(** Semantic translation validation of recovery slices — implementation.
+    See the interface for the architecture; the short version:
+
+    - symbolic forward dataflow on [Cwsp_analysis.Dataflow], state =
+      (register -> symbolic value, checkpoint slot -> symbolic value);
+    - one proof obligation per (boundary, slice entry): slice value
+      equals the live-in register value at the boundary;
+    - discharge by normalization-equality, refute by deterministic
+      random valuation of the symbols, degrade to a warning otherwise.
+
+    Soundness shape: an *error* is only emitted with a concrete witness
+    valuation under which the slice restores a different value than the
+    region consumed, so errors cannot be abstraction noise (modulo the
+    two modeled opacities: memory loads are free symbols, and phi
+    symbols identify the most recent dynamic visit of their join
+    point). A *proof* relies on phi/origin symbol identity; the corner
+    where a symbol written into a slot survives a re-visit of its join
+    point without an intervening checkpoint refresh is deliberately
+    accepted and documented (DESIGN.md §8) — the crash-injection
+    harness covers it dynamically. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+open Cwsp_ckpt
+
+(* ---- symbolic values ---- *)
+
+type sym =
+  | Param of int         (* entry value of parameter register *)
+  | Origin of int * int  (* opaque def at (block, instr): load/call/atomic *)
+  | Phi_reg of int * int (* join of register r at entry of block bi *)
+  | Phi_slot of int * int(* join of slot r at entry of block bi *)
+
+type sv =
+  | Bot                  (* undefined register / slot never written *)
+  | Imm of int
+  | Addr of string
+  | Sym of sym
+  | SBin of Types.binop * sv * sv
+  | SCmp of Types.cmpop * sv * sv
+  | Var of int           (* unification variable (classification only) *)
+  | Merge of sv * sv     (* join disagreement, collapsed to Phi_* by canon *)
+  | Top                  (* abstraction overflow *)
+
+let rec size = function
+  | Bot | Imm _ | Addr _ | Sym _ | Var _ | Top -> 1
+  | SBin (_, a, b) | SCmp (_, a, b) | Merge (a, b) -> 1 + size a + size b
+
+let max_size = 64
+
+let rec contains p v =
+  p v
+  ||
+  match v with
+  | SBin (_, a, b) | SCmp (_, a, b) | Merge (a, b) -> contains p a || contains p b
+  | Bot | Imm _ | Addr _ | Sym _ | Var _ | Top -> false
+
+let has_bot = contains (fun v -> v = Bot)
+let has_top = contains (fun v -> v = Top)
+
+let commutative = function
+  | Types.Add | Types.Mul | Types.And | Types.Or | Types.Xor -> true
+  | Types.Sub | Types.Div | Types.Rem | Types.Shl | Types.Lshr | Types.Ashr ->
+    false
+
+(* Light normalization: constant folding, unit/absorbing elements, and a
+   canonical operand order for commutative operators — enough that the
+   pipeline's remat expressions and the re-derived dataflow values agree
+   structurally whenever they were built from the same defs. *)
+let norm_bin op a b =
+  match (a, b) with
+  | (Bot, _ | _, Bot) -> Bot
+  | (Top, _ | _, Top) -> Top
+  | Imm x, Imm y -> Imm (Eval.binop op x y)
+  | _ -> (
+    match (op, a, b) with
+    | (Types.Add | Types.Or | Types.Xor), Imm 0, x -> x
+    | ( (Types.Add | Types.Sub | Types.Or | Types.Xor | Types.Shl | Types.Lshr
+        | Types.Ashr),
+        x,
+        Imm 0 ) ->
+      x
+    | Types.Mul, Imm 1, x | Types.Mul, x, Imm 1 -> x
+    | (Types.Mul | Types.And), Imm 0, _ | (Types.Mul | Types.And), _, Imm 0 ->
+      Imm 0
+    | _ ->
+      let a, b =
+        if commutative op && Stdlib.compare b a < 0 then (b, a) else (a, b)
+      in
+      let e = SBin (op, a, b) in
+      if size e > max_size then Top else e)
+
+let norm_cmp op a b =
+  match (a, b) with
+  | (Bot, _ | _, Bot) -> Bot
+  | (Top, _ | _, Top) -> Top
+  | Imm x, Imm y -> Imm (Eval.cmpop op x y)
+  | _ ->
+    let a, b =
+      match op with
+      | Types.Eq | Types.Ne ->
+        if Stdlib.compare b a < 0 then (b, a) else (a, b)
+      | Types.Lt | Types.Le | Types.Gt | Types.Ge -> (a, b)
+    in
+    let e = SCmp (op, a, b) in
+    if size e > max_size then Top else e
+
+let rec pp = function
+  | Bot -> "undef"
+  | Imm v -> string_of_int v
+  | Addr g -> "@" ^ g
+  | Sym (Param r) -> Printf.sprintf "p%d" r
+  | Sym (Origin (bi, ii)) -> Printf.sprintf "mem(%d,%d)" bi ii
+  | Sym (Phi_reg (bi, r)) -> Printf.sprintf "phi%d.r%d" bi r
+  | Sym (Phi_slot (bi, r)) -> Printf.sprintf "phi%d.slot%d" bi r
+  | SBin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (pp a) (Pp.binop_str op) (pp b)
+  | SCmp (op, a, b) ->
+    Printf.sprintf "(%s cmp.%s %s)" (pp a) (Pp.cmpop_str op) (pp b)
+  | Var s -> Printf.sprintf "?slot%d" s
+  | Merge (a, b) -> Printf.sprintf "merge(%s,%s)" (pp a) (pp b)
+  | Top -> "?"
+
+(* Truncate expression renderings in messages: mismatch reports must stay
+   readable (and stable to diff) even for deep remat chains. *)
+let pp_short v =
+  let s = pp v in
+  if String.length s <= 96 then s else String.sub s 0 93 ^ "..."
+
+(* ---- the dataflow problem ---- *)
+
+(* [synced.(r)] is a must-fact: on every path reaching this point, the
+   last write to slot[r] was a [Ckpt r] not followed by a redefinition
+   of r — i.e. slot[r] holds reg r's *current* value. It lets [canon]
+   keep slot and register correlated across joins (both collapse to the
+   same phi) without comparing merge trees, which would be a
+   non-monotone decision and break fixpoint convergence. *)
+type state = { regs : sv array; slots : sv array; synced : bool array }
+
+let merge_sv a b = if a = b then a else if a = Bot then b else if b = Bot then a else Merge (a, b)
+
+module Problem = struct
+  module D = struct
+    type t = state option (* None = bottom (no path reaches the block) *)
+
+    let bottom = None
+    let equal (a : t) (b : t) = a = b
+
+    let join a b =
+      match (a, b) with
+      | None, x | x, None -> x
+      | Some a, Some b ->
+        Some
+          {
+            regs = Array.map2 merge_sv a.regs b.regs;
+            slots = Array.map2 merge_sv a.slots b.slots;
+            synced = Array.map2 ( && ) a.synced b.synced;
+          }
+  end
+
+  (* Sticky-phi memo, one per solve: every (block, component) that ever
+     collapsed a join disagreement to a phi. Once minted, the block
+     keeps canonicalizing that component to its phi even when the
+     current inflow happens to carry a single value — otherwise a loop
+     ring can circulate two waves (the phi and a pre-phi value) that
+     chase each other forever, and the fixpoint never settles. *)
+  type ctx = {
+    minted_reg : (int * int, unit) Hashtbl.t;
+    minted_slot : (int * int, unit) Hashtbl.t;
+  }
+
+  let make_ctx () =
+    { minted_reg = Hashtbl.create 64; minted_slot = Hashtbl.create 64 }
+
+  let direction = `Forward
+
+  let boundary _ctx (fn : Prog.func) =
+    Some
+      {
+        regs =
+          Array.init (max 1 fn.nregs) (fun r ->
+              if r < fn.nparams then Sym (Param r) else Bot);
+        slots = Array.make (max 1 fn.nregs) Bot;
+        synced = Array.make (max 1 fn.nregs) false;
+      }
+
+  (* Collapse join disagreements to block-stable phi symbols: the solver
+     recomputes the raw inflow from scratch at every visit, so [Merge]
+     markers never accumulate across iterations, and the canonicalized
+     out-states range over a finite vocabulary — which is what makes the
+     fixpoint converge despite the unbounded expression domain. *)
+  let canon ctx bi (s : state) : state =
+    let regs =
+      Array.mapi
+        (fun r v ->
+          match v with
+          | Merge _ ->
+            Hashtbl.replace ctx.minted_reg (bi, r) ();
+            Sym (Phi_reg (bi, r))
+          | v ->
+            if Hashtbl.mem ctx.minted_reg (bi, r) then Sym (Phi_reg (bi, r))
+            else v)
+        s.regs
+    in
+    let slots =
+      Array.mapi
+        (fun r v ->
+          (* A synced slot holds reg r's current value on every inbound
+             path, so it follows the register through the join — alias
+             it to the register's canonical value instead of minting an
+             uncorrelated [Phi_slot], or every checkpoint kept across a
+             join would be refuted as stale. The [synced] bit (not a
+             comparison of merge trees) makes this decision monotone:
+             it only ever decays true->false as more paths arrive. *)
+          if s.synced.(r) then regs.(r)
+          else
+            match v with
+            | Merge _ ->
+              Hashtbl.replace ctx.minted_slot (bi, r) ();
+              Sym (Phi_slot (bi, r))
+            | v ->
+              if Hashtbl.mem ctx.minted_slot (bi, r) then
+                Sym (Phi_slot (bi, r))
+              else v)
+        s.slots
+    in
+    { regs; slots; synced = s.synced }
+
+  let operand regs = function
+    | Types.Imm v -> Imm v
+    | Types.Reg r -> regs.(r)
+
+  let step (s : state) bi ii ins =
+    (match ins with
+    | Types.Mov (d, o) -> s.regs.(d) <- operand s.regs o
+    | Types.Bin (op, d, a, b) ->
+      s.regs.(d) <- norm_bin op (operand s.regs a) (operand s.regs b)
+    | Types.Cmp (op, d, a, b) ->
+      s.regs.(d) <- norm_cmp op (operand s.regs a) (operand s.regs b)
+    | Types.La (d, g) -> s.regs.(d) <- Addr g
+    | Types.Load (d, _, _) -> s.regs.(d) <- Sym (Origin (bi, ii))
+    | Types.Call (_, _, ret) ->
+      Option.iter (fun d -> s.regs.(d) <- Sym (Origin (bi, ii))) ret
+    | Types.Atomic_rmw (_, d, _, _, _) | Types.Cas (d, _, _, _, _) ->
+      s.regs.(d) <- Sym (Origin (bi, ii))
+    | Types.Ckpt r ->
+      (* the checkpoint store: slot[r] <- current value of r. Callee
+         checkpoints land at a deeper call-depth slot frame (see
+         [Layout.ckpt_slot]), so calls do not touch this state. *)
+      s.slots.(r) <- s.regs.(r);
+      s.synced.(r) <- true
+    | Types.Store _ | Types.Fence | Types.Boundary _ -> ());
+    (* a redefinition desynchronizes the register from its slot *)
+    match Types.def ins with Some d -> s.synced.(d) <- false | None -> ()
+
+  (* Debug tracing of a single block's inflow states, for diagnosing
+     divergence or precision loss: CWSP_SEM_TRACE=<block> CWSP_SEM_FN=<fn>
+     print 20 visits starting after CWSP_SEM_SKIP (default 0). *)
+  let trace_gate =
+    match (Sys.getenv_opt "CWSP_SEM_TRACE", Sys.getenv_opt "CWSP_SEM_FN") with
+    | Some b, Some f ->
+      let skip =
+        match Sys.getenv_opt "CWSP_SEM_SKIP" with
+        | Some s -> int_of_string s
+        | None -> 0
+      in
+      Some (int_of_string b, f, skip)
+    | _ -> None
+
+  let trace_count = ref 0
+
+  let trace fname bi (s : state) =
+    match trace_gate with
+    | Some (b, f, skip) when b = bi && f = fname ->
+      incr trace_count;
+      if !trace_count > skip && !trace_count <= skip + 20 then begin
+        Printf.eprintf "-- b%d in (visit %d):\n" bi !trace_count;
+        Array.iteri
+          (fun r v ->
+            if v <> Bot then
+              Printf.eprintf "   r%d=%s slot=%s sync=%b\n" r (pp_short v)
+                (pp_short s.slots.(r)) s.synced.(r))
+          s.regs
+      end
+    | _ -> ()
+
+  let transfer ctx (fn : Prog.func) bi inflow =
+    match inflow with
+    | None -> None
+    | Some st ->
+      trace fn.name bi st;
+      let st = canon ctx bi st in
+      let s =
+        {
+          regs = Array.copy st.regs;
+          slots = Array.copy st.slots;
+          synced = Array.copy st.synced;
+        }
+      in
+      List.iteri (fun ii ins -> step s bi ii ins) fn.blocks.(bi).instrs;
+      Some s
+end
+
+module Solver = Dataflow.Make (Problem)
+
+(* ---- slice evaluation over the symbolic state ---- *)
+
+(* [slot] resolves slot reads: the current symbolic slot contents for
+   the proof/refutation, or unification variables for classification. *)
+let rec sym_eval ~slot (e : Slice.expr) : sv =
+  match e with
+  | Slice.EImm v -> Imm v
+  | Slice.EAddr g -> Addr g
+  | Slice.ESlot r -> slot r
+  | Slice.EBin (op, a, b) -> norm_bin op (sym_eval ~slot a) (sym_eval ~slot b)
+  | Slice.ECmp (op, a, b) -> norm_cmp op (sym_eval ~slot a) (sym_eval ~slot b)
+
+(* ---- refutation by deterministic random valuation ---- *)
+
+let witness_rounds = 8
+
+(* Deterministic value for a symbol: both sides of an obligation share
+   the valuation, so disagreement is a genuine semantic counterexample
+   (modulo the opacity of memory). splitmix via [Rng] keeps the values
+   well spread; reproducible across runs and domains. *)
+let valuation round key =
+  let h = Hashtbl.hash key in
+  Int64.to_int
+    (Cwsp_util.Rng.next_int64
+       (Cwsp_util.Rng.create ((h * 1_000_003) + (round * 7_919) + 1)))
+
+let rec concrete round = function
+  | Imm v -> v
+  | Addr g -> valuation round ("addr", Hashtbl.hash g, 0)
+  | Sym s -> valuation round ("sym", Hashtbl.hash s, 1)
+  | SBin (op, a, b) -> Eval.binop op (concrete round a) (concrete round b)
+  | SCmp (op, a, b) -> Eval.cmpop op (concrete round a) (concrete round b)
+  | Bot | Top | Var _ | Merge _ ->
+    invalid_arg "Sem_check.concrete: non-ground value"
+
+(* Some round on which the two ground values disagree, if any. *)
+let refute v_slice v_reg =
+  let rec go round =
+    if round >= witness_rounds then None
+    else
+      let a = concrete round v_slice and b = concrete round v_reg in
+      if a <> b then Some (a, b) else go (round + 1)
+  in
+  go 0
+
+(* Phi symbols occurring in a value. Distinct phis can be dynamically
+   correlated (a join may merge r26 = 58 lshr r20 on every path, giving
+   the uncorrelated-looking symbols phi.r26 and phi.r20), so a
+   refutation that rests on valuating a phi one side has and the other
+   lacks is not a genuine counterexample. Param and Origin symbols are
+   exempt: a correct slice restores a register from its own checkpoint
+   data, so both sides of a true obligation name the same loads, calls
+   and parameters. *)
+let phi_syms v =
+  let rec go acc = function
+    | Sym (Phi_reg _ as s) | Sym (Phi_slot _ as s) -> s :: acc
+    | SBin (_, a, b) | SCmp (_, a, b) | Merge (a, b) -> go (go acc a) b
+    | Imm _ | Addr _ | Sym _ | Var _ | Bot | Top -> acc
+  in
+  List.sort_uniq Stdlib.compare (go [] v)
+
+let phi_sets_agree v_slice v_reg = phi_syms v_slice = phi_syms v_reg
+
+(* ---- mismatch classification ---- *)
+
+(* Does the slice re-evaluate to the live-in value once its slot reads
+   are treated as unknowns? If yes the formula shape is consistent and
+   the defect is the slot *contents* — a pruned-but-needed or clobbered
+   checkpoint — which recovery debugging wants pointed at the slot, not
+   at the expression. *)
+let slot_contents_explain (e : Slice.expr) (v_reg : sv) : bool =
+  let shape = sym_eval ~slot:(fun r -> Var r) e in
+  let binding : (int, sv) Hashtbl.t = Hashtbl.create 4 in
+  let rec unify a b =
+    match (a, b) with
+    | Var s, t -> (
+      match Hashtbl.find_opt binding s with
+      | Some t' -> t' = t
+      | None ->
+        Hashtbl.replace binding s t;
+        true)
+    | SBin (o1, a1, b1), SBin (o2, a2, b2) -> o1 = o2 && unify a1 a2 && unify b1 b2
+    | SCmp (o1, a1, b1), SCmp (o2, a2, b2) -> o1 = o2 && unify a1 a2 && unify b1 b2
+    | a, b -> a = b
+  in
+  unify shape v_reg
+
+(* ---- the per-function check ---- *)
+
+let check_func ~(slices : Slice.t array) ~(boundary_owner : string array)
+    (fn : Prog.func) : Diag.t list =
+  let ctx = Problem.make_ctx () in
+  let r = Solver.solve ctx fn in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      match r.inb.(bi) with
+      | None -> () (* unreachable: no crash can land here *)
+      | Some entry ->
+        (* Replay with the solve's mint memo: canon decisions here must
+           match the final solver iteration exactly. *)
+        let st = Problem.canon ctx bi entry in
+        let s =
+          {
+            regs = Array.copy st.regs;
+            slots = Array.copy st.slots;
+            synced = Array.copy st.synced;
+          }
+        in
+        List.iteri
+          (fun ii ins ->
+            (match ins with
+            | Types.Boundary id
+              when id >= 0
+                   && id < Array.length slices
+                   && boundary_owner.(id) = fn.name ->
+              (* The state at the boundary instruction is the region-entry
+                 state: attached checkpoints already executed, so [s.slots]
+                 is exactly what recovery reads after reverting the
+                 checkpoint-area stores of unpersisted regions — for every
+                 crash site inside this region. *)
+              List.iter
+                (fun (reg, expr) ->
+                  let v_slice = sym_eval ~slot:(fun r2 -> s.slots.(r2)) expr in
+                  let v_reg = s.regs.(reg) in
+                  if v_slice = v_reg then ()
+                  else if has_bot v_slice then
+                    add
+                      (Diag.error Stale_slot_read ~func:fn.name ~block:bi
+                         ~instr:ii
+                         "slice for r%d at region %d reads a checkpoint slot \
+                          that no surviving checkpoint has written on any \
+                          path to this boundary"
+                         reg id)
+                  else if has_bot v_reg then
+                    add
+                      (Diag.warning Slice_unprovable ~func:fn.name ~block:bi
+                         ~instr:ii
+                         "r%d is live into region %d but has no definition on \
+                          some path; cannot compare against its slice"
+                         reg id)
+                  else if has_top v_slice || has_top v_reg then
+                    add
+                      (Diag.warning Slice_unprovable ~func:fn.name ~block:bi
+                         ~instr:ii
+                         "slice for r%d at region %d: symbolic value exceeded \
+                          the abstraction budget; equality not proven"
+                         reg id)
+                  else if not (phi_sets_agree v_slice v_reg) then
+                    add
+                      (Diag.warning Slice_unprovable ~func:fn.name ~block:bi
+                         ~instr:ii
+                         "slice for r%d at region %d: %s vs %s involve \
+                          join symbols not shared by both sides; equality \
+                          depends on cross-join correlations the symbolic \
+                          domain does not track"
+                         reg id (pp_short v_slice) (pp_short v_reg))
+                  else
+                    match refute v_slice v_reg with
+                    | Some (got, want) ->
+                      if slot_contents_explain expr v_reg then
+                        add
+                          (Diag.error Stale_slot_read ~func:fn.name ~block:bi
+                             ~instr:ii
+                             "slice for r%d at region %d reads a slot holding \
+                              the wrong vintage: restores %s but region entry \
+                              saw %s (witness: %d vs %d)"
+                             reg id (pp_short v_slice) (pp_short v_reg) got
+                             want)
+                      else
+                        add
+                          (Diag.error Slice_value_mismatch ~func:fn.name
+                             ~block:bi ~instr:ii
+                             "slice for r%d at region %d restores %s but its \
+                              value at region entry is %s (witness: %d vs %d)"
+                             reg id (pp_short v_slice) (pp_short v_reg) got
+                             want)
+                    | None ->
+                      add
+                        (Diag.warning Slice_unprovable ~func:fn.name ~block:bi
+                           ~instr:ii
+                           "slice for r%d at region %d agrees on %d random \
+                            valuations but is not structurally provable: %s \
+                            vs %s"
+                           reg id witness_rounds (pp_short v_slice)
+                           (pp_short v_reg)))
+                slices.(id)
+            | _ -> ());
+            Problem.step s bi ii ins)
+          blk.instrs)
+    fn.blocks;
+  List.rev !diags
+
+(** Semantic diagnostics for a compiled program; configurations without
+    checkpoints have no slices to validate. *)
+let check (compiled : Cwsp_compiler.Pipeline.compiled) : Diag.t list =
+  let cfg = compiled.Cwsp_compiler.Pipeline.cconfig in
+  if not (cfg.Cwsp_compiler.Pipeline.region_formation && cfg.Cwsp_compiler.Pipeline.checkpoints)
+  then []
+  else
+    List.concat_map
+      (fun (_, fn) ->
+        check_func ~slices:compiled.Cwsp_compiler.Pipeline.slices
+          ~boundary_owner:compiled.Cwsp_compiler.Pipeline.boundary_owner fn)
+      compiled.Cwsp_compiler.Pipeline.prog.funcs

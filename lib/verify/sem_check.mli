@@ -1,0 +1,45 @@
+(** Semantic translation validation of recovery slices (IV-C / VII).
+
+    The syntactic tiers prove that slices are *well-formed*; this tier
+    proves they are *correct*: for every region boundary, evaluating the
+    boundary's recovery slice over the NVM checkpoint-slot state a crash
+    inside that region leaves behind must reproduce the region's live-in
+    register values.
+
+    The engine is a forward symbolic abstract interpretation over the
+    shared [Cwsp_analysis.Dataflow] solver. The abstract state carries a
+    symbolic value per register and per NVM checkpoint slot; opaque
+    sources (parameters, loads, call returns, atomics) become named
+    symbols, joins that disagree become boundary-stable phi symbols, and
+    [Ckpt r] copies the register's symbolic value into its slot — the
+    exact store the hardware performs. Crash sites inside a region all
+    collapse to one obligation per boundary: recovery reverts every
+    checkpoint-area store of unpersisted regions (see
+    [Cwsp_recovery.Harness]), so the slice always evaluates against the
+    slot state as of region entry, whatever instruction the power
+    failure hit.
+
+    Each slice entry is discharged three ways, in order: structural
+    equality after normalization proves it; a random concrete valuation
+    of the symbols on which the two sides disagree *refutes* it (the
+    valuation is a genuine counterexample modulo the memory abstraction,
+    reported as [Slice_value_mismatch], or [Stale_slot_read] when the
+    slice re-evaluates correctly once its slot reads are treated as
+    unknowns — i.e. the formula is right but a pruned or clobbered
+    checkpoint left the wrong vintage in the slot); anything in between
+    is a [Slice_unprovable] warning, never an error, which keeps the
+    tier sound-for-errors on programs the abstraction cannot decide. *)
+
+open Cwsp_ir
+open Cwsp_ckpt
+
+(** Semantic diagnostics for one function of a compiled program. *)
+val check_func :
+  slices:Slice.t array ->
+  boundary_owner:string array ->
+  Prog.func ->
+  Diag.t list
+
+(** Semantic diagnostics for every function of a compiled program that
+    carries checkpoints (no-op on configurations without slices). *)
+val check : Cwsp_compiler.Pipeline.compiled -> Diag.t list

@@ -14,7 +14,7 @@
 open Cwsp_ir
 open Cwsp_compiler
 
-let run (c : Pipeline.compiled) : Diag.t list =
+let run ?(sem = true) (c : Pipeline.compiled) : Diag.t list =
   let cfg = c.Pipeline.cconfig in
   let (prog : Prog.t) = c.Pipeline.prog in
   let per_func f = List.concat_map (fun (_, fn) -> f fn) prog.funcs in
@@ -34,11 +34,26 @@ let run (c : Pipeline.compiled) : Diag.t list =
       Ckpt_check.check c
     else []
   in
-  structural @ ids @ idem @ ckpt
+  let semantic =
+    if sem && cfg.Pipeline.region_formation && cfg.Pipeline.checkpoints then
+      Sem_check.check c
+    else []
+  in
+  structural @ ids @ idem @ ckpt @ semantic
 
 let errors diags = List.filter Diag.is_error diags
 
-let report diags = String.concat "\n" (List.map Diag.to_string diags)
+let normalize diags = List.sort_uniq Diag.compare diags
+
+let report diags =
+  String.concat "\n" (List.map Diag.to_string (normalize diags))
+
+let report_json diags =
+  match normalize diags with
+  | [] -> "[]"
+  | ds ->
+    Printf.sprintf "[\n  %s\n]"
+      (String.concat ",\n  " (List.map Diag.to_json ds))
 
 let check_exn c =
   match errors (run c) with

@@ -3,14 +3,25 @@
 
 open Cwsp_compiler
 
-(** All diagnostics of a compiled program. *)
-val run : Pipeline.compiled -> Diag.t list
+(** All diagnostics of a compiled program. [sem] (default [true])
+    additionally runs the semantic tier ([Sem_check]): symbolic
+    evaluation of every recovery slice against the checkpoint-slot
+    state its boundary observes. *)
+val run : ?sem:bool -> Pipeline.compiled -> Diag.t list
 
 (** Error-severity diagnostics only. *)
 val errors : Diag.t list -> Diag.t list
 
-(** Render one diagnostic per line. *)
+(** Deduplicate identical diagnostics and sort the rest into the
+    stable report order (rule, func, block, instr). *)
+val normalize : Diag.t list -> Diag.t list
+
+(** Render one diagnostic per line, normalized ({!normalize}). *)
 val report : Diag.t list -> string
+
+(** Render the normalized diagnostics as a JSON array of records
+    ([rule] / [severity] / [func] / [block] / [instr] / [message]). *)
+val report_json : Diag.t list -> string
 
 (** Raise [Failure] with a rendered report if [run] yields any error. *)
 val check_exn : Pipeline.compiled -> unit

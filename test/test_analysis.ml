@@ -90,6 +90,108 @@ let test_liveness_across_branch () =
   Alcotest.(check bool) "branch condition live" true
     (Liveness.IntSet.cardinal at_term > 0)
 
+(* ---- generic dataflow solver ---- *)
+
+(* Forward "reachable from entry" on the shared solver: bottom = false,
+   join = or, transfer = identity on the inflow (plus the boundary
+   seeding the entry with true). The diamond should mark every block;
+   a function with an unreachable block should leave it at bottom. *)
+module ReachProblem = struct
+  module D = struct
+    type t = bool
+
+    let bottom = false
+    let equal = Bool.equal
+    let join = ( || )
+  end
+
+  type ctx = unit
+
+  let direction = `Forward
+  let boundary () _ = true
+  let transfer () _ _ s = s
+end
+
+module Reach = Dataflow.Make (ReachProblem)
+
+let test_dataflow_forward_reach () =
+  let fn = diamond_func () in
+  let r = Reach.solve () fn in
+  Array.iteri
+    (fun bi reached ->
+      Alcotest.(check bool)
+        (Printf.sprintf "block %d reached" bi)
+        true reached)
+    r.Reach.inb
+
+let unreachable_block_func () =
+  let b = Builder.program () in
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let dead = block fb in
+      let exit_b = block fb in
+      jmp fb exit_b;
+      switch_to fb dead;
+      let x = imm fb 99 in
+      call_void fb "__out" [ Reg x ];
+      jmp fb exit_b;
+      switch_to fb exit_b;
+      ret fb None);
+  Builder.set_main b "main";
+  Prog.func_exn (Builder.finish b) "main"
+
+let test_dataflow_skips_unreachable () =
+  let fn = unreachable_block_func () in
+  let r = Reach.solve () fn in
+  Alcotest.(check bool) "entry reached" true r.Reach.inb.(0);
+  Alcotest.(check bool) "dead block stays bottom" false r.Reach.inb.(1);
+  Alcotest.(check bool) "exit reached" true r.Reach.inb.(2)
+
+(* A domain that never converges (strictly growing counter): the solver
+   must detect the divergence and raise instead of spinning forever. *)
+module DivergeProblem = struct
+  module D = struct
+    type t = int
+
+    let bottom = 0
+    let equal = Int.equal
+    let join = max
+  end
+
+  type ctx = unit
+
+  let direction = `Forward
+  let boundary () _ = 1
+  let transfer () _ _ s = s + 1
+end
+
+module Diverge = Dataflow.Make (DivergeProblem)
+
+let test_dataflow_divergence_raises () =
+  (* self-loop so the counter keeps flowing back into the block *)
+  let b = Builder.program () in
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let _ = loop fb ~from:(Imm 0) ~below:(Imm 3) (fun _ -> ()) in
+      ret fb None);
+  Builder.set_main b "main";
+  let fn = Prog.func_exn (Builder.finish b) "main" in
+  match Diverge.solve () fn with
+  | _ -> Alcotest.fail "divergent domain must not converge"
+  | exception Failure _ -> ()
+
+let test_reaching_defs_diamond () =
+  let fn = diamond_func () in
+  let r = Reaching_defs.solve fn in
+  (* the branch condition (r0, defined in entry) reaches the join *)
+  Alcotest.(check bool) "entry def reaches join" true
+    (Reaching_defs.IntSet.mem 0 r.Reaching_defs.inb.(3));
+  (* defs from both arms reach the join, but nothing reaches entry *)
+  Alcotest.(check int) "nothing reaches entry" 0
+    (Reaching_defs.IntSet.cardinal r.Reaching_defs.inb.(0));
+  Alcotest.(check bool) "arm defs reach join" true
+    (Reaching_defs.IntSet.cardinal r.Reaching_defs.inb.(3) >= 3)
+
 (* ---- alias analysis ---- *)
 
 let alias_accesses_of body =
@@ -211,6 +313,16 @@ let () =
         [
           Alcotest.test_case "straightline" `Quick test_liveness_straightline;
           Alcotest.test_case "across branch" `Quick test_liveness_across_branch;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "forward reach" `Quick test_dataflow_forward_reach;
+          Alcotest.test_case "unreachable stays bottom" `Quick
+            test_dataflow_skips_unreachable;
+          Alcotest.test_case "divergence raises" `Quick
+            test_dataflow_divergence_raises;
+          Alcotest.test_case "reaching defs diamond" `Quick
+            test_reaching_defs_diamond;
         ] );
       ( "alias",
         [

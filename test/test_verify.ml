@@ -306,6 +306,302 @@ let test_corrupt_ckpt_placement () =
             else { blk with instrs = blk.instrs @ [ Types.Ckpt 0 ] }))
        c)
 
+(* ---- semantic corpus: corruptions invisible to every syntactic tier ----
+
+   Each case damages the *meaning* of a recovery slice — the restored
+   value — while keeping all structural invariants intact: the slice
+   still reads checkpointed, reaching slots and resolvable globals, so
+   the PR-1 tiers accept the program. Only the symbolic slice checker
+   ([Sem_check]) can tell the restored value no longer equals the
+   register's region-entry value. Every case asserts both directions:
+   the syntactic tiers alone report zero errors, and the semantic tier
+   reports the expected rule. *)
+
+(* A program whose pruner rematerializes two live-ins from older slots:
+   slice entries (slot[x] add 7) and (slot[x] sub slot[z]) at the second
+   boundary — targets for expression-level corruptions. *)
+let remat_prog () =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:64 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let base = la fb "g" in
+      let x = load fb base 0 in
+      let z = load fb base 8 in
+      store fb base 0 (Reg x);
+      let y = add fb (Reg x) (Imm 7) in
+      let w = sub fb (Reg x) (Reg z) in
+      let l2 = load fb base 16 in
+      store fb base 16 (Reg l2);
+      store fb base 24 (Reg w);
+      call_void fb "__out" [ Reg y ];
+      ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b
+
+(* A register redefined between two regions, so the compiler checkpoints
+   it twice; dropping the younger checkpoint leaves a stale slot that
+   every syntactic check still accepts (the older checkpoint survives). *)
+let reckpt_prog () =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:64 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let base = la fb "g" in
+      let r = load fb base 0 in
+      store fb base 0 (Reg r);
+      Builder.emit fb (Types.Bin (Types.Add, r, Types.Reg r, Types.Imm 1));
+      let l2 = load fb base 8 in
+      store fb base 8 (Reg l2);
+      store fb base 16 (Reg r);
+      call_void fb "__out" [ Reg r ];
+      ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b
+
+let compile_prog prog = Pipeline.compile ~config:Pipeline.cwsp prog
+
+(* first slice entry satisfying [p], as (boundary id, register, expr) *)
+let find_slice (c : Pipeline.compiled) p =
+  let found = ref None in
+  Array.iteri
+    (fun id slice ->
+      if !found = None then
+        List.iter
+          (fun (r, e) -> if !found = None && p r e then found := Some (id, r, e))
+          slice)
+    c.Pipeline.slices;
+  match !found with
+  | Some x -> x
+  | None -> Alcotest.fail "test_verify: no slice entry matches"
+
+(* first slice with two identity entries (r <- slot[r]), as (id, a, b) *)
+let find_identity_pair (c : Pipeline.compiled) =
+  let found = ref None in
+  Array.iteri
+    (fun id slice ->
+      if !found = None then
+        let regs =
+          List.filter_map
+            (fun (r, e) ->
+              match e with Slice.ESlot s when s = r -> Some r | _ -> None)
+            slice
+        in
+        match regs with a :: b :: _ -> found := Some (id, a, b) | _ -> ())
+    c.Pipeline.slices;
+  match !found with
+  | Some x -> x
+  | None -> Alcotest.fail "test_verify: no slice with two kept checkpoints"
+
+let map_slice_entry id reg f c =
+  with_slice id
+    (List.map (fun (r, e) -> if r = reg then (r, f e) else (r, e)))
+    c
+
+let insert_at bi at instrs =
+  with_main_blocks
+    (Array.mapi (fun i (blk : Prog.block) ->
+         if i <> bi then blk
+         else
+           {
+             blk with
+             instrs =
+               List.concat
+                 (List.mapi
+                    (fun j ins -> if j = at then instrs @ [ ins ] else [ ins ])
+                    blk.instrs);
+           }))
+
+(* start of the checkpoint run attached to the boundary at (bi, ii) *)
+let attach_start (c : Pipeline.compiled) bi ii =
+  let instrs = Array.of_list (main_fn c).blocks.(bi).instrs in
+  let j = ref ii in
+  while
+    !j > 0 && match instrs.(!j - 1) with Types.Ckpt _ -> true | _ -> false
+  do
+    decr j
+  done;
+  !j
+
+let sem_rules = Cwsp_verify.Diag.[ Slice_value_mismatch; Stale_slot_read ]
+
+let expect_sem ?(rules = sem_rules) name corrupted =
+  (match Cwsp_verify.Verify.(errors (run ~sem:false corrupted)) with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "%s: corruption should pass the syntactic tiers:\n%s" name
+      (Cwsp_verify.Verify.report errs));
+  let diags = Cwsp_verify.Verify.run corrupted in
+  let caught =
+    List.exists
+      (fun (d : Cwsp_verify.Diag.t) ->
+        Cwsp_verify.Diag.is_error d && List.mem d.rule rules)
+      diags
+  in
+  if not caught then
+    Alcotest.failf "%s: semantic tier missed the corruption, verifier said:\n%s"
+      name
+      (match diags with
+      | [] -> "(clean)"
+      | ds -> Cwsp_verify.Verify.report ds)
+
+let mismatch = [ Cwsp_verify.Diag.Slice_value_mismatch ]
+let stale = [ Cwsp_verify.Diag.Stale_slot_read ]
+
+(* 1: a global address replaced by a constant *)
+let test_sem_addr_const () =
+  let c = compile () in
+  let id, reg, _ =
+    find_slice c (fun _ e -> match e with Slice.EAddr _ -> true | _ -> false)
+  in
+  expect_sem ~rules:mismatch "addr->imm"
+    (map_slice_entry id reg (fun _ -> Slice.EImm 4096) c)
+
+(* 2: a global address off by 8 bytes *)
+let test_sem_addr_offset () =
+  let c = compile () in
+  let id, reg, _ =
+    find_slice c (fun _ e -> match e with Slice.EAddr _ -> true | _ -> false)
+  in
+  expect_sem ~rules:mismatch "addr+8"
+    (map_slice_entry id reg
+       (fun e -> Slice.EBin (Types.Add, e, Slice.EImm 8))
+       c)
+
+(* 3: restored value off by one *)
+let test_sem_wrap_add () =
+  let c = compile () in
+  let id, reg, _ =
+    find_slice c (fun r e -> match e with Slice.ESlot s -> s = r | _ -> false)
+  in
+  expect_sem ~rules:mismatch "e+1"
+    (map_slice_entry id reg
+       (fun e -> Slice.EBin (Types.Add, e, Slice.EImm 1))
+       c)
+
+(* 4: restored value negated *)
+let test_sem_negate () =
+  let c = compile () in
+  let id, reg, _ =
+    find_slice c (fun r e -> match e with Slice.ESlot s -> s = r | _ -> false)
+  in
+  expect_sem ~rules:mismatch "0-e"
+    (map_slice_entry id reg
+       (fun e -> Slice.EBin (Types.Sub, Slice.EImm 0, e))
+       c)
+
+(* 5: slice reads the other register's (checkpointed, reaching) slot *)
+let test_sem_wrong_slot () =
+  let c = compile () in
+  let id, a, b = find_identity_pair c in
+  expect_sem "wrong slot" (map_slice_entry id a (fun _ -> Slice.ESlot b) c)
+
+(* 6: two entries restored from each other's slots *)
+let test_sem_swapped_entries () =
+  let c = compile () in
+  let id, a, b = find_identity_pair c in
+  expect_sem "swapped entries"
+    (map_slice_entry id a
+       (fun _ -> Slice.ESlot b)
+       (map_slice_entry id b (fun _ -> Slice.ESlot a) c))
+
+(* 7: a younger region's checkpoint clobbers a slot an older remat slice
+   still needs — Fig. 4(b)'s dead-slot hazard, injected post-compile *)
+let test_sem_clobbered_slot () =
+  let c = compile_prog (remat_prog ()) in
+  let id, _, e =
+    find_slice c (fun _ e ->
+        match e with
+        | Slice.EBin (Types.Add, Slice.ESlot _, Slice.EImm 7) -> true
+        | _ -> false)
+  in
+  let s =
+    match e with Slice.EBin (_, Slice.ESlot s, _) -> s | _ -> assert false
+  in
+  let bi, ii, _ = List.find (fun (_, _, i) -> i = id) (boundaries c) in
+  expect_sem ~rules:stale "clobbered slot"
+    (insert_at bi (attach_start c bi ii)
+       [ Types.Mov (s, Types.Imm 0); Types.Ckpt s ]
+       c)
+
+(* 8: the re-checkpoint of a redefined register pruned away; the older
+   checkpoint of the same register keeps every syntactic tier quiet *)
+let test_sem_pruned_needed_ckpt () =
+  let c = compile_prog (reckpt_prog ()) in
+  let positions = ref [] in
+  Prog.iter_instrs
+    (fun bi ii ins ->
+      match ins with
+      | Types.Ckpt r -> positions := (r, bi, ii) :: !positions
+      | _ -> ())
+    (main_fn c);
+  let twice =
+    List.find_map
+      (fun (r, bi, ii) ->
+        if List.exists (fun (r', bi', ii') -> r' = r && (bi', ii') <> (bi, ii))
+             !positions
+        then Some (r, bi, ii)
+        else None)
+      !positions (* positions are in reverse order: head = youngest *)
+  in
+  match twice with
+  | None -> Alcotest.fail "test_verify: no twice-checkpointed register"
+  | Some (_, bi, ii) ->
+    expect_sem ~rules:stale "pruned needed ckpt" (drop_at bi ii c)
+
+(* 9: rematerialization operator flipped *)
+let test_sem_op_swap () =
+  let c = compile_prog (remat_prog ()) in
+  let id, reg, _ =
+    find_slice c (fun _ e ->
+        match e with
+        | Slice.EBin (Types.Add, Slice.ESlot _, Slice.EImm _) -> true
+        | _ -> false)
+  in
+  expect_sem ~rules:mismatch "add->sub"
+    (map_slice_entry id reg
+       (function
+         | Slice.EBin (Types.Add, a, b) -> Slice.EBin (Types.Sub, a, b)
+         | e -> e)
+       c)
+
+(* 10: operands of a non-commutative rematerialization swapped *)
+let test_sem_operand_swap () =
+  let c = compile_prog (remat_prog ()) in
+  let id, reg, _ =
+    find_slice c (fun _ e ->
+        match e with
+        | Slice.EBin (Types.Sub, a, b) -> a <> b
+        | _ -> false)
+  in
+  expect_sem "sub operand swap"
+    (map_slice_entry id reg
+       (function
+         | Slice.EBin (Types.Sub, a, b) -> Slice.EBin (Types.Sub, b, a)
+         | e -> e)
+       c)
+
+(* 11: rematerialization immediate off by one *)
+let test_sem_imm_bump () =
+  let c = compile_prog (remat_prog ()) in
+  let id, reg, _ =
+    find_slice c (fun _ e ->
+        match e with
+        | Slice.EBin (Types.Add, Slice.ESlot _, Slice.EImm _) -> true
+        | _ -> false)
+  in
+  expect_sem ~rules:mismatch "imm+1"
+    (map_slice_entry id reg
+       (function
+         | Slice.EBin (op, a, Slice.EImm v) -> Slice.EBin (op, a, Slice.EImm (v + 1))
+         | e -> e)
+       c)
+
+(* the two corpus programs themselves verify clean, semantic tier included *)
+let test_sem_corpus_clean () =
+  expect_clean "remat" (compile_prog (remat_prog ()));
+  expect_clean "reckpt" (compile_prog (reckpt_prog ()))
+
 (* A user store aimed at the hardware checkpoint slot area. *)
 let test_ckpt_area_store () =
   let b = Builder.program () in
@@ -351,5 +647,21 @@ let () =
             test_corrupt_boundary_id_range;
           Alcotest.test_case "ckpt placement" `Quick test_corrupt_ckpt_placement;
           Alcotest.test_case "ckpt area store" `Quick test_ckpt_area_store;
+        ] );
+      ( "semantic",
+        [
+          Alcotest.test_case "corpus programs clean" `Quick test_sem_corpus_clean;
+          Alcotest.test_case "addr replaced by const" `Quick test_sem_addr_const;
+          Alcotest.test_case "addr offset" `Quick test_sem_addr_offset;
+          Alcotest.test_case "value plus one" `Quick test_sem_wrap_add;
+          Alcotest.test_case "value negated" `Quick test_sem_negate;
+          Alcotest.test_case "wrong slot" `Quick test_sem_wrong_slot;
+          Alcotest.test_case "swapped entries" `Quick test_sem_swapped_entries;
+          Alcotest.test_case "clobbered slot" `Quick test_sem_clobbered_slot;
+          Alcotest.test_case "pruned needed ckpt" `Quick
+            test_sem_pruned_needed_ckpt;
+          Alcotest.test_case "op swap" `Quick test_sem_op_swap;
+          Alcotest.test_case "operand swap" `Quick test_sem_operand_swap;
+          Alcotest.test_case "imm bump" `Quick test_sem_imm_bump;
         ] );
     ]
