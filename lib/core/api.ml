@@ -81,3 +81,10 @@ let reset_caches () =
     states). *)
 let validate_recovery ?(scale = 1) ~seed ~crash_at (w : Defs.t) =
   Cwsp_recovery.Harness.validate ~seed ~crash_at (compiled ~scale w Pipeline.cwsp)
+
+(** Adversarial variant: crash with a faulty persistence path ([fault])
+    and recover with the hardened (or, for study, the blind) protocol. *)
+let validate_fault ?(scale = 1) ?fault ?(hardened = true) ~seed ~crash_at
+    (w : Defs.t) =
+  Cwsp_recovery.Harness.validate_fault ~hardened ?fault ~seed ~crash_at
+    (compiled ~scale w Pipeline.cwsp)

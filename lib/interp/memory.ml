@@ -37,6 +37,11 @@ let write t a v =
   in
   page.(a mod page_bytes / 8) <- v
 
+(** Read-modify-write one word: [mutate t a f] stores [f (read t a)].
+    The persistence-path fault injectors use this to tear or bit-flip a
+    surviving NVM word in place. *)
+let mutate t a f = write t a (f (read t a))
+
 let snapshot t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
   Hashtbl.iter (fun k p -> Hashtbl.add pages k (Array.copy p)) t.pages;

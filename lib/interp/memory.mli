@@ -16,6 +16,11 @@ val read : t -> int -> int
 
 val write : t -> int -> int -> unit
 
+(** Read-modify-write one word: [mutate t a f] stores [f (read t a)] —
+    used by the persistence-path fault injectors to tear or bit-flip a
+    surviving NVM word in place. *)
+val mutate : t -> int -> (int -> int) -> unit
+
 (** Deep copy. *)
 val snapshot : t -> t
 

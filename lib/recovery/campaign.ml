@@ -1,0 +1,285 @@
+(** Deterministic fault-injection campaign over the adversarial fault
+    model ([Fault], [Harness.validate_fault]).
+
+    A campaign is a (workload x fault-class x seed) matrix. Each cell
+    gets its own independent RNG stream derived from the master seed and
+    the cell's fixed position in the matrix ([Rng.stream]), so results
+    are bit-identical no matter how the cells are fanned out — the
+    caller can hand [run] a parallel [map] (e.g. [Executor.map_pool])
+    without affecting a single outcome.
+
+    The report counts, per fault class: cells where the adversary found
+    a target (injected), cells where the hardening audits saw damage or
+    refused (detected), and the recovery outcomes — recovered at the
+    nominal boundary, degraded to a deeper verified boundary, refused
+    (structured [Unrecoverable]: no image committed), and ESCAPED: the
+    protocol claimed success but the final NVM/IO state diverged from
+    the failure-free run. A hardened campaign must report zero escapes;
+    escapes are exactly what the blind (hardening-disabled) protocol is
+    expected to produce. *)
+
+type target = {
+  t_name : string;
+  t_compiled : Cwsp_compiler.Pipeline.compiled;
+  t_golden : Harness.golden;
+}
+
+let target ~name compiled =
+  { t_name = name; t_compiled = compiled; t_golden = Harness.golden_of compiled }
+
+(** One matrix position; [sp_index] is the cell's fixed rank in the
+    matrix, from which its RNG stream is derived. *)
+type cell_spec = {
+  sp_target : target;
+  sp_cls : Fault.cls;
+  sp_rep : int; (* 0-based repetition index within (workload, class) *)
+  sp_index : int;
+}
+
+type cell_outcome = Recovered | Degraded | Refused | Escaped | Masked
+
+let outcome_name = function
+  | Recovered -> "recovered"
+  | Degraded -> "degraded"
+  | Refused -> "refused"
+  | Escaped -> "ESCAPED"
+  | Masked -> "masked"
+
+type cell = {
+  c_workload : string;
+  c_cls : Fault.cls;
+  c_rep : int;
+  c_seed : int; (* the derived per-cell seed fed to the harness *)
+  c_crash_at : int;
+  c_outcome : cell_outcome;
+  c_injected : bool;
+  c_detected : bool;
+  c_detail : string;
+  c_sweep_points : int;
+  c_sweep_slice_points : int;
+  c_sweep_failures : int;
+}
+
+type class_stats = {
+  st_cells : int;
+  st_injected : int;
+  st_detected : int;
+  st_recovered : int;
+  st_degraded : int;
+  st_refused : int;
+  st_escaped : int;
+  st_masked : int;
+}
+
+type report = {
+  r_hardened : bool;
+  r_master_seed : int;
+  r_window : int;
+  r_seeds : int;
+  r_workloads : string list;
+  r_classes : Fault.cls list;
+  r_cells : cell list; (* matrix order, independent of pool width *)
+}
+
+let run_cell ~hardened ~window ~master_seed (sp : cell_spec) : cell =
+  let rng = Cwsp_util.Rng.stream (Cwsp_util.Rng.create master_seed) sp.sp_index in
+  let seed = Cwsp_util.Rng.int rng max_int in
+  let g = sp.sp_target.t_golden in
+  let crash_at = 1 + Cwsp_util.Rng.int rng (max 1 (g.g_steps - 2)) in
+  let base outcome ~injected ~detected ~detail ~sweep ~slice ~fails =
+    {
+      c_workload = sp.sp_target.t_name;
+      c_cls = sp.sp_cls;
+      c_rep = sp.sp_rep;
+      c_seed = seed;
+      c_crash_at = crash_at;
+      c_outcome = outcome;
+      c_injected = injected;
+      c_detected = detected;
+      c_detail = detail;
+      c_sweep_points = sweep;
+      c_sweep_slice_points = slice;
+      c_sweep_failures = fails;
+    }
+  in
+  match
+    Harness.validate_fault ~window ~golden:g ~hardened ~fault:sp.sp_cls ~seed
+      ~crash_at sp.sp_target.t_compiled
+  with
+  | Error e ->
+      base Masked ~injected:false ~detected:false ~detail:("harness: " ^ e)
+        ~sweep:0 ~slice:0 ~fails:0
+  | Ok r ->
+      let injected = r.fr_injected <> None in
+      let detected = r.fr_detections <> [] || r.fr_outcome = Harness.Refused in
+      let detail =
+        String.concat "; "
+          (Option.to_list r.fr_injected
+          @ (match r.fr_detections with
+            | [] -> []
+            | l -> [ String.concat " | " l ]))
+      in
+      let outcome =
+        if not injected then Masked
+        else if (not r.fr_state_ok) && r.fr_outcome <> Harness.Refused then
+          Escaped
+        else
+          match r.fr_outcome with
+          | Harness.Recovered -> Recovered
+          | Harness.Degraded -> Degraded
+          | Harness.Refused -> Refused
+      in
+      base outcome ~injected ~detected ~detail ~sweep:r.fr_sweep_points
+        ~slice:r.fr_sweep_slice_points ~fails:r.fr_sweep_failures
+
+(** Run the matrix. [map] fans the cells out (default: sequential); it
+    MUST be order-preserving, e.g. [Executor.map_pool]. *)
+let run ?(map = Array.map) ?(window = 16) ?(hardened = true)
+    ?(master_seed = 2024) ~seeds ~classes targets : report =
+  let specs =
+    List.concat_map
+      (fun t ->
+        List.concat_map
+          (fun cls -> List.init seeds (fun rep -> (t, cls, rep)))
+          classes)
+      targets
+    |> List.mapi (fun i (t, cls, rep) ->
+           { sp_target = t; sp_cls = cls; sp_rep = rep; sp_index = i })
+    |> Array.of_list
+  in
+  let cells = map (run_cell ~hardened ~window ~master_seed) specs in
+  {
+    r_hardened = hardened;
+    r_master_seed = master_seed;
+    r_window = window;
+    r_seeds = seeds;
+    r_workloads = List.map (fun t -> t.t_name) targets;
+    r_classes = classes;
+    r_cells = Array.to_list cells;
+  }
+
+let class_stats report cls =
+  List.fold_left
+    (fun st c ->
+      if c.c_cls <> cls then st
+      else
+        {
+          st_cells = st.st_cells + 1;
+          st_injected = (st.st_injected + if c.c_injected then 1 else 0);
+          st_detected = (st.st_detected + if c.c_detected then 1 else 0);
+          st_recovered =
+            (st.st_recovered + if c.c_outcome = Recovered then 1 else 0);
+          st_degraded =
+            (st.st_degraded + if c.c_outcome = Degraded then 1 else 0);
+          st_refused = (st.st_refused + if c.c_outcome = Refused then 1 else 0);
+          st_escaped = (st.st_escaped + if c.c_outcome = Escaped then 1 else 0);
+          st_masked = (st.st_masked + if c.c_outcome = Masked then 1 else 0);
+        })
+    {
+      st_cells = 0;
+      st_injected = 0;
+      st_detected = 0;
+      st_recovered = 0;
+      st_degraded = 0;
+      st_refused = 0;
+      st_escaped = 0;
+      st_masked = 0;
+    }
+    report.r_cells
+
+let summarize report = List.map (fun c -> (c, class_stats report c)) report.r_classes
+
+let escaped report =
+  List.filter (fun c -> c.c_outcome = Escaped) report.r_cells
+
+(** Total (mid-recovery crash sites, of which recovery-slice
+    instructions) exercised by the sweep cells. *)
+let sweep_coverage report =
+  List.fold_left
+    (fun (p, s) c -> (p + c.c_sweep_points, s + c.c_sweep_slice_points))
+    (0, 0) report.r_cells
+
+let render report =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "fault campaign: %s, %d workloads x %d classes x %d seeds (window %d, master seed %d)\n"
+    (if report.r_hardened then "hardened" else "BLIND (hardening disabled)")
+    (List.length report.r_workloads)
+    (List.length report.r_classes)
+    report.r_seeds report.r_window report.r_master_seed;
+  Printf.bprintf b "%-15s %6s %9s %9s %10s %9s %8s %8s %7s\n" "class" "cells"
+    "injected" "detected" "recovered" "degraded" "refused" "escaped" "masked";
+  List.iter
+    (fun (cls, st) ->
+      Printf.bprintf b "%-15s %6d %9d %9d %10d %9d %8d %8d %7d\n"
+        (Fault.name cls) st.st_cells st.st_injected st.st_detected
+        st.st_recovered st.st_degraded st.st_refused st.st_escaped st.st_masked)
+    (summarize report);
+  let pts, slice_pts = sweep_coverage report in
+  Printf.bprintf b
+    "crash-during-recovery sweep: %d recovery-step crash sites (%d on slice \
+     instructions)\n"
+    pts slice_pts;
+  (match escaped report with
+  | [] -> Buffer.add_string b "escaped faults: none\n"
+  | l ->
+      Printf.bprintf b "escaped faults: %d\n" (List.length l);
+      List.iter
+        (fun c ->
+          Printf.bprintf b "  ESCAPED %s %s seed=%d crash@%d: %s\n"
+            c.c_workload (Fault.name c.c_cls) c.c_seed c.c_crash_at c.c_detail)
+        l);
+  Buffer.contents b
+
+(* Hand-rolled JSON, matching the repo's other report emitters. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json report =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\"hardened\":%b,\"master_seed\":%d,\"window\":%d,\"seeds\":%d,\n"
+    report.r_hardened report.r_master_seed report.r_window report.r_seeds;
+  Printf.bprintf b "\"workloads\":[%s],\n"
+    (String.concat ","
+       (List.map (fun w -> "\"" ^ json_escape w ^ "\"") report.r_workloads));
+  Printf.bprintf b "\"classes\":{";
+  List.iteri
+    (fun i (cls, st) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "\n\"%s\":{\"cells\":%d,\"injected\":%d,\"detected\":%d,\
+         \"recovered\":%d,\"degraded\":%d,\"refused\":%d,\"escaped\":%d,\
+         \"masked\":%d}"
+        (Fault.name cls) st.st_cells st.st_injected st.st_detected
+        st.st_recovered st.st_degraded st.st_refused st.st_escaped st.st_masked)
+    (summarize report);
+  Buffer.add_string b "},\n";
+  let pts, slice_pts = sweep_coverage report in
+  Printf.bprintf b "\"sweep\":{\"points\":%d,\"slice_points\":%d},\n" pts
+    slice_pts;
+  Printf.bprintf b "\"escaped_total\":%d,\n"
+    (List.length (escaped report));
+  Printf.bprintf b "\"cells\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "\n{\"workload\":\"%s\",\"class\":\"%s\",\"rep\":%d,\"seed\":%d,\
+         \"crash_at\":%d,\"outcome\":\"%s\",\"injected\":%b,\"detected\":%b,\
+         \"sweep_points\":%d,\"sweep_failures\":%d,\"detail\":\"%s\"}"
+        (json_escape c.c_workload)
+        (Fault.name c.c_cls) c.c_rep c.c_seed c.c_crash_at
+        (outcome_name c.c_outcome) c.c_injected c.c_detected c.c_sweep_points
+        c.c_sweep_failures (json_escape c.c_detail))
+    report.r_cells;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

@@ -1,0 +1,101 @@
+(** Deterministic fault-injection campaign: a (workload x fault-class x
+    seed) matrix over [Harness.validate_fault]. Each cell's RNG stream
+    is derived from the master seed and the cell's fixed matrix position
+    ([Rng.stream]), so results are bit-identical regardless of how the
+    cells are fanned out over a pool. A hardened campaign must report
+    zero ESCAPED faults (the protocol claimed success but the final
+    state diverged); the blind variant exists to prove the oracle sees
+    what the checksums catch. *)
+
+type target = {
+  t_name : string;
+  t_compiled : Cwsp_compiler.Pipeline.compiled;
+  t_golden : Harness.golden;
+}
+
+(** Build a campaign target (runs the failure-free golden execution). *)
+val target : name:string -> Cwsp_compiler.Pipeline.compiled -> target
+
+type cell_spec = {
+  sp_target : target;
+  sp_cls : Fault.cls;
+  sp_rep : int;  (** 0-based repetition index within (workload, class) *)
+  sp_index : int;  (** fixed rank in the matrix; seeds the cell's RNG *)
+}
+
+type cell_outcome =
+  | Recovered
+  | Degraded
+  | Refused
+  | Escaped  (** claimed success, diverged final state — must never happen hardened *)
+  | Masked  (** the fault found no target (or the harness skipped the cell) *)
+
+val outcome_name : cell_outcome -> string
+
+type cell = {
+  c_workload : string;
+  c_cls : Fault.cls;
+  c_rep : int;
+  c_seed : int;
+  c_crash_at : int;
+  c_outcome : cell_outcome;
+  c_injected : bool;
+  c_detected : bool;
+  c_detail : string;
+  c_sweep_points : int;
+  c_sweep_slice_points : int;
+  c_sweep_failures : int;
+}
+
+type class_stats = {
+  st_cells : int;
+  st_injected : int;
+  st_detected : int;
+  st_recovered : int;
+  st_degraded : int;
+  st_refused : int;
+  st_escaped : int;
+  st_masked : int;
+}
+
+type report = {
+  r_hardened : bool;
+  r_master_seed : int;
+  r_window : int;
+  r_seeds : int;
+  r_workloads : string list;
+  r_classes : Fault.cls list;
+  r_cells : cell list;  (** matrix order, independent of pool width *)
+}
+
+(** Run one cell (exposed for tests). *)
+val run_cell :
+  hardened:bool -> window:int -> master_seed:int -> cell_spec -> cell
+
+(** Run the matrix. [map] fans the cells out (default sequential); it
+    must be order-preserving, e.g. [Executor.map_pool ~jobs]. *)
+val run :
+  ?map:((cell_spec -> cell) -> cell_spec array -> cell array) ->
+  ?window:int ->
+  ?hardened:bool ->
+  ?master_seed:int ->
+  seeds:int ->
+  classes:Fault.cls list ->
+  target list ->
+  report
+
+val class_stats : report -> Fault.cls -> class_stats
+val summarize : report -> (Fault.cls * class_stats) list
+
+(** Cells whose corruption escaped undetected to a divergent final state. *)
+val escaped : report -> cell list
+
+(** Total (mid-recovery crash sites, of which on recovery-slice
+    instructions) exercised by the crash-during-recovery sweeps. *)
+val sweep_coverage : report -> int * int
+
+(** Human-readable summary table. *)
+val render : report -> string
+
+(** JSON fault-coverage report (the CI artifact). *)
+val to_json : report -> string

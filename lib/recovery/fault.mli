@@ -1,0 +1,38 @@
+(** Adversarial fault model for the persistence path: the fault classes
+    the injection campaign exercises, plus the deterministic primitives
+    (word tearing, bit flips, checksums) shared by the injectors in
+    [Harness] and the hardened record format in [Mc_logs]. The adversary
+    is single-fault: one class, one injection site per crash. *)
+
+type cls =
+  | Torn_persist  (** an 8-byte store reaches NVM only as a byte prefix *)
+  | Dropped_tail  (** one MC silently drops the tail of its persist buffer *)
+  | Log_corruption  (** undo-log records flipped, truncated, or removed *)
+  | Ckpt_bitflip  (** a bit flip in a checkpoint slot the slice will read *)
+  | Recovery_crash  (** power fails again at an instruction of recovery *)
+
+(** All classes, in a fixed order (campaign matrix order). *)
+val all : cls list
+
+(** Stable CLI/JSON name, e.g. ["torn-persist"]. *)
+val name : cls -> string
+
+val of_name : string -> cls option
+
+(** Checksum of a stored word (62-bit avalanche; stands in for the CRC an
+    MC keeps beside each slot). *)
+val value_sum : int -> int
+
+(** Checksum of a full undo-log record, covering position (region, LSN),
+    address, the old value replay writes back, and the checksum of the
+    new value. Any single-field change moves the sum. *)
+val record_sum : region:int -> lsn:int -> addr:int -> old:int -> new_sum:int -> int
+
+(** Tear a persisting 8-byte store: a (possibly empty) low-order byte
+    prefix of [value] reaches NVM, the rest of the word keeps [old];
+    the prefix length is picked uniformly among those that observably
+    change the word ([value] is returned unchanged if none does). *)
+val tear : Cwsp_util.Rng.t -> value:int -> old:int -> int
+
+(** Flip one uniformly chosen bit (of the low 62) of a stored word. *)
+val flip_bit : Cwsp_util.Rng.t -> int -> int

@@ -73,3 +73,59 @@ val validate_chain :
   crash_points:int list ->
   Cwsp_compiler.Pipeline.compiled ->
   (int, string) result
+
+(** {2 Adversarial fault model}
+
+    Crashes where the persistence path itself is faulty ([Fault]): the
+    hardened protocol audits the undo logs (checksums, LSNs, durable
+    count headers) and the checkpoint area before committing to a
+    rollback boundary, walks a degradation ladder to deeper boundaries
+    whose logs verify, and refuses outright — never committing a wrong
+    final NVM image — when none is left. *)
+
+(** A failure-free reference run: final NVM image, device outputs and
+    step count. Compute once per workload and share across cells. *)
+type golden = { g_mem : Memory.t; g_outputs : int list; g_steps : int }
+
+val golden_of : Cwsp_compiler.Pipeline.compiled -> golden
+
+type fault_outcome =
+  | Recovered  (** recovered at the nominal boundary *)
+  | Degraded  (** recovered at a deeper boundary whose logs verify *)
+  | Refused  (** structured refusal: no trustworthy boundary remained *)
+
+type fault_report = {
+  fr_crash_step : int;
+  fr_nominal_region : int;
+      (** dynamic index of the nominal (fault-free) recovery point *)
+  fr_rung_region : int;  (** region recovery actually used; -1 if refused *)
+  fr_outcome : fault_outcome;
+  fr_injected : string option;
+      (** what the adversary did; [None] if the fault found no target *)
+  fr_detections : string list;  (** what the hardening audits saw *)
+  fr_state_ok : bool;
+      (** final NVM + exactly-once I/O match the failure-free run
+          (vacuously true for [Refused]: no image was committed) *)
+  fr_sweep_points : int;  (** mid-recovery crash sites exercised *)
+  fr_sweep_slice_points : int;
+      (** ... of which were recovery-slice instructions (the acceptance
+          sweep covers every slice index) *)
+  fr_sweep_failures : int;  (** sweep runs ending in a wrong final state *)
+}
+
+(** Validate one adversarial crash: run to [crash_at], cut power, inject
+    [fault] into the surviving durable state ([Fault.Recovery_crash] is
+    realized as a second power failure swept across every instruction of
+    the staged recovery plan), recover — hardened, or blind when
+    [hardened:false] (trust every byte, legacy ordering; the negative
+    corpus) — and compare the final state against a failure-free run. *)
+val validate_fault :
+  ?window:int ->
+  ?n_mcs:int ->
+  ?golden:golden ->
+  hardened:bool ->
+  ?fault:Fault.cls ->
+  seed:int ->
+  crash_at:int ->
+  Cwsp_compiler.Pipeline.compiled ->
+  (fault_report, string) result

@@ -115,8 +115,9 @@ let hooks (t : tracked) tid : Machine.hooks =
           push_record ~static_id:(-3)
         end);
     on_store =
-      (fun ~addr ~old ~value:_ ->
-        Mc_logs.log t.logs ~region:(current_region ts).region_index ~addr ~old);
+      (fun ~addr ~old ~value ->
+        Mc_logs.log t.logs ~region:(current_region ts).region_index ~addr ~old
+          ~value);
   }
 
 (** Run all threads round-robin for roughly [steps] more instructions in

@@ -42,6 +42,28 @@ let skewed t bound =
   let idx = int_of_float (f *. f *. f *. float_of_int bound) in
   if idx >= bound then bound - 1 else idx
 
+(* A second finalizer with murmur3-style constants, distinct from the
+   splitmix64 step above, so child streams share no outputs with the
+   parent's raw sequence. *)
+let remix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  logxor z (shift_right_logical z 33)
+
+(** Split off an independent child generator. Advances the parent by one
+    step; equal parent states yield equal children. *)
+let split t = { state = remix (next_int64 t) }
+
+(** The [i]-th child stream, without advancing the parent: equal
+    (parent state, i) pairs always yield the same child, so fanned-out
+    consumers (e.g. fault-campaign cells) get deterministic seeds
+    regardless of evaluation order or pool width. *)
+let stream t i =
+  if i < 0 then invalid_arg "Rng.stream: negative index";
+  let open Int64 in
+  { state = remix (logxor t.state (mul (add (of_int i) 1L) 0x9E3779B97F4A7C15L)) }
+
 let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
   arr.(int t (Array.length arr))

@@ -29,6 +29,17 @@ val float : t -> float
     to synthesize workloads with temporal locality. *)
 val skewed : t -> int -> int
 
+(** Split off an independent child generator (advances the parent by one
+    step). The child's stream shares no outputs with the parent's. *)
+val split : t -> t
+
+(** [stream t i] is the [i]-th independent child stream; it does not
+    advance the parent, and equal (parent state, i) pairs always yield
+    the same child. Use for deterministic per-cell fan-out that must not
+    depend on evaluation order or pool width. Raises [Invalid_argument]
+    on negative indices. *)
+val stream : t -> int -> t
+
 (** Uniform element of a non-empty array. *)
 val pick : t -> 'a array -> 'a
 

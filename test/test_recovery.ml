@@ -182,9 +182,9 @@ let test_mc_logs_fig10c () =
   (* Rg0 (non-speculative) wrote 100 earlier; NVM holds it *)
   Cwsp_interp.Memory.write mem addr 100;
   (* speculative Rg1 stores 200 (logs old=100), Rg2 stores 300 (logs old=200) *)
-  Cwsp_recovery.Mc_logs.log logs ~region:1 ~addr ~old:100;
+  Cwsp_recovery.Mc_logs.log logs ~region:1 ~addr ~old:100 ~value:200;
   Cwsp_interp.Memory.write mem addr 200;
-  Cwsp_recovery.Mc_logs.log logs ~region:2 ~addr ~old:200;
+  Cwsp_recovery.Mc_logs.log logs ~region:2 ~addr ~old:200 ~value:300;
   Cwsp_interp.Memory.write mem addr 300;
   (* power failure while Rg0 is the oldest unpersisted region *)
   Cwsp_recovery.Mc_logs.revert_speculative logs ~oldest_unpersisted:0
@@ -194,9 +194,9 @@ let test_mc_logs_fig10c () =
 
 let test_mc_logs_deallocate () =
   let logs = Cwsp_recovery.Mc_logs.create ~n_mcs:2 in
-  Cwsp_recovery.Mc_logs.log logs ~region:5 ~addr:0x100 ~old:1;
-  Cwsp_recovery.Mc_logs.log logs ~region:5 ~addr:0x200 ~old:2;
-  Cwsp_recovery.Mc_logs.log logs ~region:6 ~addr:0x300 ~old:3;
+  Cwsp_recovery.Mc_logs.log logs ~region:5 ~addr:0x100 ~old:1 ~value:11;
+  Cwsp_recovery.Mc_logs.log logs ~region:5 ~addr:0x200 ~old:2 ~value:22;
+  Cwsp_recovery.Mc_logs.log logs ~region:6 ~addr:0x300 ~old:3 ~value:33;
   Alcotest.(check int) "three live" 3 (Cwsp_recovery.Mc_logs.live_entries logs);
   Cwsp_recovery.Mc_logs.deallocate logs ~region:5;
   Alcotest.(check int) "region 5 reclaimed" 1
@@ -208,15 +208,192 @@ let test_mc_logs_revert_excludes_oldest () =
   let logs = Cwsp_recovery.Mc_logs.create ~n_mcs:2 in
   let mem = Cwsp_interp.Memory.create () in
   Cwsp_interp.Memory.write mem 0x100 77 (* R_o's own speculative write *);
-  Cwsp_recovery.Mc_logs.log logs ~region:3 ~addr:0x100 ~old:7;
+  Cwsp_recovery.Mc_logs.log logs ~region:3 ~addr:0x100 ~old:7 ~value:77;
   Cwsp_interp.Memory.write mem 0x200 88;
-  Cwsp_recovery.Mc_logs.log logs ~region:4 ~addr:0x200 ~old:8;
+  Cwsp_recovery.Mc_logs.log logs ~region:4 ~addr:0x200 ~old:8 ~value:88;
   Cwsp_recovery.Mc_logs.revert_speculative logs ~oldest_unpersisted:3
     ~apply:(fun a old -> Cwsp_interp.Memory.write mem a old);
   Alcotest.(check int) "R_o's data store kept (idempotence handles it)" 77
     (Cwsp_interp.Memory.read mem 0x100);
   Alcotest.(check int) "younger region reverted" 8
     (Cwsp_interp.Memory.read mem 0x200)
+
+(* REGRESSION: the recovery-point draw used to be bounded by the window
+   instead of the tracked-region count. Right after a boundary step the
+   list legitimately holds window+1 regions, so at window=1 the protocol
+   could never roll back to the just-closed region. Post-fix, a
+   contiguous crash sweep at window=1 must both stay clean and actually
+   revert a region at some crash point. *)
+let test_window1_rollback_regression () =
+  let compiled = compiled_of "lu-ncg" in
+  let saw_rollback = ref false in
+  for i = 0 to 149 do
+    let crash_at = 5_000 + i in
+    match
+      Cwsp_recovery.Harness.validate ~window:1 ~seed:(800 + i) ~crash_at
+        compiled
+    with
+    | Ok r -> if r.reverted_regions >= 1 then saw_rollback := true
+    | Error e -> Alcotest.failf "window=1 crash@%d: %s" crash_at e
+  done;
+  Alcotest.(check bool) "window=1 selects the just-closed region" true
+    !saw_rollback
+
+(* ---- hardened log records: checksums, LSNs, count headers ---- *)
+
+let hardened_logs () =
+  let logs = Cwsp_recovery.Mc_logs.create ~n_mcs:2 in
+  (* addresses span both MCs (256-byte interleave) *)
+  List.iter
+    (fun (addr, old, value) ->
+      Cwsp_recovery.Mc_logs.log logs ~region:9 ~addr ~old ~value)
+    [ (0x100, 1, 2); (0x208, 3, 4); (0x110, 5, 6); (0x218, 7, 8); (0x120, 9, 10) ];
+  logs
+
+let test_mc_logs_audit_clean () =
+  let au = Cwsp_recovery.Mc_logs.audit_region (hardened_logs ()) ~region:9 in
+  Alcotest.(check (list string)) "no structural damage" []
+    au.Cwsp_recovery.Mc_logs.au_structural;
+  Alcotest.(check int) "no bad records" 0
+    (List.length au.Cwsp_recovery.Mc_logs.au_bad)
+
+let test_mc_logs_audit_corruption () =
+  let rng = Cwsp_util.Rng.create 4 in
+  let detected = ref 0 in
+  (* the injector picks a random record/field each time; every single
+     corruption must be visible to the audit *)
+  for trial = 0 to 19 do
+    let logs = hardened_logs () in
+    match Cwsp_recovery.Mc_logs.inject_corrupt logs rng ~regions:[ 9 ] with
+    | None -> Alcotest.failf "trial %d: nothing to corrupt" trial
+    | Some _ ->
+      let au = Cwsp_recovery.Mc_logs.audit_region logs ~region:9 in
+      if au.Cwsp_recovery.Mc_logs.au_structural <> [] || au.au_bad <> [] then
+        incr detected
+  done;
+  Alcotest.(check int) "every corruption detected" 20 !detected
+
+let test_mc_logs_audit_drop_tail () =
+  let rng = Cwsp_util.Rng.create 11 in
+  let logs = hardened_logs () in
+  (match Cwsp_recovery.Mc_logs.inject_drop_tail logs rng ~regions:[ 9 ] with
+  | None -> Alcotest.fail "nothing to drop"
+  | Some _ -> ());
+  let au = Cwsp_recovery.Mc_logs.audit_region logs ~region:9 in
+  Alcotest.(check bool) "count header exposes the dropped tail" true
+    (au.Cwsp_recovery.Mc_logs.au_structural <> [])
+
+let test_mc_logs_copy_independent () =
+  let logs = hardened_logs () in
+  let snap = Cwsp_recovery.Mc_logs.copy logs in
+  let rng = Cwsp_util.Rng.create 3 in
+  ignore (Cwsp_recovery.Mc_logs.inject_corrupt logs rng ~regions:[ 9 ]);
+  let au = Cwsp_recovery.Mc_logs.audit_region snap ~region:9 in
+  Alcotest.(check (list string)) "snapshot untouched by later corruption" []
+    au.Cwsp_recovery.Mc_logs.au_structural;
+  Alcotest.(check int) "snapshot records still verify" 0
+    (List.length au.Cwsp_recovery.Mc_logs.au_bad)
+
+(* ---- adversarial fault model ---- *)
+
+let fault_compiled = lazy (compiled_of "lu-ncg")
+let fault_golden =
+  lazy (Cwsp_recovery.Harness.golden_of (Lazy.force fault_compiled))
+
+(* NEGATIVE corpus: with hardening disabled (blind protocol: trust every
+   byte, legacy truncate-first ordering), each fault class must produce
+   an observable divergence from the failure-free run for some seed.
+   This proves the campaign's oracle sees exactly the damage the
+   hardened audits catch — the positive results are not a tautology. *)
+let test_blind_diverges cls () =
+  let compiled = Lazy.force fault_compiled in
+  let golden = Lazy.force fault_golden in
+  let diverged = ref false in
+  (try
+     for seed = 0 to 29 do
+       let crash_at = 3_000 + (seed * 1_100) in
+       match
+         Cwsp_recovery.Harness.validate_fault ~golden ~hardened:false
+           ~fault:cls ~seed ~crash_at compiled
+       with
+       | Ok r ->
+         if r.fr_injected <> None && not r.fr_state_ok then begin
+           diverged := true;
+           raise Exit
+         end
+       | Error _ ->
+         (* the blind protocol wedged outright — also a divergence *)
+         diverged := true;
+         raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool)
+    (Cwsp_recovery.Fault.name cls ^ " breaks the blind protocol")
+    true !diverged
+
+(* POSITIVE: the hardened protocol over the same fault classes — a small
+   deterministic campaign must inject real faults, detect them, and
+   never let one escape to a wrong committed state. *)
+let test_hardened_campaign () =
+  let targets =
+    [ Cwsp_recovery.Campaign.target ~name:"lu-ncg" (Lazy.force fault_compiled) ]
+  in
+  let report =
+    Cwsp_recovery.Campaign.run ~window:8 ~hardened:true ~master_seed:77
+      ~seeds:4 ~classes:Cwsp_recovery.Fault.all targets
+  in
+  Alcotest.(check (list string)) "zero escaped faults" []
+    (List.map
+       (fun (c : Cwsp_recovery.Campaign.cell) -> c.c_detail)
+       (Cwsp_recovery.Campaign.escaped report));
+  let injected =
+    List.length
+      (List.filter
+         (fun (c : Cwsp_recovery.Campaign.cell) -> c.c_injected)
+         report.r_cells)
+  and detected =
+    List.length
+      (List.filter
+         (fun (c : Cwsp_recovery.Campaign.cell) -> c.c_detected)
+         report.r_cells)
+  in
+  Alcotest.(check bool) "faults were actually injected" true (injected >= 10);
+  Alcotest.(check bool) "hardening audits fired" true (detected >= 1);
+  (* determinism: the same matrix again is byte-identical *)
+  let report2 =
+    Cwsp_recovery.Campaign.run ~window:8 ~hardened:true ~master_seed:77
+      ~seeds:4 ~classes:Cwsp_recovery.Fault.all targets
+  in
+  Alcotest.(check string) "campaign is deterministic"
+    (Cwsp_recovery.Campaign.to_json report)
+    (Cwsp_recovery.Campaign.to_json report2)
+
+(* Crash during recovery: the staged plan is swept — power is cut after
+   every prefix of recovery steps, recovery restarts from the surviving
+   image, and the final state must still match. Slice instructions must
+   be among the swept crash sites. *)
+let test_recovery_crash_sweep () =
+  let compiled = Lazy.force fault_compiled in
+  let golden = Lazy.force fault_golden in
+  let points = ref 0 and slice_points = ref 0 in
+  for seed = 0 to 7 do
+    let crash_at = 4_000 + (seed * 4_000) in
+    match
+      Cwsp_recovery.Harness.validate_fault ~golden ~hardened:true
+        ~fault:Cwsp_recovery.Fault.Recovery_crash ~seed ~crash_at compiled
+    with
+    | Ok r ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: no sweep failures" seed)
+        0 r.fr_sweep_failures;
+      Alcotest.(check bool) "final state matches" true r.fr_state_ok;
+      points := !points + r.fr_sweep_points;
+      slice_points := !slice_points + r.fr_sweep_slice_points
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done;
+  Alcotest.(check bool) "swept mid-recovery crash sites" true (!points > 0);
+  Alcotest.(check bool) "swept recovery-slice instructions" true
+    (!slice_points > 0)
 
 let () =
   Alcotest.run "recovery"
@@ -245,5 +422,28 @@ let () =
           Alcotest.test_case "fig10c overwrite avoidance" `Quick test_mc_logs_fig10c;
           Alcotest.test_case "deallocation" `Quick test_mc_logs_deallocate;
           Alcotest.test_case "oldest excluded" `Quick test_mc_logs_revert_excludes_oldest;
+          Alcotest.test_case "audit clean" `Quick test_mc_logs_audit_clean;
+          Alcotest.test_case "audit sees corruption" `Quick test_mc_logs_audit_corruption;
+          Alcotest.test_case "audit sees dropped tail" `Quick test_mc_logs_audit_drop_tail;
+          Alcotest.test_case "copy is independent" `Quick test_mc_logs_copy_independent;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "window=1 rollback regression" `Slow
+            test_window1_rollback_regression;
+          Alcotest.test_case "blind: torn persist diverges" `Slow
+            (test_blind_diverges Cwsp_recovery.Fault.Torn_persist);
+          Alcotest.test_case "blind: dropped tail diverges" `Slow
+            (test_blind_diverges Cwsp_recovery.Fault.Dropped_tail);
+          Alcotest.test_case "blind: log corruption diverges" `Slow
+            (test_blind_diverges Cwsp_recovery.Fault.Log_corruption);
+          Alcotest.test_case "blind: ckpt bit flip diverges" `Slow
+            (test_blind_diverges Cwsp_recovery.Fault.Ckpt_bitflip);
+          Alcotest.test_case "blind: recovery crash diverges" `Slow
+            (test_blind_diverges Cwsp_recovery.Fault.Recovery_crash);
+          Alcotest.test_case "hardened campaign: zero escapes" `Slow
+            test_hardened_campaign;
+          Alcotest.test_case "recovery-crash sweep" `Slow
+            test_recovery_crash_sweep;
         ] );
     ]

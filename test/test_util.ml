@@ -34,6 +34,42 @@ let prop_rng_skewed_range =
       let v = Rng.skewed rng bound in
       v >= 0 && v < bound)
 
+let draw n rng = List.init n (fun _ -> Rng.int rng 1_000_000)
+
+let test_rng_split () =
+  let p1 = Rng.create 99 and p2 = Rng.create 99 in
+  let c1 = Rng.split p1 and c2 = Rng.split p2 in
+  Alcotest.(check (list int)) "split is deterministic" (draw 20 c1) (draw 20 c2);
+  (* the child's stream must not reappear in the parent's continuation *)
+  Alcotest.(check bool) "child differs from parent continuation" true
+    (draw 20 (Rng.split (Rng.create 99)) <> draw 20 p1)
+
+let test_rng_stream_pure () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  ignore (draw 10 (Rng.stream a 3));
+  ignore (draw 10 (Rng.stream a 12));
+  (* deriving streams must not advance the parent *)
+  Alcotest.(check (list int)) "parent unmoved" (draw 20 b) (draw 20 a)
+
+let test_rng_stream_indexed () =
+  let parent = Rng.create 11 in
+  let at i = draw 8 (Rng.stream parent i) in
+  Alcotest.(check (list int)) "same index, same stream" (at 5) (at 5);
+  Alcotest.(check bool) "indices 0/1 differ" true (at 0 <> at 1);
+  Alcotest.(check bool) "index differs from raw parent copy" true
+    (at 0 <> draw 8 (Rng.copy parent));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.stream: negative index") (fun () ->
+      ignore (Rng.stream parent (-1)))
+
+let prop_rng_stream_decorrelated =
+  (* first outputs of sibling streams behave like independent draws *)
+  QCheck.Test.make ~name:"Rng.stream siblings differ" ~count:200
+    QCheck.(pair small_int (int_range 0 1000))
+    (fun (seed, i) ->
+      let p = Rng.create seed in
+      draw 4 (Rng.stream p i) <> draw 4 (Rng.stream p (i + 1)))
+
 let test_rng_shuffle_permutation () =
   let rng = Rng.create 7 in
   let arr = Array.init 50 Fun.id in
@@ -108,6 +144,10 @@ let () =
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
           qtest prop_rng_int_range;
           qtest prop_rng_skewed_range;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "stream purity" `Quick test_rng_stream_pure;
+          Alcotest.test_case "stream indexing" `Quick test_rng_stream_indexed;
+          qtest prop_rng_stream_decorrelated;
         ] );
       ( "stats",
         [
