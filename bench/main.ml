@@ -141,10 +141,25 @@ let json_run ~jobs () =
 
 (* ---- CLI ---- *)
 
+(* End-of-run summary of the shared memo stores (satellite of the obs
+   work): hit/miss/race totals per cache, on stderr so every rendered
+   figure on stdout stays byte-identical to the golden output. *)
+let print_cache_summary () =
+  Printf.eprintf "cache summary:";
+  List.iter
+    (fun (name, (st : Cwsp_core.Store.stats), entries) ->
+      Printf.eprintf " %s %d entries, %d hits, %d misses, %d races;" name
+        entries st.hits st.misses st.races)
+    (Cwsp_core.Api.cache_stats ());
+  Printf.eprintf "\n"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* pull out --jobs N; remaining words select modes/experiments *)
+  (* pull out --jobs N / --trace FILE / --metrics FILE; remaining words
+     select modes/experiments *)
   let jobs = ref 1 in
+  let trace = ref None in
+  let metrics = ref None in
   let rec strip = function
     | [] -> []
     | "--jobs" :: n :: rest ->
@@ -154,14 +169,21 @@ let () =
         Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
         exit 1);
       strip rest
-    | "--jobs" :: [] ->
-      Printf.eprintf "--jobs expects an argument\n";
+    | "--trace" :: f :: rest ->
+      trace := Some f;
+      strip rest
+    | "--metrics" :: f :: rest ->
+      metrics := Some f;
+      strip rest
+    | [ ("--jobs" | "--trace" | "--metrics") ] ->
+      Printf.eprintf "--jobs/--trace/--metrics expect an argument\n";
       exit 1
     | x :: rest -> x :: strip rest
   in
   let args = strip args in
   Cwsp_core.Executor.set_default_jobs !jobs;
-  match args with
+  Cwsp_obs.Obs.configure ?trace:!trace ?metrics:!metrics ();
+  (match args with
   | [] ->
     Index.run_all ();
     microbenches ()
@@ -182,4 +204,6 @@ let () =
           | None ->
             Printf.eprintf "unknown experiment %S (try 'list')\n" id;
             exit 1)
-      ids
+      ids);
+  print_cache_summary ();
+  Cwsp_obs.Obs.finalize ()

@@ -36,8 +36,8 @@ let config_of_string = function
   | "baseline" -> Ok Pipeline.baseline
   | s -> Error (`Msg (Printf.sprintf "unknown config %S" s))
 
-let run list workload input emit config dump_ir report slices simulate validate
-    scale verify format =
+let run_inner list workload input emit config dump_ir report slices simulate
+    validate scale verify format =
   if list then (
     list_workloads ();
     `Ok ())
@@ -151,6 +151,18 @@ let run list workload input emit config dump_ir report slices simulate validate
           end
           else `Ok ())
 
+(* Telemetry wrapper: configure before any compile/simulate work so the
+   spans land in the ring buffers, finalize after the last exit path. *)
+let run list workload input emit config dump_ir report slices simulate validate
+    scale verify format trace metrics =
+  Cwsp_obs.Obs.configure ?trace ?metrics ();
+  let result =
+    run_inner list workload input emit config dump_ir report slices simulate
+      validate scale verify format
+  in
+  Cwsp_obs.Obs.finalize ();
+  result
+
 let cmd =
   let list =
     Arg.(value & flag & info [ "l"; "list" ] ~doc:"List available workloads.")
@@ -220,11 +232,31 @@ let cmd =
              plus a summary) or $(b,json) (machine-readable diagnostic \
              records).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON profile of the run to FILE \
+             (open in Perfetto or chrome://tracing). Also honors the \
+             $(b,CWSP_TRACE) environment variable.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write flat JSON metrics (counters, histograms, gauges) to \
+             FILE. Also honors the $(b,CWSP_METRICS) environment variable.")
+  in
   let term =
     Term.(
       ret
         (const run $ list $ workload $ input $ emit $ config $ dump_ir $ report
-       $ slices $ simulate $ validate $ scale $ verify $ format))
+       $ slices $ simulate $ validate $ scale $ verify $ format $ trace
+       $ metrics))
   in
   Cmd.v
     (Cmd.info "cwspc" ~version:"1.0"

@@ -28,6 +28,8 @@ let () =
   let master_seed = ref 2024 in
   let hardened = ref true in
   let json_file = ref "" in
+  let trace = ref "" in
+  let metrics = ref "" in
   Arg.parse
     [
       ( "--workloads",
@@ -53,10 +55,20 @@ let () =
         Arg.Clear hardened,
         "  run the blind legacy protocol (escapes expected)" );
       ("--json", Arg.Set_string json_file, "FILE  write the JSON coverage report");
+      ( "--trace",
+        Arg.Set_string trace,
+        "FILE  write a Chrome trace-event JSON profile (per-cell spans)" );
+      ( "--metrics",
+        Arg.Set_string metrics,
+        "FILE  write flat JSON metrics (per-class outcome counters)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "fault_campaign [--workloads ...] [--classes ...] [--seeds N] [--jobs N] \
-     [--unhardened] [--json FILE]";
+     [--unhardened] [--json FILE] [--trace FILE] [--metrics FILE]";
+  Cwsp_obs.Obs.configure
+    ?trace:(if !trace = "" then None else Some !trace)
+    ?metrics:(if !metrics = "" then None else Some !metrics)
+    ();
   let targets =
     List.map
       (fun name ->
@@ -82,6 +94,7 @@ let () =
     close_out oc;
     Printf.printf "JSON report written to %s\n" !json_file
   end;
+  Cwsp_obs.Obs.finalize ();
   let esc = List.length (Cwsp_recovery.Campaign.escaped report) in
   if !hardened && esc > 0 then begin
     Printf.eprintf "fault-campaign: %d escaped faults\n" esc;

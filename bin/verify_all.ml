@@ -67,15 +67,27 @@ let print_json rows =
 let () =
   let jobs = ref 1 in
   let format = ref "text" in
+  let trace = ref "" in
+  let metrics = ref "" in
   Arg.parse
     [
       ("--jobs", Arg.Set_int jobs, "N  verify N (workload, config) pairs at a time");
       ( "--format",
         Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
         "  report format (default text)" );
+      ( "--trace",
+        Arg.Set_string trace,
+        "FILE  write a Chrome trace-event JSON profile (Perfetto)" );
+      ( "--metrics",
+        Arg.Set_string metrics,
+        "FILE  write flat JSON metrics (per-tier latency histograms)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "verify_all [--jobs N] [--format text|json]";
+    "verify_all [--jobs N] [--format text|json] [--trace FILE] [--metrics FILE]";
+  Cwsp_obs.Obs.configure
+    ?trace:(if !trace = "" then None else Some !trace)
+    ?metrics:(if !metrics = "" then None else Some !metrics)
+    ();
   let pairs =
     Array.of_list
       (List.concat_map
@@ -83,8 +95,15 @@ let () =
            List.map (fun config -> (w, config)) configs)
          Cwsp_workloads.Registry.all)
   in
-  let rows = Cwsp_core.Executor.map_pool ~jobs:!jobs verify_pair pairs in
+  let rows =
+    Cwsp_core.Executor.map_pool ~cat:"verify"
+      ~label:(fun i ->
+        let w, config = pairs.(i) in
+        w.Cwsp_workloads.Defs.name ^ "/" ^ Pipeline.config_name config)
+      ~jobs:!jobs verify_pair pairs
+  in
   (match !format with "json" -> print_json rows | _ -> print_text rows);
+  Cwsp_obs.Obs.finalize ();
   let failures =
     Array.fold_left
       (fun acc row ->

@@ -26,6 +26,7 @@
 open Cwsp_ir
 open Cwsp_analysis
 module IntSet = Set.Make (Int)
+module Obs = Cwsp_obs.Obs
 
 (* ---- step 1: insertion ---- *)
 
@@ -437,11 +438,20 @@ type result = {
     [prune = false] every inserted checkpoint is kept (the iDO-like
     configuration used by the ablation study, Fig. 15). *)
 let run_func ?(prune = true) (fn : Prog.func) : result =
+  Obs.span_begin ~cat:"compiler" "ckpt-insert";
   let fn1, inserted = insert_checkpoints fn in
+  Obs.span_end ();
+  Obs.span_begin ~cat:"compiler" "penny-analyze";
   let a = analyze fn1 in
+  Obs.span_end ();
   if prune then begin
+    Obs.span_begin ~cat:"compiler" "penny-prune";
     let fn2, kept = remove_pruned a fn1 in
-    { fn = fn2; slices = slices_of a; inserted; kept }
+    Obs.span_end ();
+    Obs.span_begin ~cat:"compiler" "slice-gen";
+    let slices = slices_of a in
+    Obs.span_end ();
+    { fn = fn2; slices; inserted; kept }
   end
   else begin
     let tbl = Hashtbl.create (max 4 a.nbounds) in

@@ -10,6 +10,15 @@
 open Cwsp_ir
 open Cwsp_idem
 open Cwsp_ckpt
+module Obs = Cwsp_obs.Obs
+
+(* Per-function totals across every compile in the process (obs;
+   exported into metrics.json when instrumentation is on). *)
+let c_compiles = Obs.Counter.make "compiler.compiles"
+let c_funcs = Obs.Counter.make "compiler.functions"
+let c_regions = Obs.Counter.make "compiler.regions"
+let c_inserted = Obs.Counter.make "compiler.ckpts_inserted"
+let c_kept = Obs.Counter.make "compiler.ckpts_kept"
 
 type config = {
   optimize : bool; (* -O3-style scalar opts before region formation *)
@@ -108,9 +117,17 @@ let renumber (funcs : (string * Prog.func * (int, Slice.t) Hashtbl.t) list) :
   in
   (funcs', Array.of_list (List.rev !slices), Array.of_list (List.rev !owners))
 
-let compile ?(config = cwsp) (p : Prog.t) : compiled =
+let compile_prog ~config (p : Prog.t) : compiled =
   Validate.check_exn p;
-  let p = if config.optimize then Opt.run p else p in
+  let p =
+    if config.optimize then begin
+      Obs.span_begin ~cat:"compiler" "opt";
+      let p = Opt.run p in
+      Obs.span_end ();
+      p
+    end
+    else p
+  in
   Validate.check_exn p;
   if not config.region_formation then
     run_post_compile_hook
@@ -136,6 +153,7 @@ let compile ?(config = cwsp) (p : Prog.t) : compiled =
     let processed =
       List.map
         (fun (name, fn) ->
+          Obs.span_begin ~cat:"compiler" name;
           let fn_regions = Region_form.run_func fn in
           let fn_final, tbl, inserted, kept =
             if config.checkpoints then begin
@@ -144,6 +162,7 @@ let compile ?(config = cwsp) (p : Prog.t) : compiled =
             end
             else (fn_regions, Hashtbl.create 0, 0, 0)
           in
+          Obs.span_end ();
           reports :=
             {
               fr_name = name;
@@ -164,6 +183,25 @@ let compile ?(config = cwsp) (p : Prog.t) : compiled =
     run_post_compile_hook
       { prog; cconfig = config; slices; boundary_owner = owners;
         reports = List.rev !reports }
+  end
+
+let compile ?(config = cwsp) (p : Prog.t) : compiled =
+  if not !Obs.on then compile_prog ~config p
+  else begin
+    Obs.span_begin ~cat:"compiler"
+      ~args:[ ("funcs", float_of_int (List.length p.funcs)) ]
+      "compile";
+    Fun.protect ~finally:Obs.span_end (fun () ->
+        let c = compile_prog ~config p in
+        Obs.Counter.incr c_compiles;
+        Obs.Counter.add c_funcs (List.length c.reports);
+        List.iter
+          (fun r ->
+            Obs.Counter.add c_regions r.static_regions;
+            Obs.Counter.add c_inserted r.ckpts_inserted;
+            Obs.Counter.add c_kept r.ckpts_kept)
+          c.reports;
+        c)
   end
 
 let report_to_string (c : compiled) =

@@ -70,6 +70,28 @@ let slowdown ?(scale = 1) (w : Defs.t) ~(scheme : Cwsp_schemes.Schemes.t)
   let st = stats ~scale w scheme cfg in
   Stats.slowdown st ~baseline:base
 
+(** Per-cache memo effectiveness: (name, traffic counters, entries).
+    [bench/main.exe] prints this in its end-of-run summary; the obs
+    gauge provider below exports it into metrics.json. *)
+let cache_stats () =
+  [
+    ("compiled", Store.stats compiled_cache, Store.length compiled_cache);
+    ("trace", Store.stats trace_cache, Store.length trace_cache);
+    ("stats", Store.stats stats_cache, Store.length stats_cache);
+  ]
+
+let () =
+  Cwsp_obs.Obs.register_gauges (fun () ->
+      List.concat_map
+        (fun (name, (s : Store.stats), entries) ->
+          [
+            (Printf.sprintf "store.%s.hits" name, float_of_int s.hits);
+            (Printf.sprintf "store.%s.misses" name, float_of_int s.misses);
+            (Printf.sprintf "store.%s.races" name, float_of_int s.races);
+            (Printf.sprintf "store.%s.entries" name, float_of_int entries);
+          ])
+        (cache_stats ()))
+
 (** Clear all memoized state (used by tests that tweak workload scale). *)
 let reset_caches () =
   Store.reset compiled_cache;

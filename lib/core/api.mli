@@ -44,6 +44,10 @@ val stats :
 val slowdown :
   ?scale:int -> Defs.t -> scheme:Cwsp_schemes.Schemes.t -> Config.t -> float
 
+(** Per-cache memo effectiveness: (name, traffic, entries) for the
+    compiled/trace/stats caches. Also exported as obs gauges. *)
+val cache_stats : unit -> (string * Store.stats * int) list
+
 (** Clear all memoized state. *)
 val reset_caches : unit -> unit
 

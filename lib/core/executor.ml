@@ -23,7 +23,15 @@
     on the calling domain with no spawns — byte-identical to the
     pre-parallel harness by construction, and the render layer's
     deterministic iteration makes higher [jobs] produce identical output
-    too. *)
+    too.
+
+    Observability (DESIGN.md §10): when [Obs.on] is set, every task gets
+    a span carrying its queue wait, each phase emits a per-domain
+    utilization sample, task durations feed the [executor.task_us]
+    histogram, and plan sizes feed the dedupe counters. With tracing off
+    the pool takes exactly one extra branch per phase. *)
+
+module Obs = Cwsp_obs.Obs
 
 let default_jobs = ref 1
 
@@ -31,40 +39,91 @@ let default_jobs = ref 1
     how [bench/main.exe -- --jobs N] reaches every driver. *)
 let set_default_jobs n = default_jobs := max 1 n
 
+let h_task = Obs.Hist.make "executor.task_us"
+let c_declared = Obs.Counter.make "executor.jobs.declared"
+let c_points = Obs.Counter.make "executor.jobs.unique"
+let c_traces = Obs.Counter.make "executor.traces.unique"
+
 (* Work-stealing-free pool: an atomic cursor over an immutable task
    array. Tasks are coarse (whole simulation runs), so contention on the
-   cursor is negligible. *)
-let run_pool ~jobs (tasks : (unit -> unit) array) =
+   cursor is negligible. [label], when tracing, names task [i]'s span;
+   [cat] prefixes the utilization sample and categorizes the spans. *)
+let run_pool ~jobs ?(cat = "executor") ?label (tasks : (unit -> unit) array) =
   let n = Array.length tasks in
   if n = 0 then ()
-  else if jobs <= 1 || n = 1 then Array.iter (fun f -> f ()) tasks
-  else begin
-    let cursor = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          tasks.(i) ();
-          loop ()
-        end
+  else if not !Obs.on then begin
+    (* fast path: identical to the untraced pool, no per-task overhead *)
+    if jobs <= 1 || n = 1 then Array.iter (fun f -> f ()) tasks
+    else begin
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            tasks.(i) ();
+            loop ()
+          end
+        in
+        loop ()
       in
-      loop ()
+      let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned
+    end
+  end
+  else begin
+    let width = if jobs <= 1 || n = 1 then 1 else min jobs n in
+    let t_phase = Obs.now_us () in
+    let busy = Array.make width 0.0 in
+    let run_task w i =
+      let t0 = Obs.now_us () in
+      let name = match label with Some f -> f i | None -> "task" in
+      Obs.span_begin ~cat ~args:[ ("queue_wait_us", t0 -. t_phase) ] name;
+      Fun.protect ~finally:Obs.span_end tasks.(i);
+      let dur = Obs.now_us () -. t0 in
+      busy.(w) <- busy.(w) +. dur;
+      Obs.Hist.add h_task dur
     in
-    let spawned =
-      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join spawned
+    if width = 1 then
+      for i = 0 to n - 1 do
+        run_task 0 i
+      done
+    else begin
+      let cursor = Atomic.make 0 in
+      let worker w () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            run_task w i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned =
+        List.init (width - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join spawned
+    end;
+    let wall = Obs.now_us () -. t_phase in
+    Obs.counter_event
+      ~name:(cat ^ ".utilization")
+      ~ts_us:(Obs.now_us ())
+      (List.init width (fun w ->
+           ( Printf.sprintf "domain%d" w,
+             if wall > 0.0 then busy.(w) /. wall else 0.0 )))
   end
 
 (** Parallel map over the domain pool with deterministic results: each
     task writes its own slot of the result array, so the output order is
     the input order no matter which domain ran what. [f] must obey the
     domain-safety contract above (shared state only through
-    mutex-protected stores). *)
-let map_pool ~jobs (f : 'a -> 'b) (inputs : 'a array) : 'b array =
+    mutex-protected stores). [label], when tracing, names input [i]'s
+    span. *)
+let map_pool ?cat ?label ~jobs (f : 'a -> 'b) (inputs : 'a array) : 'b array =
   let out = Array.make (Array.length inputs) None in
-  run_pool ~jobs
+  run_pool ~jobs ?cat ?label
     (Array.mapi (fun i x () -> out.(i) <- Some (f x)) inputs);
   Array.map
     (function Some y -> y | None -> assert false (* every task ran *))
@@ -89,6 +148,24 @@ let run ?jobs (plan : Job.t list) =
   let jobs = match jobs with Some n -> max 1 n | None -> !default_jobs in
   let points = dedupe Job.key plan in
   let traces = dedupe Job.trace_key points in
+  Obs.Counter.add c_declared (List.length plan);
+  Obs.Counter.add c_points (List.length points);
+  Obs.Counter.add c_traces (List.length traces);
+  (* span names index into label arrays built only when tracing *)
+  let labels js f =
+    if !Obs.on then begin
+      let a = Array.of_list (List.map f js) in
+      Some (fun i -> a.(i))
+    end
+    else None
+  in
+  Obs.span_begin ~cat:"executor" "phase:traces";
   run_pool ~jobs
+    ?label:(labels traces (fun j -> "trace:" ^ Job.trace_key j))
     (Array.of_list (List.map (fun j () -> Job.execute_trace j) traces));
-  run_pool ~jobs (Array.of_list (List.map (fun j () -> Job.execute j) points))
+  Obs.span_end ();
+  Obs.span_begin ~cat:"executor" "phase:stats";
+  run_pool ~jobs
+    ?label:(labels points Job.key)
+    (Array.of_list (List.map (fun j () -> Job.execute j) points));
+  Obs.span_end ()

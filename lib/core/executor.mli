@@ -3,7 +3,9 @@
     domain pool. Two phases with a barrier: traces (one per distinct
     workload/scale/compile-config), then stats (one per distinct
     simulation point, every trace already a cache hit). [jobs = 1] runs
-    on the calling domain with no spawns. *)
+    on the calling domain with no spawns. When [Cwsp_obs.Obs.on] is set,
+    tasks get spans (with queue-wait args), phases emit per-domain
+    utilization samples, and dedupe totals feed counters. *)
 
 (** Pool width used when [run] gets no explicit [~jobs] (default 1). *)
 val set_default_jobs : int -> unit
@@ -14,5 +16,13 @@ val run : ?jobs:int -> Job.t list -> unit
 (** Parallel map over the domain pool, deterministic: result order is
     input order regardless of scheduling. [jobs <= 1] maps on the
     calling domain. [f] must follow the domain-safety contract
-    (DESIGN.md §5b): share state only through mutex-protected stores. *)
-val map_pool : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+    (DESIGN.md §5b): share state only through mutex-protected stores.
+    [label], when tracing, names input [i]'s span; [cat] categorizes
+    the spans (default "executor"). *)
+val map_pool :
+  ?cat:string ->
+  ?label:(int -> string) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array

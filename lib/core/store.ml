@@ -7,28 +7,66 @@
     key, both compute — deterministically producing equal values — and
     the first writer wins, so every later [find_opt]/[memo] observes one
     canonical value. The executor deduplicates jobs up front, making
-    such races a non-event in practice. *)
+    such races a non-event in practice.
 
-type ('k, 'v) t = { mu : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
+    Every store counts its [memo] traffic (hits, misses, produce races)
+    under the same lock, so cache effectiveness is observable — [Api]
+    exposes the per-cache totals and [bench/main.exe] prints them in its
+    end-of-run summary. *)
 
-let create n = { mu = Mutex.create (); tbl = Hashtbl.create n }
+type ('k, 'v) t = {
+  mu : Mutex.t;
+  tbl : ('k, 'v) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable races : int;
+}
+
+(** [memo] traffic totals. [races] counts productions discarded because
+    another domain's equal value won the insert. *)
+type stats = { hits : int; misses : int; races : int }
+
+let create n =
+  { mu = Mutex.create (); tbl = Hashtbl.create n; hits = 0; misses = 0;
+    races = 0 }
 
 let find_opt t k = Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.tbl k)
 
 let length t = Mutex.protect t.mu (fun () -> Hashtbl.length t.tbl)
 
+let stats t =
+  Mutex.protect t.mu (fun () ->
+      { hits = t.hits; misses = t.misses; races = t.races })
+
 (** [memo t k produce] returns the stored value for [k], computing it
     with [produce] if absent. First writer wins on a race. *)
 let memo t k produce =
-  match find_opt t k with
+  let cached =
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.tbl k with
+        | Some _ as v ->
+          t.hits <- t.hits + 1;
+          v
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+  in
+  match cached with
   | Some v -> v
   | None ->
     let v = produce () in
     Mutex.protect t.mu (fun () ->
         match Hashtbl.find_opt t.tbl k with
-        | Some v' -> v'
+        | Some v' ->
+          t.races <- t.races + 1;
+          v'
         | None ->
           Hashtbl.add t.tbl k v;
           v)
 
-let reset t = Mutex.protect t.mu (fun () -> Hashtbl.reset t.tbl)
+let reset t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.reset t.tbl;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.races <- 0)

@@ -10,6 +10,7 @@
 
 open Cwsp_ir
 open Cwsp_analysis
+module Obs = Cwsp_obs.Obs
 
 (* Synchronization points are isolated into their own single-instruction
    region (boundaries on both sides); call sites only need a boundary
@@ -138,8 +139,13 @@ let rec cut_antideps ~next_id ~iter (fn : Prog.func) : Prog.func =
 (** Partition one function into idempotent regions. *)
 let run_func (fn : Prog.func) : Prog.func =
   let next_id = ref (Prog.max_boundary_id fn + 1) in
+  Obs.span_begin ~cat:"compiler" "region-init";
   let fn = initial_boundaries ~next_id fn in
-  cut_antideps ~next_id ~iter:0 fn
+  Obs.span_end ();
+  Obs.span_begin ~cat:"compiler" "antidep-cut";
+  let fn = cut_antideps ~next_id ~iter:0 fn in
+  Obs.span_end ();
+  fn
 
 (** Partition every function of the program — user code, runtime library
     and kernel-entry path alike: this is what makes the scheme

@@ -18,6 +18,8 @@
     escapes are exactly what the blind (hardening-disabled) protocol is
     expected to produce. *)
 
+module Obs = Cwsp_obs.Obs
+
 type target = {
   t_name : string;
   t_compiled : Cwsp_compiler.Pipeline.compiled;
@@ -81,7 +83,7 @@ type report = {
   r_cells : cell list; (* matrix order, independent of pool width *)
 }
 
-let run_cell ~hardened ~window ~master_seed (sp : cell_spec) : cell =
+let run_cell_inner ~hardened ~window ~master_seed (sp : cell_spec) : cell =
   let rng = Cwsp_util.Rng.stream (Cwsp_util.Rng.create master_seed) sp.sp_index in
   let seed = Cwsp_util.Rng.int rng max_int in
   let g = sp.sp_target.t_golden in
@@ -131,6 +133,29 @@ let run_cell ~hardened ~window ~master_seed (sp : cell_spec) : cell =
       in
       base outcome ~injected ~detected ~detail ~sweep:r.fr_sweep_points
         ~slice:r.fr_sweep_slice_points ~fails:r.fr_sweep_failures
+
+(* Tracing wrapper: one span per matrix cell plus a per-(class, outcome)
+   counter, e.g. "campaign.torn_write.recovered". Dynamic names are only
+   built when instrumentation is on; outcomes themselves are computed by
+   [run_cell_inner] either way, so reports are unaffected. *)
+let run_cell ~hardened ~window ~master_seed (sp : cell_spec) : cell =
+  if not !Obs.on then run_cell_inner ~hardened ~window ~master_seed sp
+  else begin
+    Obs.span_begin ~cat:"campaign"
+      ~args:
+        [
+          ("rep", float_of_int sp.sp_rep);
+          ("index", float_of_int sp.sp_index);
+        ]
+      (Printf.sprintf "cell:%s/%s" sp.sp_target.t_name (Fault.name sp.sp_cls));
+    Fun.protect ~finally:Obs.span_end (fun () ->
+        let c = run_cell_inner ~hardened ~window ~master_seed sp in
+        Obs.Counter.incr
+          (Obs.Counter.make
+             (Printf.sprintf "campaign.%s.%s" (Fault.name c.c_cls)
+                (String.lowercase_ascii (outcome_name c.c_outcome))));
+        c)
+  end
 
 (** Run the matrix. [map] fans the cells out (default: sequential); it
     MUST be order-preserving, e.g. [Executor.map_pool]. *)

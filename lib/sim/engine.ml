@@ -20,6 +20,8 @@
       has persisted (stale-read prevention); loads that miss every cache
       level and hit a pending WPQ entry wait for the entry to drain. *)
 
+module Obs = Cwsp_obs.Obs
+
 type cwsp_flags = {
   persist_path : bool;    (* stage 2 of Fig. 15: persist committed stores *)
   mc_speculation : bool;  (* stage 3: RBT admission + MC undo logging *)
@@ -326,11 +328,45 @@ let handle_sync t ~addr =
 
 (* ---- main loop ---- *)
 
+(* Epoch telemetry: every [epoch_mask + 1] replayed events the engine
+   samples the cumulative stall breakdown and the instantaneous WB
+   occupancy onto a per-run Perfetto counter track whose timeline is
+   *simulated* microseconds — figures can show how stalls accumulate
+   over a run, not just the totals. Samples never touch [Stats.t], so
+   results are identical with tracing on or off. *)
+let epoch_mask = 8191
+
+let emit_epoch t track =
+  let ts_us = t.now /. 1000.0 in
+  Obs.counter_event ~pid:track ~name:"stall_ns" ~ts_us
+    [
+      ("pb", t.stats.stall_pb_ns);
+      ("rbt", t.stats.stall_rbt_ns);
+      ("drain", t.stats.stall_drain_ns);
+      ("sync", t.stats.stall_sync_ns);
+      ("wb", t.stats.stall_wb_ns);
+      ("wpq_hit", t.stats.stall_wpq_hit_ns);
+      ("redo", t.stats.stall_redo_ns);
+    ];
+  Obs.counter_event ~pid:track ~name:"wb_occupancy" ~ts_us
+    [ ("entries", float_of_int (Tsq.occupancy t.wb ~now:t.now)) ]
+
 let run_trace (cfg : Config.t) (scheme : scheme) (trace : Cwsp_interp.Trace.t) :
     Stats.t =
   let t = create cfg scheme in
   let open Cwsp_interp in
   let n = Trace.length trace in
+  (* [track < 0] is the single disabled-path branch per epoch check *)
+  let track =
+    if not !Obs.on then -1
+    else begin
+      let pid = Obs.alloc_track (Printf.sprintf "sim:%s" (scheme_name scheme)) in
+      Obs.span_begin ~cat:"sim"
+        ~args:[ ("events", float_of_int n); ("track", float_of_int pid) ]
+        ("replay:" ^ scheme_name scheme);
+      pid
+    end
+  in
   for i = 0 to n - 1 do
     let ev = Trace.get trace i in
     let tag = Event.tag ev in
@@ -342,11 +378,16 @@ let run_trace (cfg : Config.t) (scheme : scheme) (trace : Cwsp_interp.Trace.t) :
       handle_store t ~addr:(Event.payload ev) ~is_ckpt:true
     else if tag = Event.tag_boundary then handle_boundary t
     else if tag = Event.tag_fence then handle_sync t ~addr:None
-    else handle_sync t ~addr:(Some (Event.payload ev))
+    else handle_sync t ~addr:(Some (Event.payload ev));
+    if track >= 0 && i land epoch_mask = epoch_mask then emit_epoch t track
   done;
   t.stats.instructions <- n;
   t.stats.elapsed_ns <- t.now;
   t.stats.nvm_reads <- t.hier.nvm_reads;
   t.stats.l1_miss_rate <- Hierarchy.l1_miss_rate t.hier;
   t.stats.llc_miss_rate <- Hierarchy.llc_miss_rate t.hier;
+  if track >= 0 then begin
+    emit_epoch t track;
+    Obs.span_end ()
+  end;
   t.stats

@@ -48,4 +48,117 @@ module Acc = struct
     t.count <- t.count + 1
   let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
   let count t = t.count
+
+  (** Fold [src] into [into] (combining per-domain accumulators after a
+      pool run); [src] is left untouched. *)
+  let merge ~into src =
+    into.sum <- into.sum +. src.sum;
+    into.count <- into.count + src.count
+end
+
+(** Fixed-bucket histogram: [bounds] are strictly increasing inclusive
+    upper bounds; one extra overflow bucket catches everything above the
+    last bound. Buckets are fixed at creation so two histograms built
+    from the same bounds can be merged (per-domain collection). *)
+module Histogram = struct
+  type t = {
+    bounds : float array;
+    counts : int array; (* length bounds + 1; last is overflow *)
+    mutable sum : float;
+    mutable n : int;
+    mutable vmin : float;
+    mutable vmax : float;
+  }
+
+  let create bounds =
+    let k = Array.length bounds in
+    if k = 0 then invalid_arg "Histogram.create: no buckets";
+    for i = 1 to k - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg "Histogram.create: bounds not strictly increasing"
+    done;
+    {
+      bounds = Array.copy bounds;
+      counts = Array.make (k + 1) 0;
+      sum = 0.0;
+      n = 0;
+      vmin = infinity;
+      vmax = neg_infinity;
+    }
+
+  let clear t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.sum <- 0.0;
+    t.n <- 0;
+    t.vmin <- infinity;
+    t.vmax <- neg_infinity
+
+  (* index of the first bound >= v, or the overflow bucket *)
+  let bucket_of t v =
+    let k = Array.length t.bounds in
+    let lo = ref 0 and hi = ref k in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= t.bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let add t v =
+    t.counts.(bucket_of t v) <- t.counts.(bucket_of t v) + 1;
+    t.sum <- t.sum +. v;
+    t.n <- t.n + 1;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.n
+  let sum t = t.sum
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  (** Buckets as (upper_bound, count) pairs; the overflow bucket carries
+      [infinity]. *)
+  let buckets t =
+    List.init
+      (Array.length t.counts)
+      (fun i ->
+        ( (if i < Array.length t.bounds then t.bounds.(i) else infinity),
+          t.counts.(i) ))
+
+  (** Estimated [q]-quantile (0 <= q <= 1) by linear interpolation inside
+      the bucket holding the q-th ranked sample; exact observed min/max
+      clamp the ends, and the overflow bucket reports the observed max.
+      [nan] when empty. *)
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0,1]";
+    if t.n = 0 then nan
+    else begin
+      let rank = q *. float_of_int t.n in
+      let k = Array.length t.bounds in
+      let rec find i cum =
+        if i > k then (k, cum) (* unreachable: counts sum to n *)
+        else
+          let cum' = cum + t.counts.(i) in
+          if float_of_int cum' >= rank && t.counts.(i) > 0 then (i, cum)
+          else find (i + 1) cum'
+      in
+      let i, below = find 0 0 in
+      if i >= k then t.vmax
+      else begin
+        let lo = if i = 0 then t.vmin else t.bounds.(i - 1) in
+        let hi = t.bounds.(i) in
+        let lo = Float.max lo (Float.min t.vmin hi) in
+        let inside = (rank -. float_of_int below) /. float_of_int t.counts.(i) in
+        let est = lo +. ((hi -. lo) *. Float.min 1.0 (Float.max 0.0 inside)) in
+        Float.min t.vmax (Float.max t.vmin est)
+      end
+    end
+
+  (** Fold [src] into [into]; both must share identical bounds. *)
+  let merge ~into src =
+    if into.bounds <> src.bounds then
+      invalid_arg "Histogram.merge: different bucket bounds";
+    Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+    into.sum <- into.sum +. src.sum;
+    into.n <- into.n + src.n;
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
 end

@@ -21,4 +21,36 @@ module Acc : sig
   val add : t -> float -> unit
   val mean : t -> float
   val count : t -> int
+
+  (** Fold [src] into [into] (e.g. combining per-domain accumulators);
+      [src] is left untouched. *)
+  val merge : into:t -> t -> unit
+end
+
+(** Fixed-bucket histogram with quantile estimation. Bounds are strictly
+    increasing inclusive upper bounds plus an implicit overflow bucket;
+    fixed buckets make same-bounds histograms mergeable. *)
+module Histogram : sig
+  type t
+
+  (** Raises [Invalid_argument] on empty or non-increasing bounds. *)
+  val create : float array -> t
+
+  val clear : t -> unit
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+
+  (** (upper_bound, count) per bucket; the overflow bound is [infinity]. *)
+  val buckets : t -> (float * int) list
+
+  (** Estimated [q]-quantile (0 <= q <= 1), linearly interpolated within
+      the owning bucket and clamped to the observed min/max; [nan] when
+      empty. Raises [Invalid_argument] outside [0,1]. *)
+  val quantile : t -> float -> float
+
+  (** Fold [src] into [into]; raises [Invalid_argument] unless both share
+      identical bounds. *)
+  val merge : into:t -> t -> unit
 end

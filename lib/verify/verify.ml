@@ -13,30 +13,57 @@
 
 open Cwsp_ir
 open Cwsp_compiler
+module Obs = Cwsp_obs.Obs
+
+(* Per-tier wall-clock distributions across every [run] in the process. *)
+let h_structural = Obs.Hist.make "verify.tier_us.structural"
+let h_ids = Obs.Hist.make "verify.tier_us.ids"
+let h_idem = Obs.Hist.make "verify.tier_us.idem"
+let h_ckpt = Obs.Hist.make "verify.tier_us.ckpt"
+let h_semantic = Obs.Hist.make "verify.tier_us.semantic"
+
+(* Time one verifier tier: a span on the trace plus a sample in the
+   tier's latency histogram. Single branch when instrumentation is off. *)
+let timed h name f =
+  if not !Obs.on then f ()
+  else begin
+    Obs.span_begin ~cat:"verify" name;
+    let t0 = Obs.now_us () in
+    Fun.protect ~finally:Obs.span_end (fun () ->
+        let r = f () in
+        Obs.Hist.add h (Obs.now_us () -. t0);
+        r)
+  end
 
 let run ?(sem = true) (c : Pipeline.compiled) : Diag.t list =
   let cfg = c.Pipeline.cconfig in
   let (prog : Prog.t) = c.Pipeline.prog in
   let per_func f = List.concat_map (fun (_, fn) -> f fn) prog.funcs in
-  let structural = per_func Struct_check.check_func in
+  let structural =
+    timed h_structural "tier:structural" (fun () ->
+        per_func Struct_check.check_func)
+  in
   let ids =
     if cfg.Pipeline.region_formation then
-      Struct_check.id_diags
-        ~slices_len:(Array.length c.Pipeline.slices)
-        ~boundary_owner:c.Pipeline.boundary_owner prog
+      timed h_ids "tier:ids" (fun () ->
+          Struct_check.id_diags
+            ~slices_len:(Array.length c.Pipeline.slices)
+            ~boundary_owner:c.Pipeline.boundary_owner prog)
     else []
   in
   let idem =
-    if cfg.Pipeline.region_formation then per_func Idem_check.check else []
+    if cfg.Pipeline.region_formation then
+      timed h_idem "tier:idem" (fun () -> per_func Idem_check.check)
+    else []
   in
   let ckpt =
     if cfg.Pipeline.region_formation && cfg.Pipeline.checkpoints then
-      Ckpt_check.check c
+      timed h_ckpt "tier:ckpt" (fun () -> Ckpt_check.check c)
     else []
   in
   let semantic =
     if sem && cfg.Pipeline.region_formation && cfg.Pipeline.checkpoints then
-      Sem_check.check c
+      timed h_semantic "tier:semantic" (fun () -> Sem_check.check c)
     else []
   in
   structural @ ids @ idem @ ckpt @ semantic

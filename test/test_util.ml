@@ -117,6 +117,95 @@ let test_acc () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.Acc.mean a);
   Alcotest.(check int) "count" 2 (Stats.Acc.count a)
 
+let test_acc_merge () =
+  let a = Stats.Acc.create () and b = Stats.Acc.create () in
+  Stats.Acc.add a 1.0;
+  Stats.Acc.add b 3.0;
+  Stats.Acc.add b 5.0;
+  Stats.Acc.merge ~into:a b;
+  Alcotest.(check int) "merged count" 3 (Stats.Acc.count a);
+  Alcotest.(check (float 1e-9)) "merged mean" 3.0 (Stats.Acc.mean a);
+  (* src untouched *)
+  Alcotest.(check int) "src count" 2 (Stats.Acc.count b);
+  (* merging an empty accumulator is the identity *)
+  Stats.Acc.merge ~into:a (Stats.Acc.create ());
+  Alcotest.(check int) "identity merge" 3 (Stats.Acc.count a)
+
+let test_hist_basic () =
+  let h = Stats.Histogram.create [| 1.0; 2.0; 5.0 |] in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Stats.Histogram.quantile h 0.5));
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.5; 3.0; 100.0 ];
+  Alcotest.(check int) "count" 5 (Stats.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 106.5 (Stats.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 21.3 (Stats.Histogram.mean h);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "buckets"
+    [ (1.0, 1); (2.0, 2); (5.0, 1); (infinity, 1) ]
+    (Stats.Histogram.buckets h)
+
+let test_hist_bad_bounds () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Histogram.create: no buckets") (fun () ->
+      ignore (Stats.Histogram.create [||]));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Histogram.create: bounds not strictly increasing")
+    (fun () -> ignore (Stats.Histogram.create [| 1.0; 1.0 |]))
+
+let test_hist_quantile () =
+  let h = Stats.Histogram.create [| 10.0; 20.0; 30.0 |] in
+  for v = 1 to 30 do
+    Stats.Histogram.add h (float_of_int v)
+  done;
+  (* extremes clamp to the observed min/max *)
+  Alcotest.(check (float 1e-9)) "q0" 1.0 (Stats.Histogram.quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "q1" 30.0 (Stats.Histogram.quantile h 1.0);
+  (* the median of a uniform 1..30 sample lands in the middle bucket *)
+  let q50 = Stats.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "q50 in middle bucket" true (q50 >= 10.0 && q50 <= 20.0);
+  (* overflow-bucket quantiles report the observed max, not infinity *)
+  let h2 = Stats.Histogram.create [| 1.0 |] in
+  Stats.Histogram.add h2 50.0;
+  Stats.Histogram.add h2 70.0;
+  Alcotest.(check (float 1e-9)) "overflow q99" 70.0
+    (Stats.Histogram.quantile h2 0.99);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Histogram.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.Histogram.quantile h 1.5))
+
+let prop_hist_quantile_monotone =
+  QCheck.Test.make ~name:"histogram quantiles are monotone in q" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0.0 1000.0))
+    (fun xs ->
+      let h = Stats.Histogram.create [| 1.0; 10.0; 100.0; 500.0 |] in
+      List.iter (Stats.Histogram.add h) xs;
+      let qs = [ 0.0; 0.25; 0.5; 0.75; 0.9; 1.0 ] in
+      let vs = List.map (Stats.Histogram.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vs)
+
+let test_hist_merge () =
+  let a = Stats.Histogram.create [| 1.0; 2.0 |] in
+  let b = Stats.Histogram.create [| 1.0; 2.0 |] in
+  Stats.Histogram.add a 0.5;
+  Stats.Histogram.add b 1.5;
+  Stats.Histogram.add b 9.0;
+  Stats.Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" 3 (Stats.Histogram.count a);
+  Alcotest.(check (float 1e-9)) "merged sum" 11.0 (Stats.Histogram.sum a);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "merged buckets"
+    [ (1.0, 1); (2.0, 1); (infinity, 1) ]
+    (Stats.Histogram.buckets a);
+  Alcotest.(check (float 1e-9)) "merged max visible to quantile" 9.0
+    (Stats.Histogram.quantile a 1.0);
+  Alcotest.check_raises "mismatched bounds"
+    (Invalid_argument "Histogram.merge: different bucket bounds") (fun () ->
+      Stats.Histogram.merge ~into:a (Stats.Histogram.create [| 3.0 |]))
+
 (* ---- Table ---- *)
 
 let test_table_alignment () =
@@ -155,8 +244,17 @@ let () =
           Alcotest.test_case "gmean non-positive" `Quick test_gmean_rejects_nonpositive;
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "acc" `Quick test_acc;
+          Alcotest.test_case "acc merge" `Quick test_acc_merge;
           qtest prop_gmean_between_min_max;
           qtest prop_mean_scale;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_hist_basic;
+          Alcotest.test_case "bad bounds" `Quick test_hist_bad_bounds;
+          Alcotest.test_case "quantile" `Quick test_hist_quantile;
+          qtest prop_hist_quantile_monotone;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
         ] );
       ( "table",
         [
