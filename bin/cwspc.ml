@@ -36,8 +36,8 @@ let config_of_string = function
   | "baseline" -> Ok Pipeline.baseline
   | s -> Error (`Msg (Printf.sprintf "unknown config %S" s))
 
-let run_inner list workload input emit config dump_ir report slices simulate
-    validate scale verify format =
+let run_inner list workload input emit config persist_mode dump_ir report
+    slices simulate validate scale verify format =
   if list then (
     list_workloads ();
     `Ok ())
@@ -71,6 +71,11 @@ let run_inner list workload input emit config dump_ir report slices simulate
         match config_of_string config with
         | Error (`Msg m) -> `Error (false, m)
         | Ok cc ->
+          let cc =
+            match persist_mode with
+            | `Implicit -> cc
+            | `Explicit -> Pipeline.explicit_of cc
+          in
           let compiled =
             match source with
             | `Workload w -> Cwsp_core.Api.compiled ~scale w cc
@@ -123,8 +128,15 @@ let run_inner list workload input emit config dump_ir report slices simulate
             let ok = ref 0 in
             for i = 0 to points - 1 do
               let crash_at = 1 + (i * (max 1 (total - 2)) / points) in
+              (* explicit-mode binaries are checked against the explicit
+                 (flush/fence) durability oracle, implicit ones against
+                 the cWSP hardware model *)
               match
-                Cwsp_recovery.Harness.validate ~seed:(100 + i) ~crash_at compiled
+                if cc.Pipeline.persist_mode = Pipeline.Explicit then
+                  Cwsp_recovery.Harness.validate_explicit ~crash_at compiled
+                else
+                  Cwsp_recovery.Harness.validate ~seed:(100 + i) ~crash_at
+                    compiled
               with
               | Ok _ -> incr ok
               | Error e -> Printf.printf "FAIL @%d: %s\n" crash_at e
@@ -153,12 +165,12 @@ let run_inner list workload input emit config dump_ir report slices simulate
 
 (* Telemetry wrapper: configure before any compile/simulate work so the
    spans land in the ring buffers, finalize after the last exit path. *)
-let run list workload input emit config dump_ir report slices simulate validate
-    scale verify format trace metrics =
+let run list workload input emit config persist_mode dump_ir report slices
+    simulate validate scale verify format trace metrics =
   Cwsp_obs.Obs.configure ?trace ?metrics ();
   let result =
-    run_inner list workload input emit config dump_ir report slices simulate
-      validate scale verify format
+    run_inner list workload input emit config persist_mode dump_ir report
+      slices simulate validate scale verify format
   in
   Cwsp_obs.Obs.finalize ();
   result
@@ -190,6 +202,17 @@ let cmd =
       value & opt string "cwsp"
       & info [ "c"; "config" ] ~docv:"CONFIG"
           ~doc:"Pipeline config: $(b,cwsp), $(b,no-prune), $(b,regions) or $(b,baseline).")
+  in
+  let persist_mode =
+    Arg.(
+      value
+      & opt (enum [ ("implicit", `Implicit); ("explicit", `Explicit) ]) `Implicit
+      & info [ "persist-mode" ] ~docv:"MODE"
+          ~doc:
+            "Persistency mode: $(b,implicit) (the cWSP hardware persists \
+             committed stores) or $(b,explicit) (the compiler inserts \
+             certified minimal flush/pfence sequences; enables the \
+             persist verifier tier and the explicit recovery oracle).")
   in
   let dump_ir =
     Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the instrumented IR.")
@@ -254,9 +277,9 @@ let cmd =
   let term =
     Term.(
       ret
-        (const run $ list $ workload $ input $ emit $ config $ dump_ir $ report
-       $ slices $ simulate $ validate $ scale $ verify $ format $ trace
-       $ metrics))
+        (const run $ list $ workload $ input $ emit $ config $ persist_mode
+       $ dump_ir $ report $ slices $ simulate $ validate $ scale $ verify
+       $ format $ trace $ metrics))
   in
   Cmd.v
     (Cmd.info "cwspc" ~version:"1.0"

@@ -10,7 +10,7 @@
 
 open Cwsp_compiler
 
-let configs =
+let base_configs =
   [ Pipeline.cwsp; Pipeline.cwsp_no_prune; Pipeline.regions_only ]
 
 type row = {
@@ -67,6 +67,7 @@ let print_json rows =
 let () =
   let jobs = ref 1 in
   let format = ref "text" in
+  let persist_mode = ref "implicit" in
   let trace = ref "" in
   let metrics = ref "" in
   Arg.parse
@@ -75,6 +76,10 @@ let () =
       ( "--format",
         Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
         "  report format (default text)" );
+      ( "--persist-mode",
+        Arg.Symbol ([ "implicit"; "explicit" ], fun s -> persist_mode := s),
+        "  explicit compiles every config with flush/pfence insertion and \
+         runs the persist tier (default implicit)" );
       ( "--trace",
         Arg.Set_string trace,
         "FILE  write a Chrome trace-event JSON profile (Perfetto)" );
@@ -88,6 +93,11 @@ let () =
     ?trace:(if !trace = "" then None else Some !trace)
     ?metrics:(if !metrics = "" then None else Some !metrics)
     ();
+  let configs =
+    if !persist_mode = "explicit" then
+      List.map Pipeline.explicit_of base_configs
+    else base_configs
+  in
   let pairs =
     Array.of_list
       (List.concat_map

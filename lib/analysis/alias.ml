@@ -70,7 +70,8 @@ let transfer state (ins : Types.instr) =
   | Load (d, _, _) -> set d Unknown (* loaded values may be heap pointers *)
   | Atomic_rmw (_, d, _, _, _) | Cas (d, _, _, _, _) -> set d Unknown
   | Call (_, _, Some d) -> set d Unknown
-  | Call (_, _, None) | Store _ | Fence | Ckpt _ | Boundary _ -> ()
+  | Call (_, _, None) | Store _ | Fence | Flush _ | Pfence | Ckpt _
+  | Boundary _ -> ()
 
 (** Resolved symbolic address of one access. *)
 type sym = Exact of string * int | Within of string | Any
@@ -96,11 +97,9 @@ type access = {
   sym : sym;
 }
 
-(** Flow-sensitive resolution of every data memory access of [fn].
-    Checkpoint writes are excluded: the checkpoint area is hardware-managed
-    and never read by program loads (only by the recovery runtime), so it
-    cannot participate in a memory antidependence. *)
-let accesses (fn : Prog.func) : access list =
+(* Provenance fixpoint: symbolic register state at entry of every block,
+   plus the reachability mask. Shared by [accesses] and [mem_sites]. *)
+let block_entry_states (fn : Prog.func) =
   let n = Array.length fn.blocks in
   let nregs = max 1 fn.nregs in
   let entry_state () =
@@ -127,6 +126,15 @@ let accesses (fn : Prog.func) : access list =
           (Cfg.successors fn bi))
       rpo
   done;
+  (states, reachable)
+
+(** Flow-sensitive resolution of every data memory access of [fn].
+    Checkpoint writes are excluded: the checkpoint area is hardware-managed
+    and never read by program loads (only by the recovery runtime), so it
+    cannot participate in a memory antidependence. *)
+let accesses (fn : Prog.func) : access list =
+  let n = Array.length fn.blocks in
+  let states, reachable = block_entry_states fn in
   let result = ref [] in
   for bi = 0 to n - 1 do
     if reachable.(bi) then begin
@@ -150,7 +158,39 @@ let accesses (fn : Prog.func) : access list =
                 sym = resolve_addr state.(base) off }
               :: !result
           | Types.Bin _ | Types.Cmp _ | Types.Mov _ | Types.La _ | Types.Call _
-          | Types.Fence | Types.Ckpt _ | Types.Boundary _ -> ());
+          | Types.Fence | Types.Flush _ | Types.Pfence | Types.Ckpt _
+          | Types.Boundary _ -> ());
+          transfer state ins)
+        fn.blocks.(bi).instrs
+    end
+  done;
+  List.rev !result
+
+(** The kind of persist-relevant memory site at one position. *)
+type site_kind = Sk_store | Sk_flush | Sk_atomic
+
+(** Flow-sensitive symbolic addresses of every store, flush, and atomic of
+    [fn], in program order — the site classification the persistency-order
+    analysis ([Persist_order]) keys its abstract domain on. Loads are
+    irrelevant to durability and excluded; so are checkpoint writes (the
+    hardware checkpoint persist path handles them in every mode). *)
+let mem_sites (fn : Prog.func) : ((int * int) * site_kind * sym) list =
+  let n = Array.length fn.blocks in
+  let states, reachable = block_entry_states fn in
+  let result = ref [] in
+  for bi = 0 to n - 1 do
+    if reachable.(bi) then begin
+      let state = Array.copy states.(bi) in
+      List.iteri
+        (fun ii ins ->
+          (match ins with
+          | Types.Store (base, off, _) ->
+            result := ((bi, ii), Sk_store, resolve_addr state.(base) off) :: !result
+          | Types.Flush (base, off) ->
+            result := ((bi, ii), Sk_flush, resolve_addr state.(base) off) :: !result
+          | Types.Atomic_rmw (_, _, base, off, _) | Types.Cas (_, base, off, _, _) ->
+            result := ((bi, ii), Sk_atomic, resolve_addr state.(base) off) :: !result
+          | _ -> ());
           transfer state ins)
         fn.blocks.(bi).instrs
     end

@@ -28,3 +28,11 @@ type access = {
     Checkpoint writes are excluded (the checkpoint area is never read by
     program loads). *)
 val accesses : Prog.func -> access list
+
+(** The kind of persist-relevant memory site at one position. *)
+type site_kind = Sk_store | Sk_flush | Sk_atomic
+
+(** Flow-sensitive symbolic addresses of every store, flush, and atomic
+    of a function, in program order — the site classification the
+    persistency-order analysis keys its abstract domain on. *)
+val mem_sites : Prog.func -> ((int * int) * site_kind * sym) list

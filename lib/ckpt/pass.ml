@@ -173,7 +173,8 @@ let remat (a : analysis) (k : int) (r : int) ~(chain : Regions.span list)
     | Types.Cmp (op, _, x, y) ->
       ECmp (op, resolve_operand x ~si ~pos:j depth, resolve_operand y ~si ~pos:j depth)
     | Types.Load _ | Types.Call _ | Types.Atomic_rmw _ | Types.Cas _
-    | Types.Store _ | Types.Fence | Types.Ckpt _ | Types.Boundary _ ->
+    | Types.Store _ | Types.Fence | Types.Flush _ | Types.Pfence
+    | Types.Ckpt _ | Types.Boundary _ ->
       raise Remat_fail
   and resolve_operand o ~si ~pos depth =
     match o with

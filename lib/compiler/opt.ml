@@ -54,7 +54,7 @@ let fold_block (nregs : int) (blk : Prog.block) : Prog.block * bool =
         Atomic_rmw (op, d, base, off, transfer_operand env src)
       | Cas (d, base, off, e, v) ->
         Cas (d, base, off, transfer_operand env e, transfer_operand env v)
-      | La _ | Fence | Ckpt _ | Boundary _ -> ins
+      | La _ | Fence | Flush _ | Pfence | Ckpt _ | Boundary _ -> ins
     in
     if ins' <> ins then changed := true;
     (* update the environment with the (rewritten) instruction's effect *)
@@ -96,7 +96,8 @@ let fold_func (fn : Prog.func) : Prog.func * bool =
    in this IR (no faults), so dead loads go too. *)
 let removable_when_dead = function
   | Bin _ | Cmp _ | Mov _ | La _ | Load _ -> true
-  | Store _ | Call _ | Atomic_rmw _ | Cas _ | Fence | Ckpt _ | Boundary _ ->
+  | Store _ | Call _ | Atomic_rmw _ | Cas _ | Fence | Flush _ | Pfence
+  | Ckpt _ | Boundary _ ->
     false
 
 let dce_func (fn : Prog.func) : Prog.func * bool =

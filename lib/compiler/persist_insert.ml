@@ -1,0 +1,267 @@
+(** Minimal flush/fence insertion for the explicit-persistency compile
+    mode ([persist_mode = Explicit]).
+
+    Driven by [Persist_order]: the pass discharges exactly the durability
+    obligations the analysis proves can reach a commit point, and nothing
+    else — [Persist_check] then independently re-derives the analysis on
+    the output, translation-validation style, so an insertion bug is a
+    diagnostic rather than lost data after a crash.
+
+    Placement strategy, in two phases over each function:
+
+    - Phase A: a store whose symbolic address is not an [Exact] class
+      (heap-like [Within]/[Any] pointers) gets one [Flush] of the same
+      base+displacement immediately after it, while the address register
+      is still live. Only the block-local syntactic rule of the analysis
+      can prove such a line covered, so adjacency is the only safe spot.
+
+    - Phase B: re-analyze; at every commit point (region boundary,
+      commit call, return) with a non-empty obligation state, insert the
+      line writebacks for the *dirty* [Exact] classes — one flush per
+      class (dedup: many stores to one class cost one flush; overwritten
+      stores cost none), one address materialization per global — and a
+      single [Pfence]. Boundaries keep their checkpoint run attached
+      (the sequence goes in front of the [Ckpt]s). A commit sitting at
+      the top of its block — a loop header or other join — instead
+      pushes the sequence to the end of each predecessor, using that
+      predecessor's own out-state: on a back edge (the header dominates
+      the predecessor, [Persist_order.is_back_edge]) only loop-carried
+      obligations are flushed each iteration, while loop-entry
+      obligations are discharged once on the entry edge — the
+      dominator-based loop hoisting of the insertion algorithm. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+
+(* Flushes for the Dirty Exact classes of [st], one per class, grouped so
+   each global's address is materialized once; then one Pfence iff any
+   obligation (dirty or flushed) is pending. Deterministic: classes in
+   first-seen site order ([Site_map] iterates in site order). *)
+let discharge_seq (t : Persist_order.t) ~fresh (st : Persist_order.state) :
+    Types.instr list =
+  if Persist_order.Site_map.is_empty st then []
+  else begin
+    let classes = ref [] in (* (g, offsets in reverse first-seen order) *)
+    Persist_order.Site_map.iter
+      (fun site d ->
+        if d = Persist_order.Dirty then
+          match Persist_order.sym_at t site with
+          | Alias.Exact (g, o) -> (
+            match List.assoc_opt g !classes with
+            | Some offs ->
+              if not (List.mem o !offs) then offs := o :: !offs
+            | None -> classes := (g, ref [ o ]) :: !classes)
+          | Alias.Within _ | Alias.Any ->
+            (* phase A flushed every non-Exact store adjacently; a dirty
+               non-Exact site cannot reach a commit *)
+            ())
+      st;
+    let flushes =
+      List.concat_map
+        (fun (g, offs) ->
+          let r = fresh () in
+          Types.La (r, g)
+          :: List.rev_map (fun o -> Types.Flush (r, o)) !offs)
+        (List.rev !classes)
+    in
+    flushes @ [ Types.Pfence ]
+  end
+
+(* Insert [seq] at position [idx] of block [bi]'s instruction list. *)
+let splice (instrs : Types.instr list) ~idx ~seq =
+  let rec go i = function
+    | rest when i = idx -> seq @ rest
+    | x :: rest -> x :: go (i + 1) rest
+    | [] -> seq (* idx = length: append *)
+  in
+  go 0 instrs
+
+(* Position of the commit's insertion point: in front of the contiguous
+   run of [Ckpt]s and calls attached to a boundary, at the commit itself
+   otherwise. Stepping over a call is safe: a commit call clears the
+   obligation map, so a boundary trailing one never has obligations; an
+   intrinsic call leaves the map untouched, so the state in front of it
+   equals the state at the boundary. Never splitting a call from its
+   trailing boundary keeps the [Call_boundary] structural rule intact. *)
+let insert_index code ~ii =
+  let rec back j =
+    if
+      j > 0
+      && (match code.(j - 1) with
+         | Types.Ckpt _ | Types.Call _ -> true
+         | _ -> false)
+    then back (j - 1)
+    else j
+  in
+  back ii
+
+(* Cleanup: delete the no-op flushes/pfences the two phases duplicate
+   along converging paths (phase B analyzes the pre-insertion function,
+   so a discharge inserted upstream of another is invisible to it), plus
+   the address materializations left dead by the deletions. This is the
+   minimality guarantee: a surviving flush upgrades a dirty site on some
+   path and a surviving pfence drains a flushed one — exactly the
+   complement of the verifier's [redundant-flush] lint. One analysis pass
+   suffices: a deleted instruction changed no abstract state, so the
+   remaining decisions stay valid. *)
+let cleanup ~orig_nregs (fn : Prog.func) : Prog.func =
+  let t = Persist_order.analyze fn in
+  let remove : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun bi _ ->
+      if t.reachable.(bi) then
+        Persist_order.iter_block t bi ~f:(fun ~ii ins ~before ~covered ->
+            match ins with
+            | Types.Flush _ when covered = [] ->
+              Hashtbl.replace remove (bi, ii) ()
+            | Types.Pfence
+              when not
+                     (Persist_order.Site_map.exists
+                        (fun _ d -> d = Persist_order.Flushed)
+                        before) ->
+              Hashtbl.replace remove (bi, ii) ()
+            | _ -> ()))
+    fn.blocks;
+  let blocks =
+    Array.mapi
+      (fun bi (blk : Prog.block) ->
+        let instrs =
+          List.filteri (fun ii _ -> not (Hashtbl.mem remove (bi, ii)))
+            blk.instrs
+        in
+        { blk with instrs })
+      fn.blocks
+  in
+  let used = Hashtbl.create 16 in
+  Array.iter
+    (fun (blk : Prog.block) ->
+      List.iter
+        (fun ins ->
+          List.iter (fun r -> Hashtbl.replace used r ()) (Types.uses ins))
+        blk.instrs)
+    blocks;
+  let blocks =
+    Array.map
+      (fun (blk : Prog.block) ->
+        let instrs =
+          List.filter
+            (fun ins ->
+              match ins with
+              | Types.La (d, _) when d >= orig_nregs && not (Hashtbl.mem used d)
+                ->
+                false
+              | _ -> true)
+            blk.instrs
+        in
+        { blk with instrs })
+      blocks
+  in
+  { fn with blocks }
+
+let run_func (fn : Prog.func) : Prog.func =
+  (* ---- phase A ---- *)
+  let syms = Hashtbl.create 64 in
+  List.iter
+    (fun (site, kind, sym) ->
+      if kind = Alias.Sk_store then Hashtbl.replace syms site sym)
+    (Alias.mem_sites fn);
+  let blocks_a =
+    Array.mapi
+      (fun bi (blk : Prog.block) ->
+        let instrs =
+          List.concat (List.mapi
+            (fun ii ins ->
+              match (ins, Hashtbl.find_opt syms (bi, ii)) with
+              | Types.Store (base, off, _), Some (Alias.Within _ | Alias.Any)
+                ->
+                [ ins; Types.Flush (base, off) ]
+              | _ -> [ ins ])
+            blk.instrs)
+        in
+        { blk with instrs })
+      fn.blocks
+  in
+  let fn_a = { fn with blocks = blocks_a } in
+  (* ---- phase B ---- *)
+  let t = Persist_order.analyze fn_a in
+  let next_reg = ref fn_a.nregs in
+  let fresh () =
+    let r = !next_reg in
+    incr next_reg;
+    r
+  in
+  (* (block, index, sequence) actions; per-pred requests deduped by the
+     predecessor block (its out-state is the same for every successor) *)
+  let actions : (int, (int * Types.instr list) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let add_action bi idx seq =
+    if seq <> [] then begin
+      let cell =
+        match Hashtbl.find_opt actions bi with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.add actions bi c;
+          c
+      in
+      cell := (idx, seq) :: !cell
+    end
+  in
+  let preds = Cfg.predecessors fn_a in
+  let pred_done : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      if t.reachable.(bi) then begin
+        let code = Array.of_list blk.instrs in
+        Persist_order.iter_block t bi ~f:(fun ~ii ins ~before ~covered:_ ->
+            if Persist_order.is_commit_instr ins then begin
+              let idx = insert_index code ~ii in
+              if idx > 0 || bi = 0 then
+                add_action bi idx (discharge_seq t ~fresh before)
+              else
+                (* commit at the top of a join/loop-header block: push the
+                   discharge to each predecessor's own out-state *)
+                List.iter
+                  (fun p ->
+                    if not (Hashtbl.mem pred_done p) then begin
+                      Hashtbl.replace pred_done p ();
+                      add_action p
+                        (List.length fn_a.blocks.(p).instrs)
+                        (discharge_seq t ~fresh t.outb.(p))
+                    end)
+                  preds.(bi)
+            end);
+        match blk.term with
+        | Types.Ret _ ->
+          (* the modular contract: all of this function's stores are
+             durable when it returns *)
+          add_action bi (Array.length code) (discharge_seq t ~fresh t.outb.(bi))
+        | Types.Jmp _ | Types.Br _ -> ()
+      end)
+    fn_a.blocks;
+  let blocks_b =
+    Array.mapi
+      (fun bi (blk : Prog.block) ->
+        match Hashtbl.find_opt actions bi with
+        | None -> blk
+        | Some cell ->
+          (* apply at descending indices so earlier positions stay valid *)
+          let acts =
+            List.sort (fun (i, _) (j, _) -> compare j i) !cell
+          in
+          let instrs =
+            List.fold_left
+              (fun instrs (idx, seq) -> splice instrs ~idx ~seq)
+              blk.instrs acts
+          in
+          { blk with instrs })
+      fn_a.blocks
+  in
+  cleanup ~orig_nregs:fn.nregs
+    { fn_a with blocks = blocks_b; nregs = !next_reg }
+
+(** Explicit-persistency insertion over every function of a region-formed
+    program. *)
+let run (p : Prog.t) : Prog.t =
+  { p with funcs = List.map (fun (n, fn) -> (n, run_func fn)) p.funcs }

@@ -20,24 +20,36 @@ let c_regions = Obs.Counter.make "compiler.regions"
 let c_inserted = Obs.Counter.make "compiler.ckpts_inserted"
 let c_kept = Obs.Counter.make "compiler.ckpts_kept"
 
+type persist_mode =
+  | Implicit (* the cWSP hardware persists committed stores transparently *)
+  | Explicit (* compiler-inserted flush/pfence discharge every store *)
+
 type config = {
   optimize : bool; (* -O3-style scalar opts before region formation *)
   region_formation : bool;
   checkpoints : bool;
   pruning : bool;
+  persist_mode : persist_mode;
 }
 
 let baseline =
-  { optimize = true; region_formation = false; checkpoints = false; pruning = false }
+  { optimize = true; region_formation = false; checkpoints = false;
+    pruning = false; persist_mode = Implicit }
 
 let regions_only =
-  { optimize = true; region_formation = true; checkpoints = false; pruning = false }
+  { optimize = true; region_formation = true; checkpoints = false;
+    pruning = false; persist_mode = Implicit }
 
 let cwsp_no_prune =
-  { optimize = true; region_formation = true; checkpoints = true; pruning = false }
+  { optimize = true; region_formation = true; checkpoints = true;
+    pruning = false; persist_mode = Implicit }
 
 let cwsp =
-  { optimize = true; region_formation = true; checkpoints = true; pruning = true }
+  { optimize = true; region_formation = true; checkpoints = true;
+    pruning = true; persist_mode = Implicit }
+
+let explicit_of c = { c with persist_mode = Explicit }
+let cwsp_explicit = explicit_of cwsp
 
 let config_name c =
   let base =
@@ -47,7 +59,8 @@ let config_name c =
     | true, true, false -> "cwsp-no-prune"
     | true, true, true -> "cwsp"
   in
-  if c.optimize then base else base ^ "-noopt"
+  let base = if c.optimize then base else base ^ "-noopt" in
+  match c.persist_mode with Implicit -> base | Explicit -> base ^ "-explicit"
 
 type func_report = {
   fr_name : string;
@@ -179,10 +192,29 @@ let compile_prog ~config (p : Prog.t) : compiled =
     let prog =
       { p with funcs = List.map (fun (f : Prog.func) -> (f.name, f)) funcs' }
     in
+    (* Explicit persistency: discharge durability obligations after the
+       ids are final (inserted flushes never add boundaries or ckpts, so
+       the global numbering and the slice tables stay valid). *)
+    let prog =
+      match config.persist_mode with
+      | Implicit -> prog
+      | Explicit ->
+        Obs.span_begin ~cat:"compiler" "persist_insert";
+        let prog = Persist_insert.run prog in
+        Obs.span_end ();
+        prog
+    in
     Validate.check_exn prog;
+    let reports =
+      List.rev_map
+        (fun r ->
+          match List.assoc_opt r.fr_name prog.funcs with
+          | Some fn -> { r with static_instrs = Prog.instr_count fn }
+          | None -> r)
+        !reports
+    in
     run_post_compile_hook
-      { prog; cconfig = config; slices; boundary_owner = owners;
-        reports = List.rev !reports }
+      { prog; cconfig = config; slices; boundary_owner = owners; reports }
   end
 
 let compile ?(config = cwsp) (p : Prog.t) : compiled =

@@ -6,11 +6,19 @@
 open Cwsp_ir
 open Cwsp_ckpt
 
+type persist_mode =
+  | Implicit
+      (** the cWSP hardware persists committed stores transparently *)
+  | Explicit
+      (** compiler-inserted flush/pfence sequences ([Persist_insert])
+          make every store durable before its region commits *)
+
 type config = {
   optimize : bool; (** -O3-style scalar opts before region formation *)
   region_formation : bool;
   checkpoints : bool;
   pruning : bool;
+  persist_mode : persist_mode;
 }
 
 (** Uninstrumented (but optimized) binary. *)
@@ -25,7 +33,14 @@ val cwsp_no_prune : config
 (** The full pipeline. *)
 val cwsp : config
 
-(** Stable name used as a memoization key. *)
+(** Same configuration with [persist_mode = Explicit]. *)
+val explicit_of : config -> config
+
+(** [explicit_of cwsp]: full pipeline plus flush/pfence insertion. *)
+val cwsp_explicit : config
+
+(** Stable name used as a memoization key ([config_name cwsp_explicit] =
+    ["cwsp-explicit"]; implicit-mode names are unchanged). *)
 val config_name : config -> string
 
 type func_report = {

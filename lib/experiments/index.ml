@@ -52,6 +52,8 @@ let all : entry list =
       (headline_none Exp_breakdown.render);
     e "ablation" Exp_ablation.title Exp_ablation.plan
       (headline_none Exp_ablation.render);
+    e "explicit" Exp_explicit.title Exp_explicit.plan
+      (headline_f Exp_explicit.render);
   ]
 
 let find id = List.find_opt (fun x -> x.id = id) all

@@ -21,14 +21,14 @@ module Obs = Cwsp_obs.Obs
 let boundary_before (ins : Types.instr) =
   match ins with
   | Atomic_rmw _ | Cas _ | Fence -> true
-  | Call _ | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Store _ | Ckpt _
-  | Boundary _ -> false
+  | Call _ | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Store _ | Flush _
+  | Pfence | Ckpt _ | Boundary _ -> false
 
 let boundary_after (ins : Types.instr) =
   match ins with
   | Call _ | Atomic_rmw _ | Cas _ | Fence -> true
-  | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Store _ | Ckpt _ | Boundary _ ->
-    false
+  | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Store _ | Flush _ | Pfence
+  | Ckpt _ | Boundary _ -> false
 
 (** Insert fresh boundaries before the given (block, index) positions.
     Indices refer to the function *before* insertion. Boundaries directly

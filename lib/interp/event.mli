@@ -1,7 +1,7 @@
 (** Commit events, packed into a single native int each.
 
     The timing simulator replays millions of events per configuration, so
-    the encoding is allocation-free: low 3 bits = kind tag, remaining
+    the encoding is allocation-free: low 4 bits = kind tag, remaining
     bits = payload (a byte address for memory events, the static boundary
     id for boundary events, 0 otherwise). *)
 
@@ -13,6 +13,8 @@ type kind =
   | Boundary  (** region-boundary commit *)
   | Fence
   | Atomic    (** atomic RMW / CAS: sync point that reads and writes memory *)
+  | Flush     (** clwb-like line writeback; payload = byte address *)
+  | Pfence    (** persist fence: drains pending flushes *)
 
 val tag_of_kind : kind -> int
 val kind_of_tag : int -> kind
@@ -31,6 +33,8 @@ val tag_ckpt : int
 val tag_boundary : int
 val tag_fence : int
 val tag_atomic : int
+val tag_flush : int
+val tag_pfence : int
 
 (** Does the event deliver data to the persist path? *)
 val writes_nvm : int -> bool

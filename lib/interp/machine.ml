@@ -211,6 +211,11 @@ let step t hooks =
           mem_write t hooks addr (operand_value regs desired);
         hooks.on_event (Event.encode Atomic ~payload:addr)
       | Types.Fence -> hooks.on_event (Event.encode Fence ~payload:0)
+      | Types.Flush (base, off) ->
+        (* no architectural effect: a line writeback only moves data down
+           the persist path, which the timing/recovery layers model *)
+        hooks.on_event (Event.encode Flush ~payload:(regs.(base) + off))
+      | Types.Pfence -> hooks.on_event (Event.encode Pfence ~payload:0)
       | Types.Ckpt r ->
         let slot = Layout.ckpt_slot ~tid:t.tid ~depth:t.depth r in
         mem_write t hooks slot regs.(r);

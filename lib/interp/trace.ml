@@ -52,7 +52,10 @@ let summarize t =
       | Ckpt -> incr ckpts
       | Boundary -> incr boundaries
       | Fence -> incr fences
-      | Atomic -> incr atomics)
+      | Atomic -> incr atomics
+      (* flush/pfence traffic is persist-path plumbing, not one of the
+         workload-shape counts this summary feeds *)
+      | Flush | Pfence -> ())
     t;
   {
     instructions = t.len;
@@ -77,7 +80,7 @@ let region_lengths t =
       | Boundary ->
         if !since >= 0 then lens := (!pos - !since) :: !lens;
         since := !pos
-      | Alu | Load | Store | Ckpt | Fence | Atomic -> ());
+      | Alu | Load | Store | Ckpt | Fence | Atomic | Flush | Pfence -> ());
       incr pos)
     t;
   List.rev !lens

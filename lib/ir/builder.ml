@@ -131,6 +131,8 @@ let cas fb base off ~expected ~desired =
   dst
 
 let fence fb = emit fb Fence
+let flush fb base off = emit fb (Flush (base, off))
+let pfence fb = emit fb Pfence
 
 (* ---- terminators ---- *)
 

@@ -67,6 +67,13 @@ val atomic_rmw : fb -> binop -> reg -> int -> operand -> reg
 val cas : fb -> reg -> int -> expected:operand -> desired:operand -> reg
 val fence : fb -> unit
 
+(** Explicit-persistency ops: write a line back to NVM / drain pending
+    flushes. The explicit-flush compiler mode inserts these; workloads
+    and tests may also emit them directly. *)
+val flush : fb -> reg -> int -> unit
+
+val pfence : fb -> unit
+
 (** {2 Terminators and structured control} *)
 
 val jmp : fb -> label -> unit

@@ -20,6 +20,8 @@
       r9 = atomic.add [r6 + 0], 1
       r10 = cas [r6 + 0], 0 -> 1
       fence
+      flush [r6 + 0]
+      pfence
       ckpt r3
       --- region boundary #2 ---
       jmp .b1
@@ -131,6 +133,15 @@ let parse_instr ln s : instr =
     | None -> Boundary (parse_int ln rest)
   end
   else if s = "fence" then Fence
+  else if starts_with ~prefix:"fence " s then
+    fail ln "fence takes no operand: %S" s
+  else if s = "pfence" then Pfence
+  else if starts_with ~prefix:"pfence " s then
+    fail ln "pfence takes no operand: %S" s
+  else if starts_with ~prefix:"flush " s then begin
+    let base, off = parse_mem ln (after ~prefix:"flush " s) in
+    Flush (base, off)
+  end
   else if starts_with ~prefix:"ckpt " s then Ckpt (parse_reg ln (after ~prefix:"ckpt " s))
   else if starts_with ~prefix:"store " s then begin
     (* store [rN + K], src *)

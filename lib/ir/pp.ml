@@ -38,6 +38,8 @@ let instr_str = function
     Printf.sprintf "r%d = cas [r%d + %d], %s -> %s" d b off (operand_str e)
       (operand_str v)
   | Fence -> "fence"
+  | Flush (b, off) -> Printf.sprintf "flush [r%d + %d]" b off
+  | Pfence -> "pfence"
   | Ckpt r -> Printf.sprintf "ckpt r%d" r
   | Boundary id -> Printf.sprintf "--- region boundary #%d ---" id
 

@@ -51,6 +51,11 @@ type instr =
   | Cas of reg * reg * int * operand * operand
       (** dst <- old; if old = expected then mem <- desired; sync point *)
   | Fence
+  | Flush of reg * int                      (** write the cache line of mem[base+off]
+                                                back to NVM (clwb-like); async *)
+  | Pfence                                  (** persist fence (sfence-like): pending
+                                                flushes become durable; not a
+                                                region-ending synchronization *)
   | Ckpt of reg                             (** compiler-inserted register checkpoint *)
   | Boundary of int                         (** compiler-inserted region boundary; id
                                                 indexes per-function recovery metadata *)
@@ -75,6 +80,8 @@ let uses = function
   | Atomic_rmw (_, _, base, _, src) -> base :: uses_of_operand src
   | Cas (_, base, _, e, d) -> (base :: uses_of_operand e) @ uses_of_operand d
   | Fence -> []
+  | Flush (base, _) -> [ base ]
+  | Pfence -> []
   | Ckpt r -> [ r ]
   | Boundary _ -> []
 
@@ -84,7 +91,7 @@ let def = function
   | Load (dst, _, _) | Atomic_rmw (_, dst, _, _, _) | Cas (dst, _, _, _, _) ->
     Some dst
   | Call (_, _, ret) -> ret
-  | Store _ | Fence | Ckpt _ | Boundary _ -> None
+  | Store _ | Fence | Flush _ | Pfence | Ckpt _ | Boundary _ -> None
 
 let term_uses = function
   | Jmp _ -> []
@@ -97,20 +104,23 @@ let term_succs = function
   | Br (_, a, b) -> if a = b then [ a ] else [ a; b ]
   | Ret _ -> []
 
-(** Synchronization points end regions (Section IV-A / VIII of the paper). *)
+(** Synchronization points end regions (Section IV-A / VIII of the paper).
+    [Flush]/[Pfence] are deliberately *not* sync points: they order the
+    persist stream, not inter-thread visibility, so the explicit-flush
+    compiler may place them inside a region. *)
 let is_sync = function
   | Atomic_rmw _ | Cas _ | Fence -> true
-  | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Store _ | Call _ | Ckpt _
-  | Boundary _ -> false
+  | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Store _ | Call _ | Flush _
+  | Pfence | Ckpt _ | Boundary _ -> false
 
 (** Does the instruction write memory? (Checkpoints are stores to the
     dedicated NVM checkpoint area.) *)
 let writes_memory = function
   | Store _ | Atomic_rmw _ | Cas _ | Ckpt _ -> true
-  | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Call _ | Fence | Boundary _ ->
-    false
+  | Bin _ | Cmp _ | Mov _ | La _ | Load _ | Call _ | Fence | Flush _
+  | Pfence | Boundary _ -> false
 
 let reads_memory = function
   | Load _ | Atomic_rmw _ | Cas _ -> true
-  | Bin _ | Cmp _ | Mov _ | La _ | Store _ | Call _ | Fence | Ckpt _
-  | Boundary _ -> false
+  | Bin _ | Cmp _ | Mov _ | La _ | Store _ | Call _ | Fence | Flush _
+  | Pfence | Ckpt _ | Boundary _ -> false

@@ -26,12 +26,34 @@ let check_func (prog : Prog.t) (fn : Prog.func) : string list =
   (* boundary ids key per-function recovery metadata, so a repeat would
      make recovery restore the wrong slice *)
   let bids = Hashtbl.create 16 in
+  (* Block-local shape of each register, for the flush-address check:
+     a comparison result is a boolean and a misaligned constant is no
+     word address, so flushing either is a program bug. *)
+  let shape : (reg, [ `Bool | `Const of int ]) Hashtbl.t = Hashtbl.create 16 in
   Array.iteri
     (fun bi (blk : Prog.block) ->
+      Hashtbl.reset shape;
       List.iter
         (fun ins ->
           List.iter (check_reg "use") (uses ins);
           (match def ins with Some d -> check_reg "def" d | None -> ());
+          (match ins with
+          | Flush (base, off) -> (
+            match Hashtbl.find_opt shape base with
+            | Some `Bool ->
+              err "%s: block %d flushes a comparison result (r%d), not an address"
+                fn.name bi base
+            | Some (`Const c) when (c + off) land 7 <> 0 ->
+              err "%s: block %d flushes misaligned address 0x%x" fn.name bi (c + off)
+            | _ -> ())
+          | _ -> ());
+          (match ins with
+          | Cmp (_, dst, _, _) -> Hashtbl.replace shape dst `Bool
+          | Mov (dst, Imm v) -> Hashtbl.replace shape dst (`Const v)
+          | _ -> (
+            match def ins with
+            | Some d -> Hashtbl.remove shape d
+            | None -> ()));
           match ins with
           | La (_, sym) ->
             if Prog.find_global prog sym = None then
@@ -56,7 +78,7 @@ let check_func (prog : Prog.t) (fn : Prog.func) : string list =
               err "%s: duplicate boundary id %d" fn.name id
             else Hashtbl.replace bids id ()
           | Bin _ | Cmp _ | Mov _ | Load _ | Store _ | Atomic_rmw _ | Cas _
-          | Fence | Ckpt _ -> ())
+          | Fence | Flush _ | Pfence | Ckpt _ -> ())
         blk.instrs;
       List.iter (check_reg "use") (term_uses blk.term);
       List.iter check_label (term_succs blk.term))

@@ -418,6 +418,193 @@ let validate_chain ?(window = 16) ?(n_mcs = 2) ~seed ~crash_points
   go (create ~window compiled) crash_points [] 0
 
 (* ==================================================================== *)
+(* Explicit-persistency oracle: the dynamic ground truth for the        *)
+(* Persist_check static tier. Models hardware WITHOUT the cWSP persist  *)
+(* path: a data store is durable only once a flush captured its line    *)
+(* AND a later pfence (or sync primitive) drained it. Register          *)
+(* checkpoints keep their hardware path (write-through, undo-logged per *)
+(* open region so a crash can't leave a half-written ckpt run), and an  *)
+(* atomic is a failure-atomic unit that completes with its closing      *)
+(* boundary. The crash is maximally adversarial and deterministic:      *)
+(* cache contents AND the flushed-but-unfenced set are lost. Recovery   *)
+(* is blind — resume at the newest boundary, no undo logs to roll back  *)
+(* with — so the final state is right iff the compiler really did make  *)
+(* every prior store durable: exactly the obligation Persist_check      *)
+(* discharges statically. A mutant that drops/moves one flush or fence  *)
+(* escapes here dynamically at some crash point.                        *)
+(* ==================================================================== *)
+
+type explicit_tracked = {
+  e_machine : Machine.t;
+  e_compiled : Cwsp_compiler.Pipeline.compiled;
+  e_nvm : Memory.t; (* the durable image, maintained alongside the run *)
+  e_pending : (int, int) Hashtbl.t; (* flushed, not yet fenced: addr -> value *)
+  mutable e_pending_atomic : (int * int) option;
+      (* an atomic's (addr, value) awaiting its closing boundary *)
+  mutable e_last_store : (int * int) option;
+      (* the store the current instruction just performed, so the atomic
+         event can claim its value (hook order is store-then-event) *)
+  mutable e_ckpt_undo : (int * int) list; (* open region's ckpt (addr, old) *)
+  mutable e_boundary : (int * Machine.frame list * int * int) option;
+      (* newest boundary: static id, frame snapshot, depth, outputs *)
+}
+
+let explicit_drain e =
+  Hashtbl.iter (fun addr v -> Memory.write e.e_nvm addr v) e.e_pending;
+  Hashtbl.reset e.e_pending
+
+let explicit_hooks e : Machine.hooks =
+  {
+    on_store =
+      (fun ~addr ~old:_ ~value ->
+        if Layout.is_ckpt_addr addr then begin
+          (* hardware persist path of the checkpoint engine: write-through,
+             journaled until the region's boundary commits the run *)
+          let nold = Memory.read e.e_nvm addr in
+          Memory.write e.e_nvm addr value;
+          e.e_ckpt_undo <- (addr, nold) :: e.e_ckpt_undo
+        end
+        else e.e_last_store <- Some (addr, value));
+    on_event =
+      (fun ev ->
+        let tag = Event.tag ev in
+        if tag = Event.tag_flush then begin
+          let addr = Event.payload ev in
+          if not (Layout.is_ckpt_addr addr) then
+            (* the writeback captures the line's current cache contents *)
+            Hashtbl.replace e.e_pending addr (Memory.read e.e_machine.mem addr);
+          e.e_last_store <- None
+        end
+        else if tag = Event.tag_pfence || tag = Event.tag_fence then begin
+          explicit_drain e;
+          e.e_last_store <- None
+        end
+        else if tag = Event.tag_atomic then begin
+          (* full sync: drains the persist stream; its own write is a
+             failure-atomic unit completing at the closing boundary *)
+          explicit_drain e;
+          (match e.e_last_store with
+          | Some (a, v) when a = Event.payload ev ->
+            e.e_pending_atomic <- Some (a, v)
+          | _ -> ());
+          e.e_last_store <- None
+        end
+        else if tag = Event.tag_boundary then begin
+          (match e.e_pending_atomic with
+          | Some (a, v) -> Memory.write e.e_nvm a v
+          | None -> ());
+          e.e_pending_atomic <- None;
+          e.e_ckpt_undo <- [];
+          e.e_boundary <-
+            Some
+              ( Event.payload ev,
+                List.map copy_frame e.e_machine.frames,
+                e.e_machine.depth,
+                List.length e.e_machine.outputs );
+          e.e_last_store <- None
+        end
+        else e.e_last_store <- None);
+  }
+
+(** Explicit-persistency crash experiment: run [compiled] (an
+    [Explicit]-mode binary) to [crash_at] instructions, cut power —
+    losing the caches, the flushed-but-unfenced set and any uncommitted
+    atomic, and reverting the open region's checkpoint-area stores —
+    then blindly resume at the newest boundary via its recovery slice
+    and compare the final NVM state and the exactly-once device output
+    stream against a failure-free run. Deterministic: the adversary
+    always takes everything a fence had not sealed. *)
+let validate_explicit ~crash_at (compiled : Cwsp_compiler.Pipeline.compiled) :
+    (crash_report, string) result =
+  let golden = Machine.create (Machine.link compiled.prog) in
+  Machine.run golden Machine.no_hooks;
+  let linked = Machine.link compiled.prog in
+  let machine = Machine.create linked in
+  let e =
+    {
+      e_machine = machine;
+      e_compiled = compiled;
+      e_nvm = Memory.snapshot machine.mem;
+      e_pending = Hashtbl.create 64;
+      e_pending_atomic = None;
+      e_last_store = None;
+      e_ckpt_undo = [];
+      e_boundary = None;
+    }
+  in
+  let h = explicit_hooks e in
+  while e.e_machine.status = Machine.Running && e.e_machine.steps < crash_at do
+    Machine.step e.e_machine h
+  done;
+  if e.e_machine.status = Machine.Halted then
+    Error "program halted before the crash point"
+  else begin
+    let crash_step = e.e_machine.steps in
+    (* power is lost: only [e_nvm] survives; the open region's ckpt run
+       is rolled back so the recovery slice sees the slots as of the
+       newest boundary (newest-first replay restores the oldest value) *)
+    let image = Memory.snapshot e.e_nvm in
+    List.iter (fun (addr, old) -> Memory.write image addr old) e.e_ckpt_undo;
+    let recovered, recovery_region, restored, released_outputs =
+      match e.e_boundary with
+      | None ->
+        ( Machine.resume linked ~mem:image ~frames:`Fresh ~depth:0,
+          0, 0, [] )
+      | Some (static_id, frames, depth, outs) ->
+        let slice = compiled.slices.(static_id) in
+        let frames = List.map copy_frame frames in
+        let fr = List.hd frames in
+        Array.fill fr.regs 0 (Array.length fr.regs) poison;
+        let slot r = Memory.read image (Layout.ckpt_slot ~tid:0 ~depth r) in
+        let addr_of g =
+          match Hashtbl.find_opt linked.global_addr g with
+          | Some a -> a
+          | None -> failwith ("recovery slice references unknown global " ^ g)
+        in
+        List.iter
+          (fun (r, expr) ->
+            fr.regs.(r) <- Cwsp_ckpt.Slice.eval ~slot ~addr_of expr)
+          slice;
+        let released =
+          List.filteri (fun i _ -> i < outs) (Machine.outputs e.e_machine)
+        in
+        ( Machine.resume linked ~mem:image ~frames:(`Frames frames) ~depth,
+          static_id, List.length slice, released )
+    in
+    Machine.run recovered Machine.no_hooks;
+    let report =
+      {
+        crash_step;
+        recovery_region;
+        reverted_regions = 0;
+        reexecuted_instructions = crash_step;
+        restored_registers = restored;
+        released_outputs;
+      }
+    in
+    if released_outputs @ Machine.outputs recovered <> Machine.outputs golden
+    then
+      Error
+        (Printf.sprintf
+           "device I/O diverged after explicit-mode recovery (crash@%d): %d \
+            released + %d regenerated vs %d golden"
+           crash_step
+           (List.length released_outputs)
+           (List.length (Machine.outputs recovered))
+           (List.length (Machine.outputs golden)))
+    else if Memory.equal golden.mem recovered.mem then Ok report
+    else
+      match Memory.first_diff golden.mem recovered.mem with
+      | Some (addr, g, r) ->
+        Error
+          (Printf.sprintf
+             "NVM mismatch after explicit-mode recovery at 0x%x: golden=%d \
+              recovered=%d (crash@%d, boundary %d)"
+             addr g r crash_step recovery_region)
+      | None -> Error "memories differ but no diff found"
+  end
+
+(* ==================================================================== *)
 (* Adversarial fault model: crashes where the persistence path itself   *)
 (* is faulty (torn persists, dropped persist-buffer tails, log/ckpt     *)
 (* corruption, power failure during recovery). The clean-crash paths    *)

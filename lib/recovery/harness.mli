@@ -74,6 +74,21 @@ val validate_chain :
   Cwsp_compiler.Pipeline.compiled ->
   (int, string) result
 
+(** Explicit-persistency crash experiment, the dynamic ground truth for
+    the [Persist_check] static tier: run an [Explicit]-mode binary to
+    [crash_at] instructions, cut power — losing the caches, the
+    flushed-but-unfenced set and any uncommitted atomic, and reverting
+    the open region's checkpoint-area stores — then blindly resume at
+    the newest boundary via its recovery slice and require a bit-exact
+    final NVM state plus an exactly-once device-output stream.
+    Deterministic (no RNG): the adversary always takes everything a
+    fence had not sealed, so a dropped or misplaced flush/fence escapes
+    at some crash point reproducibly. *)
+val validate_explicit :
+  crash_at:int ->
+  Cwsp_compiler.Pipeline.compiled ->
+  (crash_report, string) result
+
 (** {2 Adversarial fault model}
 
     Crashes where the persistence path itself is faulty ([Fault]): the

@@ -103,6 +103,21 @@ let psp_ideal =
           { c with levels = without_dram });
   }
 
+(** Compiler-directed explicit persistency: the [Persist_insert] binary
+    (clwb/pfence sequences proven sufficient and minimal by
+    [Persist_check]) on hardware without the cWSP persist path — data
+    stores stay cached until flushed; register checkpoints keep their
+    hardware path. The head-to-head for the paper's implicit-persistence
+    thesis: what the same regions cost when the compiler must persist
+    every store explicitly. *)
+let explicit_flush =
+  {
+    s_name = "explicit-flush";
+    s_compile = Pipeline.cwsp_explicit;
+    s_engine = Engine.Explicit_flush;
+    s_reconfig = id_config;
+  }
+
 (** The six cumulative stages of the Fig. 15 ablation. *)
 let fig15_stages : (string * t) list =
   let stage name compile flags =

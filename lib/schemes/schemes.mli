@@ -38,6 +38,11 @@ val replaycache : t
 (** BBB/eADR/LightPC: no persist cost, but the DRAM cache is disabled. *)
 val psp_ideal : t
 
+(** Compiler-directed explicit persistency: the flush/pfence-inserted
+    binary ([Pipeline.cwsp_explicit], certified by the [Persist_check]
+    verifier tier) on hardware without the cWSP persist path. *)
+val explicit_flush : t
+
 (** The six cumulative stages of the Fig. 15 ablation. *)
 val fig15_stages : (string * t) list
 

@@ -46,6 +46,10 @@ type scheme =
   | Ido               (* persist barriers at every region boundary *)
   | Capri             (* 64B redo-buffer WSP with battery-backed buffers *)
   | Replaycache       (* software write-through persistence *)
+  | Explicit_flush    (* compiler-inserted clwb/sfence persistency: data
+                         stores are cache-only; flushes push 64B lines down
+                         the persist path, pfences drain it; register
+                         checkpoints keep the hardware persist path *)
 
 let scheme_name = function
   | Baseline -> "baseline"
@@ -53,6 +57,7 @@ let scheme_name = function
   | Ido -> "ido"
   | Capri -> "capri"
   | Replaycache -> "replaycache"
+  | Explicit_flush -> "explicit-flush"
 
 (* Persist-buffer model: [pb_entries] slots, freed when the entry is
    admitted into the target WPQ; sends are serialized at the persist-path
@@ -196,7 +201,8 @@ let handle_cache_write t ~addr ~count_wb_occupancy =
         match Hashtbl.find_opt t.line_persist line with
         | Some p -> Float.max t.now p
         | None -> t.now)
-      | Baseline | Cwsp _ | Ido | Capri | Replaycache -> t.now
+      | Baseline | Cwsp _ | Ido | Capri | Replaycache | Explicit_flush ->
+        t.now
     in
     let admit, _done_ = Tsq.push t.wb ~ready:delay_start ~service:t.cfg.wb_drain_ns in
     Hierarchy.wb_install t.hier ~line_addr:line;
@@ -223,7 +229,7 @@ let handle_load t ~addr =
       let delays =
         match t.scheme with
         | Cwsp f -> f.persist_path && f.wpq_delay
-        | Ido | Capri | Replaycache -> true
+        | Ido | Capri | Replaycache | Explicit_flush -> true
         | Baseline -> false
       in
       if delays then begin
@@ -272,6 +278,42 @@ let handle_store t ~addr ~is_ckpt =
     let stall = persist_store t ~addr ~commit ~bytes:64 ~logged:false ~use_redo:false ~coalesce:true () in
     t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
     t.now <- t.now +. stall
+  | Explicit_flush ->
+    (* data stores stay in the cache until an explicit flush; only the
+       register-checkpoint engine keeps the hardware persist path *)
+    if is_ckpt then begin
+      let stall = persist_store t ~addr ~commit ~bytes:8 ~logged:false ~use_redo:false () in
+      t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
+      t.now <- t.now +. stall
+    end
+
+(* clwb-like line writeback: one issue cycle, then an asynchronous 64B
+   line write down the persist path; the core stalls only on persist-
+   buffer backpressure, never on the drain itself. *)
+let handle_flush t ~addr =
+  let commit = t.now +. t.cfg.cycle_ns in
+  t.now <- commit;
+  match t.scheme with
+  | Explicit_flush ->
+    let stall =
+      persist_store t ~addr ~commit ~bytes:64 ~logged:false ~use_redo:false
+        ~coalesce:true ()
+    in
+    t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
+    t.now <- t.now +. stall
+  | Baseline | Cwsp _ | Ido | Capri | Replaycache ->
+    (* schemes with an implicit persist path treat the hint as a no-op *)
+    ()
+
+(* sfence-like persist fence: drains every outstanding flush. *)
+let handle_pfence t =
+  t.now <- t.now +. t.cfg.cycle_ns;
+  match t.scheme with
+  | Explicit_flush ->
+    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
+    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall;
+    t.now <- t.now +. stall
+  | Baseline | Cwsp _ | Ido | Capri | Replaycache -> ()
 
 let handle_boundary t =
   t.stats.boundaries <- t.stats.boundaries + 1;
@@ -303,7 +345,13 @@ let handle_boundary t =
     (* software region-end flush: wait for everything outstanding *)
     let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
     t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall +. (4.0 *. t.cfg.cycle_ns);
-    t.now <- t.now +. stall +. (4.0 *. t.cfg.cycle_ns));
+    t.now <- t.now +. stall +. (4.0 *. t.cfg.cycle_ns)
+  | Explicit_flush ->
+    (* the compiler's pfence already drained the region's data; the
+       boundary only waits for its own register checkpoints *)
+    let stall = Float.max 0.0 (t.region_persist_max -. t.now) in
+    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall;
+    t.now <- t.now +. stall);
   t.region_persist_max <- t.now
 
 let handle_sync t ~addr =
@@ -321,6 +369,21 @@ let handle_sync t ~addr =
     t.now <- t.now +. t.cfg.cycle_ns);
   match t.scheme with
   | Baseline -> ()
+  | Explicit_flush ->
+    (* the atomic's own store bypassed the data cache-only rule: it is
+       hardware failure-atomic, so it enters the persist path here *)
+    (match addr with
+    | Some a ->
+      let stall =
+        persist_store t ~addr:a ~commit:t.now ~bytes:8 ~logged:false
+          ~use_redo:false ()
+      in
+      t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
+      t.now <- t.now +. stall
+    | None -> ());
+    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
+    t.stats.stall_sync_ns <- t.stats.stall_sync_ns +. stall;
+    t.now <- t.now +. stall
   | Cwsp _ | Ido | Capri | Replaycache ->
     let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
     t.stats.stall_sync_ns <- t.stats.stall_sync_ns +. stall;
@@ -378,6 +441,8 @@ let run_trace (cfg : Config.t) (scheme : scheme) (trace : Cwsp_interp.Trace.t) :
       handle_store t ~addr:(Event.payload ev) ~is_ckpt:true
     else if tag = Event.tag_boundary then handle_boundary t
     else if tag = Event.tag_fence then handle_sync t ~addr:None
+    else if tag = Event.tag_flush then handle_flush t ~addr:(Event.payload ev)
+    else if tag = Event.tag_pfence then handle_pfence t
     else handle_sync t ~addr:(Some (Event.payload ev));
     if track >= 0 && i land epoch_mask = epoch_mask then emit_epoch t track
   done;

@@ -22,6 +22,10 @@ type scheme =
   | Ido
   | Capri
   | Replaycache
+  | Explicit_flush
+      (** compiler-inserted clwb/sfence persistency: data stores stay in
+          the cache until flushed; register checkpoints keep the
+          hardware persist path *)
 
 val scheme_name : scheme -> string
 

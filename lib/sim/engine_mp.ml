@@ -159,6 +159,10 @@ let step t (c : core) ~persisting =
     handle_store t c ~addr:(Event.payload ev) ~is_ckpt:false ~persisting
   else if tag = Event.tag_ckpt then
     handle_store t c ~addr:(Event.payload ev) ~is_ckpt:true ~persisting
+  else if tag = Event.tag_flush || tag = Event.tag_pfence then
+    (* the multi-core engine models only the implicit cWSP persist path;
+       explicit-persistency hints cost their issue cycle *)
+    c.now <- c.now +. t.cfg.cycle_ns
   else if tag = Event.tag_boundary then begin
     c.stats.boundaries <- c.stats.boundaries + 1;
     if persisting then begin

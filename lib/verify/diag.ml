@@ -26,6 +26,10 @@ type rule =
   | Slice_value_mismatch (* semantic: slice provably restores a wrong value *)
   | Stale_slot_read      (* semantic: slot read holds the wrong vintage *)
   | Slice_unprovable     (* semantic: neither proven nor refuted *)
+  | Missing_flush        (* persist: store may be dirty at a commit point *)
+  | Missing_fence        (* persist: flushed but unfenced at a commit point *)
+  | Early_commit         (* persist: the fence exists but after the commit *)
+  | Redundant_flush      (* persist lint: flush covers no dirty site *)
 
 let rule_name = function
   | Antidep -> "antidep"
@@ -45,6 +49,10 @@ let rule_name = function
   | Slice_value_mismatch -> "slice-value-mismatch"
   | Stale_slot_read -> "stale-slot-read"
   | Slice_unprovable -> "slice-unprovable"
+  | Missing_flush -> "missing-flush"
+  | Missing_fence -> "missing-fence"
+  | Early_commit -> "early-commit"
+  | Redundant_flush -> "redundant-flush"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 

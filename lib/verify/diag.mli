@@ -23,6 +23,12 @@ type rule =
   | Stale_slot_read       (** semantic: slice shape is right but a slot it reads
                               holds the wrong vintage (pruned/clobbered checkpoint) *)
   | Slice_unprovable      (** semantic: equality neither proven nor refuted *)
+  | Missing_flush         (** persist: a store may still be dirty in the cache
+                              at a commit point ([Persist_check]) *)
+  | Missing_fence         (** persist: flushed but not fenced before a commit *)
+  | Early_commit          (** persist: a fence exists but only after the commit *)
+  | Redundant_flush       (** persist lint: flush upgrades no dirty site on any
+                              path *)
 
 (** Stable kebab-case name, used by tests and the CLI. *)
 val rule_name : rule -> string

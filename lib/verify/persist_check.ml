@@ -1,0 +1,97 @@
+(** Persistency-order verifier tier ([Diag.Missing_flush] /
+    [Missing_fence] / [Early_commit] / [Redundant_flush]).
+
+    Re-derives [Persist_order] on the final program — independently of
+    the insertion pass, translation-validation style — and proves that
+    every store is durable before any commit point its region can reach:
+    a region boundary, a call to a non-intrinsic function (whose entry
+    boundary dynamically closes the caller's region), or a return (the
+    modular contract that a function leaves its stores durable). Each
+    diagnostic is witness-backed: the message carries the coordinates and
+    alias class of the offending store, and the diagnostic position is
+    the commit point it escapes through. *)
+
+open Cwsp_ir
+open Cwsp_analysis
+
+(* Is there a pfence (or a full fence, which subsumes one) later in the
+   block, after position [ii]? Distinguishes "no fence at all"
+   (missing-fence) from "fenced, but the commit comes first"
+   (early-commit). *)
+let fence_after (code : Types.instr array) ~ii =
+  let n = Array.length code in
+  let rec go j =
+    if j >= n then false
+    else
+      match code.(j) with
+      | Types.Pfence | Types.Fence -> true
+      | _ -> go (j + 1)
+  in
+  go (ii + 1)
+
+(* Report every obligation in [st] escaping through the commit point at
+   (bi, ii) described by [what]. *)
+let report_escapes diags t ~fname ~bi ~ii ~fence_later ~what
+    (st : Persist_order.state) =
+  Persist_order.Site_map.iter
+    (fun ((sb, si) as site) d ->
+      let sym = Persist_order.string_of_sym (Persist_order.sym_at t site) in
+      let d' =
+        match d with
+        | Persist_order.Dirty ->
+          Diag.error Diag.Missing_flush ~func:fname ~block:bi ~instr:ii
+            "store at (%d,%d) to [%s] may still be dirty in the cache at %s"
+            sb si sym what
+        | Persist_order.Flushed ->
+          if fence_later then
+            Diag.error Diag.Early_commit ~func:fname ~block:bi ~instr:ii
+              "store at (%d,%d) to [%s] is flushed but the fence comes only \
+               after %s"
+              sb si sym what
+          else
+            Diag.error Diag.Missing_fence ~func:fname ~block:bi ~instr:ii
+              "store at (%d,%d) to [%s] is flushed but not fenced before %s"
+              sb si sym what
+      in
+      diags := d' :: !diags)
+    st
+
+let check_func (fn : Prog.func) : Diag.t list =
+  let t = Persist_order.analyze fn in
+  let fname = fn.name in
+  let diags = ref [] in
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      if t.reachable.(bi) then begin
+        let code = Array.of_list blk.instrs in
+        Persist_order.iter_block t bi ~f:(fun ~ii ins ~before ~covered ->
+            (match ins with
+            | Types.Flush (_, off) when covered = [] ->
+              let sym = Persist_order.string_of_sym
+                  (Persist_order.sym_at t (bi, ii)) in
+              diags :=
+                Diag.warning Diag.Redundant_flush ~func:fname ~block:bi
+                  ~instr:ii
+                  "flush of [%s] (+%d) upgrades no dirty store on any path"
+                  sym off
+                :: !diags
+            | _ -> ());
+            if Persist_order.is_commit_instr ins then begin
+              let what =
+                match ins with
+                | Types.Boundary id -> Printf.sprintf "region boundary %d" id
+                | Types.Call (callee, _, _) ->
+                  Printf.sprintf "the commit call to %s" callee
+                | _ -> "a commit point"
+              in
+              report_escapes diags t ~fname ~bi ~ii
+                ~fence_later:(fence_after code ~ii) ~what before
+            end);
+        match blk.term with
+        | Types.Ret _ ->
+          report_escapes diags t ~fname ~bi ~ii:(Array.length code)
+            ~fence_later:false ~what:"the function return" t.outb.(bi)
+        | Types.Jmp _ | Types.Br _ -> ()
+      end)
+    fn.blocks;
+  List.rev !diags

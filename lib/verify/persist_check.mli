@@ -1,0 +1,10 @@
+(** Persistency-order verifier tier: independently re-derives
+    [Cwsp_analysis.Persist_order] on the final program and reports every
+    store whose durability is unproven at a commit point it can reach
+    ([missing-flush] / [missing-fence] / [early-commit]), plus a
+    [redundant-flush] lint for flushes that upgrade nothing on any path.
+    Runs only for explicit-persistency compiles (see [Verify.run]). *)
+
+open Cwsp_ir
+
+val check_func : Prog.func -> Diag.t list

@@ -249,7 +249,8 @@ module Problem = struct
          [Layout.ckpt_slot]), so calls do not touch this state. *)
       s.slots.(r) <- s.regs.(r);
       s.synced.(r) <- true
-    | Types.Store _ | Types.Fence | Types.Boundary _ -> ());
+    | Types.Store _ | Types.Fence | Types.Flush _ | Types.Pfence
+    | Types.Boundary _ -> ());
     (* a redefinition desynchronizes the register from its slot *)
     match Types.def ins with Some d -> s.synced.(d) <- false | None -> ()
 

@@ -21,6 +21,7 @@ let h_ids = Obs.Hist.make "verify.tier_us.ids"
 let h_idem = Obs.Hist.make "verify.tier_us.idem"
 let h_ckpt = Obs.Hist.make "verify.tier_us.ckpt"
 let h_semantic = Obs.Hist.make "verify.tier_us.semantic"
+let h_persist = Obs.Hist.make "verify.tier_us.persist"
 
 (* Time one verifier tier: a span on the trace plus a sample in the
    tier's latency histogram. Single branch when instrumentation is off. *)
@@ -66,7 +67,15 @@ let run ?(sem = true) (c : Pipeline.compiled) : Diag.t list =
       timed h_semantic "tier:semantic" (fun () -> Sem_check.check c)
     else []
   in
-  structural @ ids @ idem @ ckpt @ semantic
+  let persist =
+    (* only explicit-persistency compiles promise static durability; the
+       implicit mode persists in hardware, so the obligations are vacuous *)
+    if cfg.Pipeline.persist_mode = Pipeline.Explicit
+       && cfg.Pipeline.region_formation
+    then timed h_persist "tier:persist" (fun () -> per_func Persist_check.check_func)
+    else []
+  in
+  structural @ ids @ idem @ ckpt @ semantic @ persist
 
 let errors diags = List.filter Diag.is_error diags
 

@@ -300,6 +300,158 @@ let test_alias_const_offset_propagation () =
     | _ -> Alcotest.fail "expected exact resolution")
   | _ -> Alcotest.fail "expected two accesses"
 
+(* ---- persistency-order dataflow ---- *)
+
+(* Helpers: observe the abstract durability state immediately before one
+   instruction of one block. *)
+let state_before t bi k =
+  let res = ref None in
+  Persist_order.iter_block t bi ~f:(fun ~ii _ins ~before ~covered:_ ->
+      if ii = k then res := Some before);
+  match !res with
+  | Some s -> s
+  | None -> Alcotest.failf "no instruction (%d,%d)" bi k
+
+let dur_of t bi k site = Persist_order.Site_map.find_opt site (state_before t bi k)
+
+(* Straight-line: a store walks dirty -> flushed -> durable through its
+   flush and the persist fence. *)
+let test_persist_straightline () =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:16 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let p = la fb "g" in
+      store fb p 0 (Imm 7);
+      Builder.flush fb p 0;
+      pfence fb;
+      ret fb None);
+  Builder.set_main b "main";
+  let fn = Prog.func_exn (Builder.finish b) "main" in
+  let t = Persist_order.analyze fn in
+  let site = (0, 1) in
+  Alcotest.(check bool) "dirty after store" true
+    (dur_of t 0 2 site = Some Persist_order.Dirty);
+  Alcotest.(check bool) "flushed after flush" true
+    (dur_of t 0 3 site = Some Persist_order.Flushed);
+  Alcotest.(check bool) "durable after pfence" true
+    (Persist_order.Site_map.is_empty t.Persist_order.outb.(0));
+  (* the flush reports exactly the site it upgraded *)
+  let covered_sites = ref [] in
+  Persist_order.iter_block t 0 ~f:(fun ~ii:_ ins ~before:_ ~covered ->
+      match ins with
+      | Types.Flush _ -> covered_sites := covered
+      | _ -> ());
+  Alcotest.(check (list (pair int int))) "flush covers the store" [ site ]
+    !covered_sites;
+  (* the site resolves to an exact alias class *)
+  (match Persist_order.sym_at t site with
+  | Alias.Exact ("g", 0) -> ()
+  | s -> Alcotest.failf "expected g+0, got %s" (Persist_order.string_of_sym s))
+
+(* Diamond: discharging on only one arm must leave the worst state
+   (Dirty) at the join. *)
+let test_persist_diamond_join () =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:16 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let p = la fb "g" in
+      store fb p 0 (Imm 7);
+      let c = imm fb 1 in
+      let b1 = block fb in
+      let b2 = block fb in
+      let b3 = block fb in
+      br fb c ~ifso:b1 ~ifnot:b2;
+      switch_to fb b1;
+      Builder.flush fb p 0;
+      pfence fb;
+      jmp fb b3;
+      switch_to fb b2;
+      jmp fb b3;
+      switch_to fb b3;
+      ret fb None);
+  Builder.set_main b "main";
+  let fn = Prog.func_exn (Builder.finish b) "main" in
+  let t = Persist_order.analyze fn in
+  let site = (0, 1) in
+  Alcotest.(check bool) "flushed-arm exit clean" true
+    (Persist_order.Site_map.is_empty t.Persist_order.outb.(1));
+  Alcotest.(check bool) "other arm still dirty" true
+    (Persist_order.Site_map.find_opt site t.Persist_order.outb.(2)
+    = Some Persist_order.Dirty);
+  Alcotest.(check bool) "join takes the worst state" true
+    (Persist_order.Site_map.find_opt site t.Persist_order.inb.(3)
+    = Some Persist_order.Dirty)
+
+(* Loop: a pre-loop store discharged inside the body is clean on the
+   back edge but still dirty at the header (the loop-entry path), so the
+   obligation is hoistable, not loop-carried. *)
+let test_persist_loop_fixpoint () =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:16 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let p = la fb "g" in
+      store fb p 0 (Imm 7);
+      let _ =
+        loop fb ~from:(Types.Imm 0) ~below:(Types.Imm 4) (fun _ ->
+            Builder.flush fb p 0;
+            pfence fb)
+      in
+      ret fb None);
+  Builder.set_main b "main";
+  let fn = Prog.func_exn (Builder.finish b) "main" in
+  let t = Persist_order.analyze fn in
+  let site = (0, 1) in
+  let header =
+    match
+      Array.to_list (Array.mapi (fun i h -> (i, h)) t.Persist_order.headers)
+      |> List.find_opt snd
+    with
+    | Some (i, _) -> i
+    | None -> Alcotest.fail "no loop header"
+  in
+  let preds = Cfg.predecessors fn in
+  let back, entry =
+    List.partition
+      (fun pred -> Persist_order.is_back_edge t ~header ~pred)
+      preds.(header)
+  in
+  Alcotest.(check int) "one back edge" 1 (List.length back);
+  Alcotest.(check int) "one entry edge" 1 (List.length entry);
+  (* the body's discharge makes the back-edge inflow clean... *)
+  Alcotest.(check bool) "back edge clean" true
+    (Persist_order.Site_map.is_empty
+       t.Persist_order.outb.(List.hd back));
+  (* ...but the loop-entry path has not flushed yet, so the header's
+     fixpoint join keeps the obligation alive *)
+  Alcotest.(check bool) "header keeps entry-path obligation" true
+    (Persist_order.Site_map.find_opt site t.Persist_order.inb.(header)
+    = Some Persist_order.Dirty)
+
+(* Commit points clear every obligation: a boundary and a non-intrinsic
+   call both drain the map; an intrinsic call does not. *)
+let test_persist_commit_points () =
+  Alcotest.(check bool) "__out is not a commit" false
+    (Persist_order.commit_call "__out");
+  Alcotest.(check bool) "user calls commit" true
+    (Persist_order.commit_call "helper");
+  let b = Builder.program () in
+  Builder.global b "g" ~size:16 ();
+  Builder.func b "helper" ~nparams:0 (fun fb -> Builder.ret fb None);
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let p = la fb "g" in
+      store fb p 0 (Imm 7);
+      call_void fb "helper" [];
+      ret fb None);
+  Builder.set_main b "main";
+  let fn = Prog.func_exn (Builder.finish b) "main" in
+  let t = Persist_order.analyze fn in
+  Alcotest.(check bool) "call commits (clears the map)" true
+    (Persist_order.Site_map.is_empty t.Persist_order.outb.(0))
+
 let () =
   Alcotest.run "analysis"
     [
@@ -332,5 +484,13 @@ let () =
           Alcotest.test_case "variable offset" `Quick test_alias_variable_offset_within;
           Alcotest.test_case "loaded pointer" `Quick test_alias_loaded_pointer_is_any;
           Alcotest.test_case "const offset propagation" `Quick test_alias_const_offset_propagation;
+        ] );
+      ( "persist-order",
+        [
+          Alcotest.test_case "straight-line lattice walk" `Quick
+            test_persist_straightline;
+          Alcotest.test_case "diamond join" `Quick test_persist_diamond_join;
+          Alcotest.test_case "loop fixpoint" `Quick test_persist_loop_fixpoint;
+          Alcotest.test_case "commit points" `Quick test_persist_commit_points;
         ] );
     ]

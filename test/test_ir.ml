@@ -18,7 +18,18 @@ let test_uses_defs () =
   Alcotest.(check bool) "atomic is sync" true (is_sync (Atomic_rmw (Add, 0, 1, 0, Imm 1)));
   Alcotest.(check bool) "store not sync" false (is_sync (Store (0, 0, Imm 1)));
   Alcotest.(check bool) "ckpt writes memory" true (writes_memory (Ckpt 0));
-  Alcotest.(check bool) "load reads memory" true (reads_memory (Load (0, 1, 8)))
+  Alcotest.(check bool) "load reads memory" true (reads_memory (Load (0, 1, 8)));
+  (* flush/pfence order the persist stream without touching the memory
+     image or acting as sync points *)
+  Alcotest.(check (list int)) "flush uses its base" [ 3 ] (uses (Flush (3, 8)));
+  Alcotest.(check (option int)) "flush no def" None (def (Flush (3, 8)));
+  Alcotest.(check (list int)) "pfence no uses" [] (uses Pfence);
+  Alcotest.(check bool) "flush not sync" false (is_sync (Flush (0, 0)));
+  Alcotest.(check bool) "pfence not sync" false (is_sync Pfence);
+  Alcotest.(check bool) "flush writes no memory" false
+    (writes_memory (Flush (0, 0)));
+  Alcotest.(check bool) "flush reads no memory" false
+    (reads_memory (Flush (0, 0)))
 
 let test_term_succs () =
   Alcotest.(check (list int)) "jmp" [ 3 ] (term_succs (Jmp 3));
@@ -225,24 +236,59 @@ let test_parse_roundtrip_tiny () =
   Alcotest.(check (list int)) "same behaviour" (Cwsp_interp.Machine.outputs m1)
     (Cwsp_interp.Machine.outputs m2)
 
+(* a program with explicit flush/pfence instructions survives the text
+   format: print -> parse -> print is a fixpoint and behaviour matches *)
+let explicit_tiny () =
+  let b = Builder.program () in
+  Builder.global b "data" ~size:64 ~init:[ (0, 5) ] ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let p = la fb "data" in
+      let v = load fb p 0 in
+      let w = add fb (Reg v) (Imm 2) in
+      store fb p 8 (Reg w);
+      flush fb p 8;
+      pfence fb;
+      call_void fb "__out" [ Reg w ];
+      ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b
+
+let test_parse_roundtrip_flush () =
+  let p = explicit_tiny () in
+  let printed = Pp.program_str p in
+  Alcotest.(check bool) "prints flush" true (contains printed "flush [");
+  Alcotest.(check bool) "prints pfence" true (contains printed "pfence");
+  let reparsed = Parse.program printed in
+  Alcotest.(check (list string)) "reparsed validates" [] (Validate.check reparsed);
+  Alcotest.(check string) "print-parse-print fixpoint" printed
+    (Pp.program_str reparsed);
+  let m1 = Cwsp_interp.Machine.run_functional p in
+  let m2 = Cwsp_interp.Machine.run_functional reparsed in
+  Alcotest.(check (list int)) "same behaviour" (Cwsp_interp.Machine.outputs m1)
+    (Cwsp_interp.Machine.outputs m2)
+
 let test_parse_roundtrip_workloads () =
   List.iter
     (fun name ->
       let w = Cwsp_workloads.Registry.find_exn name in
-      (* round-trip the *compiled* binary too: boundaries and checkpoints
-         must survive the text format *)
-      let compiled =
-        Cwsp_compiler.Pipeline.compile ~config:Cwsp_compiler.Pipeline.cwsp
-          (w.build ~scale:1)
-      in
-      let printed = Pp.program_str compiled.prog in
-      let reparsed = Parse.program printed in
-      Alcotest.(check (list string)) (name ^ " validates") []
-        (Validate.check reparsed);
-      Alcotest.(check string)
-        (name ^ " fixpoint")
-        printed
-        (Pp.program_str reparsed))
+      (* round-trip the *compiled* binary too: boundaries, checkpoints
+         and (in explicit mode) flush/pfence must survive the text
+         format *)
+      List.iter
+        (fun config ->
+          let compiled =
+            Cwsp_compiler.Pipeline.compile ~config (w.build ~scale:1)
+          in
+          let printed = Pp.program_str compiled.prog in
+          let reparsed = Parse.program printed in
+          Alcotest.(check (list string)) (name ^ " validates") []
+            (Validate.check reparsed);
+          Alcotest.(check string)
+            (name ^ " fixpoint")
+            printed
+            (Pp.program_str reparsed))
+        Cwsp_compiler.Pipeline.[ cwsp; cwsp_explicit ])
     [ "bzip2"; "radix"; "tatp"; "c" ]
 
 let test_parse_errors () =
@@ -256,7 +302,29 @@ let test_parse_errors () =
     (bad "main = m\nfunc m(0 params, 1 regs):\n.b0:\n  r0 = frobnicate 1, 2\n  ret\n");
   Alcotest.(check bool) "no main" true (bad "global @g : 8 bytes\n");
   Alcotest.(check bool) "unterminated block" true
-    (bad "main = m\nfunc m(0 params, 1 regs):\n.b0:\n  r0 = mov 1\n")
+    (bad "main = m\nfunc m(0 params, 1 regs):\n.b0:\n  r0 = mov 1\n");
+  (* fences take no operand; flush needs a [rN + k] address *)
+  Alcotest.(check bool) "pfence with operand" true
+    (bad "main = m\nfunc m(0 params, 2 regs):\n.b0:\n  pfence r1\n  ret\n");
+  Alcotest.(check bool) "fence with operand" true
+    (bad "main = m\nfunc m(0 params, 2 regs):\n.b0:\n  fence r1\n  ret\n");
+  Alcotest.(check bool) "flush without brackets" true
+    (bad "main = m\nfunc m(0 params, 2 regs):\n.b0:\n  flush r1\n  ret\n")
+
+(* flushing a non-address (a comparison result) is a program bug the
+   validator rejects *)
+let test_validate_flush_non_address () =
+  let b = Builder.program () in
+  Builder.global b "data" ~size:16 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let c = cmp fb Types.Lt (Imm 1) (Imm 2) in
+      Builder.flush fb c 0;
+      ret fb None);
+  Builder.set_main b "main";
+  let p = Builder.finish b in
+  Alcotest.(check bool) "flush of cmp result rejected" true
+    (Validate.check p <> [])
 
 let () =
   Alcotest.run "ir"
@@ -288,11 +356,15 @@ let () =
           Alcotest.test_case "intrinsic arity" `Quick test_validator_intrinsic_arity;
           Alcotest.test_case "duplicate boundary id" `Quick
             test_validator_duplicate_boundary_id;
+          Alcotest.test_case "flush of non-address" `Quick
+            test_validate_flush_non_address;
         ] );
       ("pp", [ Alcotest.test_case "smoke" `Quick test_pp_smoke ]);
       ( "parse",
         [
           Alcotest.test_case "roundtrip tiny" `Quick test_parse_roundtrip_tiny;
+          Alcotest.test_case "roundtrip flush/pfence" `Quick
+            test_parse_roundtrip_flush;
           Alcotest.test_case "roundtrip compiled workloads" `Slow
             test_parse_roundtrip_workloads;
           Alcotest.test_case "errors rejected" `Quick test_parse_errors;

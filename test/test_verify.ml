@@ -616,6 +616,157 @@ let test_ckpt_area_store () =
   in
   expect_rule "ckpt area store" Cwsp_verify.Diag.Ckpt_area_store compiled
 
+(* ---- persist corpus: hand-damaged explicit-persistency binaries ----
+
+   The compiler's explicit mode discharges every store with a
+   La/flush/pfence sequence before each commit point. Each case below
+   damages exactly one aspect of that placement on the real compiled
+   binary and must trigger exactly the matching [Persist_check] rule;
+   the undamaged binary must verify with zero diagnostics, warnings
+   included. *)
+
+let compile_explicit () = compile ~config:Pipeline.cwsp_explicit ()
+
+(* A fence-free variant: with no sync [Fence] downstream of the
+   discharge, a flushed-but-undrained store reads as [missing-fence]
+   (with a later fence it would be [early-commit] instead). *)
+let fence_free_prog () =
+  let b = Builder.program () in
+  Builder.global b "g" ~size:64 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let open Builder in
+      let base = la fb "g" in
+      let v = load fb base 0 in
+      let w = add fb (Reg v) (Imm 1) in
+      store fb base 0 (Reg w);
+      call_void fb "__out" [ Reg w ];
+      ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b
+
+let compile_fence_free () =
+  Pipeline.compile ~config:Pipeline.cwsp_explicit (fence_free_prog ())
+
+let find_flush c = find_instr c (function Types.Flush _ -> true | _ -> false)
+let find_pfence c = find_instr c (function Types.Pfence -> true | _ -> false)
+
+(* swap the instructions at positions i and j of block bi *)
+let swap_at bi i j =
+  with_main_blocks
+    (Array.mapi (fun b (blk : Prog.block) ->
+         if b <> bi then blk
+         else
+           let arr = Array.of_list blk.instrs in
+           let t = arr.(i) in
+           arr.(i) <- arr.(j);
+           arr.(j) <- t;
+           { blk with instrs = Array.to_list arr }))
+
+(* move the instruction at (bi, ii) to just after the next boundary of
+   the same block *)
+let move_after_next_boundary bi ii =
+  with_main_blocks
+    (Array.mapi (fun b (blk : Prog.block) ->
+         if b <> bi then blk
+         else
+           let ins = List.nth blk.instrs ii in
+           let rest = List.filteri (fun j _ -> j <> ii) blk.instrs in
+           let moved = ref false in
+           let instrs =
+             List.concat
+               (List.mapi
+                  (fun j x ->
+                    match x with
+                    | Types.Boundary _ when j >= ii && not !moved ->
+                      moved := true;
+                      [ x; ins ]
+                    | _ -> [ x ])
+                  rest)
+           in
+           { blk with instrs = (if !moved then instrs else instrs @ [ ins ]) }))
+
+(* 0: the undamaged explicit compile is fully certified — no errors and
+   no redundant-flush warnings (minimality) *)
+let test_persist_clean () =
+  let c = compile_explicit () in
+  match Cwsp_verify.Verify.(normalize (run c)) with
+  | [] -> ()
+  | ds ->
+    Alcotest.failf "explicit compile not clean:\n%s"
+      (Cwsp_verify.Verify.report ds)
+
+(* 1: dropped flush — the store never leaves the cache *)
+let test_persist_dropped_flush () =
+  let c = compile_explicit () in
+  let bi, ii = find_flush c in
+  expect_rule "dropped flush" Cwsp_verify.Diag.Missing_flush (drop_at bi ii c)
+
+(* 2: dropped pfence — flushed but never drained *)
+let test_persist_dropped_pfence () =
+  let c = compile_fence_free () in
+  let bi, ii = find_pfence c in
+  expect_rule "dropped pfence" Cwsp_verify.Diag.Missing_fence (drop_at bi ii c)
+
+(* 3: commit hoisted above its fence — the pfence lands after the
+   boundary it was supposed to seal *)
+let test_persist_early_commit () =
+  let c = compile_explicit () in
+  let bi, ii = find_pfence c in
+  expect_rule "early commit" Cwsp_verify.Diag.Early_commit
+    (move_after_next_boundary bi ii c)
+
+(* 4: fence before flush — the writeback reaches the persist queue only
+   after the drain, so the commit sees it flushed-but-unfenced *)
+let test_persist_fence_before_flush () =
+  let c = compile_fence_free () in
+  let bi, fii = find_flush c in
+  let bi', pii = find_pfence c in
+  Alcotest.(check int) "flush and pfence share a block" bi bi';
+  expect_rule "fence before flush" Cwsp_verify.Diag.Missing_fence
+    (swap_at bi fii pii c)
+
+(* 5: duplicated flush — the second writeback upgrades nothing on any
+   path (the minimality lint) *)
+let test_persist_duplicate_flush () =
+  let c = compile_explicit () in
+  let bi, ii = find_flush c in
+  let fl = List.nth (main_fn c).blocks.(bi).instrs ii in
+  expect_rule "duplicate flush" Cwsp_verify.Diag.Redundant_flush
+    (insert_at bi ii [ fl ] c)
+
+(* 6: flush retargeted at the wrong alias class — an unstored offset,
+   leaving the real store dirty *)
+let test_persist_wrong_class () =
+  let c = compile_explicit () in
+  expect_rule "wrong alias class" Cwsp_verify.Diag.Missing_flush
+    (map_instrs
+       (function Types.Flush (b, _) -> Types.Flush (b, 56) | ins -> ins)
+       c)
+
+(* 7: a store smuggled in between the discharge and its boundary *)
+let test_persist_store_after_discharge () =
+  let c = compile_explicit () in
+  let sbi, sii = find_instr c (function Types.Store _ -> true | _ -> false) in
+  let st = List.nth (main_fn c).blocks.(sbi).instrs sii in
+  let bi, pii = find_pfence c in
+  expect_rule "store after discharge" Cwsp_verify.Diag.Missing_flush
+    (insert_at bi (pii + 1) [ st ] c)
+
+(* 8: every persist instruction stripped — the fully blind binary *)
+let test_persist_stripped () =
+  let c = compile_explicit () in
+  expect_rule "all persists stripped" Cwsp_verify.Diag.Missing_flush
+    (with_main_blocks
+       (Array.map (fun (blk : Prog.block) ->
+            {
+              blk with
+              instrs =
+                List.filter
+                  (function Types.Flush _ | Types.Pfence -> false | _ -> true)
+                  blk.instrs;
+            }))
+       c)
+
 let () =
   Alcotest.run "verify"
     [
@@ -663,5 +814,21 @@ let () =
           Alcotest.test_case "op swap" `Quick test_sem_op_swap;
           Alcotest.test_case "operand swap" `Quick test_sem_operand_swap;
           Alcotest.test_case "imm bump" `Quick test_sem_imm_bump;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "explicit compile clean" `Quick test_persist_clean;
+          Alcotest.test_case "dropped flush" `Quick test_persist_dropped_flush;
+          Alcotest.test_case "dropped pfence" `Quick test_persist_dropped_pfence;
+          Alcotest.test_case "early commit" `Quick test_persist_early_commit;
+          Alcotest.test_case "fence before flush" `Quick
+            test_persist_fence_before_flush;
+          Alcotest.test_case "duplicate flush" `Quick
+            test_persist_duplicate_flush;
+          Alcotest.test_case "wrong alias class" `Quick test_persist_wrong_class;
+          Alcotest.test_case "store after discharge" `Quick
+            test_persist_store_after_discharge;
+          Alcotest.test_case "all persists stripped" `Quick
+            test_persist_stripped;
         ] );
     ]
