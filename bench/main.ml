@@ -7,7 +7,8 @@
       dune exec bench/main.exe -- list            # list experiment ids
       dune exec bench/main.exe -- fig13 hw        # selected experiments only
       dune exec bench/main.exe -- --jobs 4        # domain-parallel execution
-      dune exec bench/main.exe -- json            # timed run -> BENCH_<run>.json
+      dune exec bench/main.exe -- json [id..]     # timed run -> BENCH_<run>.json
+      dune exec bench/main.exe -- compare A B     # perf trajectory A -> B
       dune exec bench/main.exe -- bechamel        # microbenches only
 
     [--jobs N] sets the executor's domain-pool width for every
@@ -99,9 +100,21 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(** Run every experiment separately, timing plan+execute+render, and
-    write BENCH_<timestamp>.json. *)
-let json_run ~jobs () =
+(** Run every experiment (or the [ids] subset) separately, timing
+    plan+execute+render, and write BENCH_<timestamp>.json. *)
+let json_run ~jobs ?(ids = []) () =
+  let selected =
+    if ids = [] then Index.all
+    else
+      List.map
+        (fun id ->
+          match Index.find id with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S (try 'list')\n" id;
+            exit 1)
+        ids
+  in
   let t_all0 = Unix.gettimeofday () in
   let results =
     List.map
@@ -110,7 +123,7 @@ let json_run ~jobs () =
         let headline = Index.run_one x in
         let dt = Unix.gettimeofday () -. t0 in
         (x, dt, headline))
-      Index.all
+      selected
   in
   let overall = Unix.gettimeofday () -. t_all0 in
   let tm = Unix.localtime t_all0 in
@@ -138,6 +151,101 @@ let json_run ~jobs () =
   close_out oc;
   Printf.printf "\nwrote %s (overall %.1fs, %d experiments, jobs=%d)\n" path
     overall (List.length results) jobs
+
+(* ---- perf-trajectory comparison of two BENCH json files ---- *)
+
+(** [compare_runs old new]: per-experiment wall/headline delta table
+    (joined on id), then a verdict. Exit code 1 when the total wall
+    over the joined experiments regresses by more than 10% or any
+    headline drifts (an experiment gaining a headline it previously
+    lacked is progress, not drift). *)
+let compare_runs old_path new_path =
+  let load path =
+    let j = Bjson.of_file path in
+    let exps =
+      Option.value ~default:(Bjson.List []) (Bjson.member "experiments" j)
+    in
+    List.filter_map
+      (fun e ->
+        match Option.bind (Bjson.member "id" e) Bjson.to_string_opt with
+        | None -> None
+        | Some id ->
+          let wall =
+            Option.value ~default:0.0
+              (Option.bind (Bjson.member "wall_s" e) Bjson.to_float_opt)
+          in
+          let headline = Option.bind (Bjson.member "headline" e) Bjson.to_float_opt in
+          Some (id, (wall, headline)))
+      (Bjson.to_list exps)
+  in
+  let old_run = load old_path and new_run = load new_path in
+  let fmt_h = function Some h -> Printf.sprintf "%.4g" h | None -> "-" in
+  let drifted = ref [] in
+  let dropped = ref 0 in
+  let wall_old = ref 0.0 and wall_new = ref 0.0 in
+  let rows =
+    List.filter_map
+      (fun (id, (ow, oh)) ->
+        match List.assoc_opt id new_run with
+        | None ->
+          incr dropped;
+          Some [ id; Cwsp_util.Table.f2 ow; "-"; "-"; fmt_h oh; "-"; "dropped" ]
+        | Some (nw, nh) ->
+          wall_old := !wall_old +. ow;
+          wall_new := !wall_new +. nw;
+          let speedup = if nw > 0.0 then ow /. nw else Float.infinity in
+          let drift =
+            match (oh, nh) with
+            | Some a, Some b ->
+              Float.abs (b -. a) > 1e-6 *. Float.max 1.0 (Float.abs a)
+            | Some _, None -> true (* lost a headline *)
+            | None, _ -> false (* gaining one is progress *)
+          in
+          if drift then drifted := id :: !drifted;
+          Some
+            [
+              id;
+              Cwsp_util.Table.f2 ow;
+              Cwsp_util.Table.f2 nw;
+              Printf.sprintf "%.2fx" speedup;
+              fmt_h oh;
+              fmt_h nh;
+              (if drift then "DRIFT" else "ok");
+            ])
+      old_run
+  in
+  let added =
+    List.filter (fun (id, _) -> List.assoc_opt id old_run = None) new_run
+    |> List.map (fun (id, (nw, nh)) ->
+           [ id; "-"; Cwsp_util.Table.f2 nw; "-"; "-"; fmt_h nh; "added" ])
+  in
+  Printf.printf "perf trajectory: %s -> %s\n\n" old_path new_path;
+  Cwsp_util.Table.print
+    ~headers:[ "experiment"; "old s"; "new s"; "speedup"; "old headline";
+               "new headline"; "verdict" ]
+    (rows @ added);
+  let ratio = if !wall_old > 0.0 then !wall_new /. !wall_old else 1.0 in
+  Printf.printf "\ntotal wall (joined): %.1fs -> %.1fs (%.2fx)\n" !wall_old
+    !wall_new
+    (if !wall_new > 0.0 then !wall_old /. !wall_new else Float.infinity);
+  (* wall comparison is only meaningful when both runs covered the same
+     experiments: a subset run pays cold-cache costs that a full run
+     amortizes across experiments, so partial joins gate on headline
+     drift only *)
+  let same_coverage = added = [] && !dropped = 0 in
+  let wall_regressed = same_coverage && ratio > 1.10 in
+  if wall_regressed then
+    Printf.printf "FAIL: total wall regressed by %.0f%% (>10%% budget)\n"
+      ((ratio -. 1.0) *. 100.0);
+  if not same_coverage then
+    Printf.printf
+      "note: coverage differs (subset run) — wall gate skipped, headline \
+       gate active\n";
+  if !drifted <> [] then
+    Printf.printf "FAIL: headline drift in: %s\n"
+      (String.concat ", " (List.rev !drifted));
+  if wall_regressed || !drifted <> [] then exit 1;
+  Printf.printf "OK: no wall regression, no headline drift\n"
 
 (* ---- CLI ---- *)
 
@@ -191,9 +299,16 @@ let () =
     List.iter (fun (e : Index.entry) -> Printf.printf "%-10s %s\n" e.id e.etitle)
       Index.all;
     print_endline "bechamel   Bechamel micro-benchmarks";
-    print_endline "json       timed full run -> BENCH_<run>.json"
+    print_endline "json       timed full run -> BENCH_<run>.json";
+    print_endline "compare    delta table of two BENCH json files"
   | [ "bechamel" ] -> microbenches ()
-  | [ "json" ] -> json_run ~jobs:!jobs ()
+  | "json" :: ids -> json_run ~jobs:!jobs ~ids ()
+  | [ "compare"; old_path; new_path ] ->
+    compare_runs old_path new_path;
+    exit 0
+  | "compare" :: _ ->
+    Printf.eprintf "compare expects exactly two BENCH json paths\n";
+    exit 1
   | ids ->
     List.iter
       (fun id ->

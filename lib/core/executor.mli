@@ -7,7 +7,9 @@
     tasks get spans (with queue-wait args), phases emit per-domain
     utilization samples, and dedupe totals feed counters. *)
 
-(** Pool width used when [run] gets no explicit [~jobs] (default 1). *)
+(** Pool width used when [run] gets no explicit [~jobs] (default 1).
+    Clamped to the hardware domain count — oversubscribed domain pools
+    lose most of their wall time to stop-the-world minor-GC syncs. *)
 val set_default_jobs : int -> unit
 
 (** Execute a job plan: dedupe, trace phase, barrier, stats phase. *)

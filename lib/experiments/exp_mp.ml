@@ -24,10 +24,8 @@ let slowdown ?(cfg = Cwsp_sim.Config.default) (w : Cwsp_workloads.W_parallel.t)
     (Cwsp_compiler.Pipeline.compile ~config (w.pbuild ~scale:1 ~threads)).prog
   in
   let traces prog =
-    let _, trs =
-      Cwsp_interp.Multi.traces_of_program prog ~threads ~worker:w.worker
-    in
-    trs
+    Cwsp_interp.Oracle.spmd_traces_of_program ~label:w.pname prog ~threads
+      ~worker:w.worker
   in
   let base =
     Cwsp_sim.Engine_mp.run_traces cfg `Baseline
@@ -44,20 +42,19 @@ let plan () : Cwsp_core.Job.t list = []
 let render () =
   Exp.banner title;
   let thread_counts = [ 1; 2; 4; 8 ] in
-  let rows =
+  let values =
     List.concat_map
       (fun (w : Cwsp_workloads.W_parallel.t) ->
         [
-          (w.pname ^ " (1 DIMM/MC)")
-          :: List.map
-               (fun threads -> Cwsp_util.Table.f2 (slowdown w ~threads))
-               thread_counts;
-          (w.pname ^ " (4 DIMM/MC)")
-          :: List.map
-               (fun threads ->
-                 Cwsp_util.Table.f2
-                   (slowdown ~cfg:(provisioned Cwsp_sim.Config.default) w ~threads))
-               thread_counts;
+          ( w.pname ^ " (1 DIMM/MC)",
+            true,
+            List.map (fun threads -> slowdown w ~threads) thread_counts );
+          ( w.pname ^ " (4 DIMM/MC)",
+            false,
+            List.map
+              (fun threads ->
+                slowdown ~cfg:(provisioned Cwsp_sim.Config.default) w ~threads)
+              thread_counts );
         ])
       [
         Cwsp_workloads.W_parallel.psweep;
@@ -66,7 +63,15 @@ let render () =
   in
   Cwsp_util.Table.print
     ~headers:("workload" :: List.map (Printf.sprintf "%d cores") thread_counts)
-    rows;
-  rows
+    (List.map
+       (fun (name, _, vs) -> name :: List.map Cwsp_util.Table.f2 vs)
+       values);
+  (* headline: gmean of the 8-core single-DIMM slowdowns (the paper's
+     testbed provisioning) *)
+  Cwsp_util.Stats.gmean
+    (List.filter_map
+       (fun (_, single_dimm, vs) ->
+         if single_dimm then Some (List.nth vs 3) else None)
+       values)
 
 let run () = Exp.execute_then_render ~plan ~render ()

@@ -27,10 +27,13 @@ let series =
 
 let plan () = Exp.plan ~subset:Registry.memory_intensive series
 
+(* headline: gmean across all devices (the paper's ~4% regardless of
+   device speed) *)
 let render () =
   Exp.banner title;
   print_table1 ();
   print_newline ();
-  Exp.per_workload_table ~subset:Registry.memory_intensive ~series ()
+  Cwsp_util.Stats.gmean
+    (Exp.per_workload_table ~subset:Registry.memory_intensive ~series ())
 
 let run () = Exp.execute_then_render ~plan ~render ()

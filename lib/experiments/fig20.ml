@@ -13,6 +13,6 @@ let plan () = Exp.plan series
 
 let render () =
   Exp.banner title;
-  Exp.per_workload_table ~series ()
+  List.hd (Exp.per_workload_table ~series ())
 
 let run () = Exp.execute_then_render ~plan ~render ()

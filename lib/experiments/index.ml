@@ -30,23 +30,23 @@ let all : entry list =
     e "fig6" Fig06.title Fig06.plan (headline_none Fig06.render);
     e "fig8" Fig08.title Fig08.plan (headline_none Fig08.render);
     e "fig13" Fig13.title Fig13.plan (headline_f Fig13.render);
-    e "fig14" Fig14.title Fig14.plan (headline_none Fig14.render);
-    e "fig15" Fig15.title Fig15.plan (headline_none Fig15.render);
-    e "fig17" Fig17.title Fig17.plan (headline_none Fig17.render);
+    e "fig14" Fig14.title Fig14.plan (headline_f Fig14.render);
+    e "fig15" Fig15.title Fig15.plan (headline_f Fig15.render);
+    e "fig17" Fig17.title Fig17.plan (headline_f Fig17.render);
     e "fig18" Fig18.title Fig18.plan (headline_none Fig18.render);
     e "fig19" Fig19.title Fig19.plan (headline_f Fig19.render);
-    e "fig20" Fig20.title Fig20.plan (headline_none Fig20.render);
-    e "fig21" Fig21.title Fig21.plan (headline_none Fig21.render);
-    e "fig22" Fig22.title Fig22.plan (headline_none Fig22.render);
-    e "fig23" Fig23.title Fig23.plan (headline_none Fig23.render);
-    e "fig24" Fig24.title Fig24.plan (headline_none Fig24.render);
-    e "fig25" Fig25.title Fig25.plan (headline_none Fig25.render);
-    e "fig26" Fig26.title Fig26.plan (headline_none Fig26.render);
-    e "fig27" Fig27.title Fig27.plan (headline_none Fig27.render);
+    e "fig20" Fig20.title Fig20.plan (headline_f Fig20.render);
+    e "fig21" Fig21.title Fig21.plan (headline_f Fig21.render);
+    e "fig22" Fig22.title Fig22.plan (headline_f Fig22.render);
+    e "fig23" Fig23.title Fig23.plan (headline_f Fig23.render);
+    e "fig24" Fig24.title Fig24.plan (headline_f Fig24.render);
+    e "fig25" Fig25.title Fig25.plan (headline_f Fig25.render);
+    e "fig26" Fig26.title Fig26.plan (headline_f Fig26.render);
+    e "fig27" Fig27.title Fig27.plan (headline_f Fig27.render);
     e "hw" Hw_overhead.title Hw_overhead.plan (headline_i Hw_overhead.render);
     e "recovery" Fig_recovery.title Fig_recovery.plan
       (headline_i Fig_recovery.render);
-    e "mp" Exp_mp.title Exp_mp.plan (headline_none Exp_mp.render);
+    e "mp" Exp_mp.title Exp_mp.plan (headline_f Exp_mp.render);
     e "energy" Exp_energy.title Exp_energy.plan (headline_i Exp_energy.render);
     e "breakdown" Exp_breakdown.title Exp_breakdown.plan
       (headline_none Exp_breakdown.render);

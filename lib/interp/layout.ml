@@ -1,36 +1,5 @@
-(** Address-space layout of the simulated whole-system-persistent machine.
+(** Re-export: the simulated machine's address-space layout now lives in
+    [Cwsp_ir.Layout] (the decoded core resolves checkpoint slots and
+    global addresses at decode time). *)
 
-    Under WSP all of main memory is NVM, so there is a single flat address
-    space: globals, heap and the hardware-managed register-checkpoint area
-    (Section IV-B of the paper) all live in it. Addresses are byte
-    addresses; data accesses are 8-byte words. *)
-
-let word = 8
-
-(* Globals are laid out from here, each aligned to a cache line. *)
-let global_base = 0x1_0000
-
-(* Register-checkpoint area: slot for register [r] at call-stack depth
-   [depth] of thread [tid]. The hardware indexes this storage by register
-   id; the depth dimension models the per-activation register context
-   that a real machine keeps in the (NVM-resident) stack via spills and
-   calling conventions — our IR abstracts spills away, so activations
-   deeper than [max_frames] wrap and are rejected by the interpreter. *)
-let ckpt_base = 0x2000_0000
-let ckpt_slots_per_frame = 65536
-let max_frames = 64
-
-let ckpt_slot ~tid ~depth r =
-  assert (r < ckpt_slots_per_frame);
-  ckpt_base
-  + ((((tid * max_frames) + (depth land (max_frames - 1))) * ckpt_slots_per_frame + r)
-     * word)
-
-let ckpt_area_bytes = ckpt_slots_per_frame * max_frames * word
-let is_ckpt_addr a = a >= ckpt_base && a < ckpt_base + (16 * ckpt_area_bytes)
-
-(* The IR runtime's sbrk starts the heap here. *)
-let heap_base = 0x4000_0000
-
-let cache_line = 64
-let line_of_addr a = a land lnot (cache_line - 1)
+include Cwsp_ir.Layout

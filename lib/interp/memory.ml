@@ -1,93 +1,4 @@
-(** Sparse paged word-addressable memory.
+(** Re-export: sparse paged NVM memory now lives in [Cwsp_ir.Memory],
+    shared by the reference interpreter and the decoded execution core. *)
 
-    4 KiB pages materialize on first touch; untouched memory reads as
-    zero. Words are native ints (the IR machine word); addresses must be
-    8-byte aligned — workloads and the runtime only ever issue aligned
-    accesses, and the simulator's 8-byte persist-path granularity
-    (Section V-A2) matches this. *)
-
-let page_words = 512
-let page_bytes = page_words * 8
-
-type t = { pages : (int, int array) Hashtbl.t }
-
-let create () = { pages = Hashtbl.create 256 }
-
-let check_addr a =
-  if a land 7 <> 0 then
-    invalid_arg (Printf.sprintf "Memory: unaligned address 0x%x" a);
-  if a < 0 then invalid_arg "Memory: negative address"
-
-let read t a =
-  check_addr a;
-  match Hashtbl.find_opt t.pages (a / page_bytes) with
-  | None -> 0
-  | Some page -> page.(a mod page_bytes / 8)
-
-let write t a v =
-  check_addr a;
-  let key = a / page_bytes in
-  let page =
-    match Hashtbl.find_opt t.pages key with
-    | Some p -> p
-    | None ->
-      let p = Array.make page_words 0 in
-      Hashtbl.add t.pages key p;
-      p
-  in
-  page.(a mod page_bytes / 8) <- v
-
-(** Read-modify-write one word: [mutate t a f] stores [f (read t a)].
-    The persistence-path fault injectors use this to tear or bit-flip a
-    surviving NVM word in place. *)
-let mutate t a f = write t a (f (read t a))
-
-let snapshot t =
-  let pages = Hashtbl.create (Hashtbl.length t.pages) in
-  Hashtbl.iter (fun k p -> Hashtbl.add pages k (Array.copy p)) t.pages;
-  { pages }
-
-(** Structural equality treating absent pages as zero-filled. *)
-let equal a b =
-  let covered t other =
-    Hashtbl.fold
-      (fun k p ok ->
-        ok
-        &&
-        match Hashtbl.find_opt other.pages k with
-        | Some q -> p = q
-        | None -> Array.for_all (fun w -> w = 0) p)
-      t.pages true
-  in
-  covered a b && covered b a
-
-(** First differing (addr, a_value, b_value), for test diagnostics. *)
-let first_diff a b =
-  let exception Found of int * int * int in
-  let scan t other =
-    Hashtbl.iter
-      (fun k p ->
-        let q =
-          match Hashtbl.find_opt other.pages k with
-          | Some q -> q
-          | None -> Array.make page_words 0
-        in
-        Array.iteri
-          (fun i v -> if v <> q.(i) then raise (Found ((k * page_bytes) + (i * 8), v, q.(i))))
-          p)
-      t.pages
-  in
-  try
-    scan a b;
-    (* catch words present only in b *)
-    (try
-       scan b a;
-       None
-     with Found (addr, bv, av) -> Some (addr, av, bv))
-  with Found (addr, av, bv) -> Some (addr, av, bv)
-
-let iter f t =
-  Hashtbl.iter
-    (fun k p ->
-      Array.iteri (fun i v -> if v <> 0 then f ((k * page_bytes) + (i * 8)) v) p)
-    t.pages
+include Cwsp_ir.Memory

@@ -1,0 +1,79 @@
+(** Decoded execution core: one-shot pre-decoding of a validated [Prog.t]
+    into flat, closure-compiled code (threaded dispatch, pre-resolved call
+    targets / global addresses / [__out], unboxed packed-int event
+    stream). The fast path of the benchmark harness; [Machine] in
+    lib/interp remains the reference semantics, and the differential
+    oracle ([Cwsp_interp.Oracle], test/test_decode.ml) holds the two
+    bit-identical. See DESIGN.md §12. *)
+
+(** Same exceptions as the reference interpreter ([Machine] re-exports
+    these very constructors), raised under identical conditions. *)
+exception Trap of string
+
+exception Fuel_exhausted
+
+(** Name of the output intrinsic ("__out"). *)
+val out_intrinsic : string
+
+(** A decoded program (pre-resolved, closure-compiled). *)
+type t
+
+(** A running (or finished) decoded machine. *)
+type st
+
+(** One-shot pre-decode. Global addresses are laid out exactly as
+    [Machine.link] lays them out. *)
+val decode : Prog.t -> t
+
+(** Fresh machine on a fresh memory image with globals initialized;
+    [main] must take no parameters. *)
+val create : ?tid:int -> t -> st
+
+(** Run until halt or until [fuel] steps (default 50M, as [Machine.run]);
+    raises [Fuel_exhausted] if the budget runs out first. *)
+val run : ?fuel:int -> st -> unit
+
+(** Observable output, oldest first. *)
+val outputs : st -> int list
+
+val steps : st -> int
+val memory : st -> Memory.t
+val halted : st -> bool
+
+(** The commit-event stream as a [Trace.t]. Takes ownership of the
+    internal buffer — call once, after the run completes. *)
+val trace : st -> Trace.t
+
+(** Decode, run to completion, return (final state, trace) — fast-path
+    equivalent of [Machine.trace_of_program]. *)
+val trace_of_program : ?fuel:int -> Prog.t -> st * Trace.t
+
+(** Decode and run with no trace consumer; returns the final state. *)
+val run_functional : ?fuel:int -> Prog.t -> st
+
+(** {2 Deterministic SPMD execution (mirrors [Multi])} *)
+
+type spmd = {
+  sts : st array;
+  quantum : int;
+}
+
+exception Deadlock
+
+(** [threads] machines sharing one memory image, thread [t] entering
+    [worker](t); worker must take exactly the thread id. *)
+val create_spmd : t -> threads:int -> worker:string -> spmd
+
+(** Run all threads to completion under the fixed round-robin quantum
+    schedule (default 32, identical interleaving to [Multi.run]). *)
+val run_spmd : ?fuel:int -> ?quantum:int -> spmd -> unit
+
+(** One commit trace per thread — fast-path equivalent of
+    [Multi.traces_of_program]. *)
+val spmd_traces_of_program :
+  ?fuel:int ->
+  ?quantum:int ->
+  Prog.t ->
+  threads:int ->
+  worker:string ->
+  spmd * Trace.t array

@@ -1,34 +1,54 @@
 (** Set-associative write-back, write-allocate cache with LRU replacement.
 
-    Tag storage is a hash table keyed by set index, so a 4GB direct-mapped
-    DRAM cache costs memory proportional to the sets actually touched —
-    essential for simulating Intel-memory-mode-style DRAM caches without
-    allocating gigabytes of tag arrays. *)
-
-type way = { mutable tag : int; mutable dirty : bool; mutable lru : int }
+    Tag storage is flat int arrays (DESIGN.md §12): entry [set * assoc
+    + way] packs the tag and dirty bit into one int ([tag lsl 1 lor
+    dirty], -1 = invalid) with the LRU clock in a parallel array, so a
+    probe is a handful of unboxed int loads instead of a hash lookup
+    plus a chase through boxed way records. Caches too large to
+    preallocate (beyond [dense_limit] ways) fall back to a hash table
+    of per-set flat arrays, costing memory proportional to the sets
+    actually touched. *)
 
 type t = {
   level : Config.cache_level;
   nsets : int;
   assoc : int;
-  sets : (int, way array) Hashtbl.t;
+  set_mask : int; (* nsets - 1 when nsets is a power of two, else -1 *)
+  tag_shift : int; (* log2 nsets when [set_mask >= 0] *)
+  tags : int array; (* dense: (tag lsl 1) lor dirty; -1 invalid *)
+  lrus : int array; (* dense: LRU clock per entry *)
+  sets : (int, int array) Hashtbl.t; (* sparse: [tags.. ; lrus..] *)
   mutable tick : int; (* LRU clock *)
   mutable hits : int;
   mutable misses : int;
+  mutable last_dirty_evict : int; (* line address, -1 = none; see [probe] *)
 }
 
 let line_bytes = 64
 
+(* Largest tag store preallocated outright: 4M ways = two 32MB arrays.
+   Every hierarchy in [Config] fits (the 64MB direct-mapped DRAM cache
+   is 1M ways). *)
+let dense_limit = 1 lsl 22
+
 let create (level : Config.cache_level) =
   let nsets = max 1 (level.size_bytes / (line_bytes * level.assoc)) in
+  let dense = nsets * level.assoc <= dense_limit in
+  let pow2 = nsets land (nsets - 1) = 0 in
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
   {
     level;
     nsets;
     assoc = level.assoc;
-    sets = Hashtbl.create 4096;
+    set_mask = (if pow2 then nsets - 1 else -1);
+    tag_shift = (if pow2 then log2 nsets else 0);
+    tags = (if dense then Array.make (nsets * level.assoc) (-1) else [||]);
+    lrus = (if dense then Array.make (nsets * level.assoc) 0 else [||]);
+    sets = Hashtbl.create (if dense then 1 else 4096);
     tick = 0;
     hits = 0;
     misses = 0;
+    last_dirty_evict = -1;
   }
 
 type result = {
@@ -36,58 +56,100 @@ type result = {
   evicted_dirty_line : int option; (* line address of a dirty eviction *)
 }
 
-(** Access the line containing [addr]; allocates on miss. [write] marks
-    the line dirty. *)
-let access t ~addr ~write : result =
-  t.tick <- t.tick + 1;
-  let line = addr / line_bytes in
-  let set_idx = line mod t.nsets in
-  let tag = line / t.nsets in
-  let ways =
-    match Hashtbl.find_opt t.sets set_idx with
-    | Some w -> w
-    | None ->
-      let w = Array.init t.assoc (fun _ -> { tag = -1; dirty = false; lru = 0 }) in
-      Hashtbl.add t.sets set_idx w;
-      w
-  in
-  let rec find i = if i >= t.assoc then None
-    else if ways.(i).tag = tag then Some i
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some i ->
+(* Probe the [assoc] entries of one set held in [tags]/[lrus] at
+   [base]. [toff] is the tag-array offset of the set's lru slots
+   relative to [base] within the same array (0 when [lrus] is a
+   separate array, [assoc] for the sparse per-set layout). Shared by
+   the dense and sparse paths; closed over nothing, so no closure. *)
+let[@inline] probe_set t tags lrus ~base ~loff ~set_idx ~tag ~write =
+  let assoc = t.assoc in
+  (* non-escaping refs compile to registers *)
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < assoc do
+    if Array.unsafe_get tags (base + !i) asr 1 = tag then found := !i;
+    incr i
+  done;
+  if !found >= 0 then begin
+    let e = base + !found in
     t.hits <- t.hits + 1;
-    ways.(i).lru <- t.tick;
-    if write then ways.(i).dirty <- true;
-    { hit = true; evicted_dirty_line = None }
-  | None ->
+    Array.unsafe_set lrus (loff + e) t.tick;
+    if write then
+      Array.unsafe_set tags e (Array.unsafe_get tags e lor 1);
+    true
+  end
+  else begin
     t.misses <- t.misses + 1;
-    (* victim: invalid way if any, else least-recently used *)
+    (* victim: invalid way if any, else least-recently used
+       (ties keep the lowest way index) *)
     let victim = ref 0 in
-    (try
-       for i = 0 to t.assoc - 1 do
-         if ways.(i).tag = -1 then begin
-           victim := i;
-           raise Exit
-         end;
-         if ways.(i).lru < ways.(!victim).lru then victim := i
-       done
-     with Exit -> ());
-    let w = ways.(!victim) in
-    let evicted =
-      if w.tag >= 0 && w.dirty then
-        Some (((w.tag * t.nsets) + set_idx) * line_bytes)
-      else None
+    let i = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !i < assoc do
+      if Array.unsafe_get tags (base + !i) < 0 then begin
+        victim := !i;
+        stop := true
+      end
+      else begin
+        if
+          Array.unsafe_get lrus (loff + base + !i)
+          < Array.unsafe_get lrus (loff + base + !victim)
+        then victim := !i;
+        incr i
+      end
+    done;
+    let e = base + !victim in
+    let old = Array.unsafe_get tags e in
+    if old >= 0 && old land 1 = 1 then
+      t.last_dirty_evict <- (((old asr 1) * t.nsets) + set_idx) * line_bytes;
+    Array.unsafe_set tags e ((tag lsl 1) lor Bool.to_int write);
+    Array.unsafe_set lrus (loff + e) t.tick;
+    false
+  end
+
+(** Allocation-free access (the engines' hot path): returns whether the
+    line containing [addr] hit, allocating it on miss; [write] marks it
+    dirty. A dirty eviction leaves its line address in
+    [last_dirty_evict] (-1 when none) until the next probe. *)
+let probe t ~addr ~write : bool =
+  t.tick <- t.tick + 1;
+  t.last_dirty_evict <- -1;
+  let line = addr / line_bytes in
+  let set_idx, tag =
+    if t.set_mask >= 0 then (line land t.set_mask, line lsr t.tag_shift)
+    else (line mod t.nsets, line / t.nsets)
+  in
+  if Array.length t.tags > 0 then
+    probe_set t t.tags t.lrus ~base:(set_idx * t.assoc) ~loff:0 ~set_idx ~tag
+      ~write
+  else begin
+    let arr =
+      match Hashtbl.find t.sets set_idx with
+      | a -> a
+      | exception Not_found ->
+        let a = Array.make (2 * t.assoc) (-1) in
+        Array.fill a t.assoc t.assoc 0;
+        Hashtbl.add t.sets set_idx a;
+        a
     in
-    w.tag <- tag;
-    w.dirty <- write;
-    w.lru <- t.tick;
-    { hit = false; evicted_dirty_line = evicted }
+    probe_set t arr arr ~base:0 ~loff:t.assoc ~set_idx ~tag ~write
+  end
+
+let last_dirty_evict t = t.last_dirty_evict
+
+(** Access the line containing [addr]; allocates on miss. [write] marks
+    the line dirty. Record-returning wrapper over [probe]. *)
+let access t ~addr ~write : result =
+  let hit = probe t ~addr ~write in
+  {
+    hit;
+    evicted_dirty_line =
+      (if t.last_dirty_evict >= 0 then Some t.last_dirty_evict else None);
+  }
 
 (** Mark a line dirty without an access (used for writebacks arriving from
     an upper level); allocates like a write access. *)
-let install_dirty t ~line_addr = ignore (access t ~addr:line_addr ~write:true)
+let install_dirty t ~line_addr = ignore (probe t ~addr:line_addr ~write:true)
 
 let miss_rate t =
   let total = t.hits + t.misses in

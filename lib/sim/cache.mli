@@ -18,6 +18,13 @@ type result = {
     it dirty. *)
 val access : t -> addr:int -> write:bool -> result
 
+(** Allocation-free [access] (the engines' hot path): returns the hit
+    flag; a dirty eviction's line address is left in [last_dirty_evict]
+    (-1 when none) until the next probe. *)
+val probe : t -> addr:int -> write:bool -> bool
+
+val last_dirty_evict : t -> int
+
 (** Install a dirty line arriving as a writeback from an upper level. *)
 val install_dirty : t -> line_addr:int -> unit
 

@@ -18,7 +18,17 @@
       stalls until the finishing region's stores have all persisted;
     - dirty L1D evictions wait in the write buffer until the same line
       has persisted (stale-read prevention); loads that miss every cache
-      level and hit a pending WPQ entry wait for the entry to drain. *)
+      level and hit a pending WPQ entry wait for the entry to drain.
+
+    Performance shape (DESIGN.md §12): the replay loop runs once per
+    event across ~1700 simulation points, so this file keeps the per-
+    event path allocation-free. All hot floats live in [clocks] — a
+    record whose fields are all float, which OCaml stores flat (a float
+    field assignment in a mixed record allocates a box every time);
+    per-address state is in [Imap]s (open addressing, unboxed float
+    values); cache results travel as packed ints ([Hierarchy.probe]);
+    queue pushes are the unboxed [Tsq.push_u]. Stall breakdowns
+    accumulate in [clocks] and are flushed to [Stats.t] once per run. *)
 
 module Obs = Cwsp_obs.Obs
 
@@ -59,29 +69,87 @@ let scheme_name = function
   | Replaycache -> "replaycache"
   | Explicit_flush -> "explicit-flush"
 
+(* Float.max for the NaN-free timestamp domain (ties keep [a], exactly
+   as [Float.max] does); stays unboxed when inlined. *)
+let[@inline] fmax (a : float) (b : float) = if b > a then b else a
+
+(** All-float mutable timeline state. Every field being float gives the
+    record OCaml's flat double representation: field assignment writes
+    the raw double in place instead of allocating a box, which is what
+    the once-per-event [now <- now + cycle] update needs. Shared with
+    the multi-core engine (one [clocks] per core there). *)
+type clocks = {
+  mutable now : float;
+  mutable all_pm : float;      (* drain point for fences *)
+  mutable region_pm : float;   (* max persist of current region *)
+  (* stall breakdown, flushed to [Stats.t] at end of run *)
+  mutable s_pb : float;
+  mutable s_rbt : float;
+  mutable s_drain : float;
+  mutable s_sync : float;
+  mutable s_wb : float;
+  mutable s_wpq_hit : float;
+  mutable s_redo : float;
+  (* WB-occupancy samples (sum; the count is an int on the engine) *)
+  mutable wb_occ_sum : float;
+  (* out-param of [persist_store] (a float return would be boxed) *)
+  mutable pstall : float;
+}
+
+let clocks_create () =
+  {
+    now = 0.0;
+    all_pm = 0.0;
+    region_pm = 0.0;
+    s_pb = 0.0;
+    s_rbt = 0.0;
+    s_drain = 0.0;
+    s_sync = 0.0;
+    s_wb = 0.0;
+    s_wpq_hit = 0.0;
+    s_redo = 0.0;
+    wb_occ_sum = 0.0;
+    pstall = 0.0;
+  }
+
+(** Flush the accumulated stall breakdown into a [Stats.t] (identical
+    values to updating the stats per event — same additions in the same
+    order, different storage). *)
+let clocks_flush c (stats : Stats.t) =
+  stats.elapsed_ns <- c.now;
+  stats.stall_pb_ns <- c.s_pb;
+  stats.stall_rbt_ns <- c.s_rbt;
+  stats.stall_drain_ns <- c.s_drain;
+  stats.stall_sync_ns <- c.s_sync;
+  stats.stall_wb_ns <- c.s_wb;
+  stats.stall_wpq_hit_ns <- c.s_wpq_hit;
+  stats.stall_redo_ns <- c.s_redo
+
 (* Persist-buffer model: [pb_entries] slots, freed when the entry is
    admitted into the target WPQ; sends are serialized at the persist-path
-   bandwidth. *)
+   bandwidth. Floats live in [fs] (flat array) — see [clocks]. *)
 type pb = {
   free_at : float array;
   size : int;
   mutable count : int;
-  mutable last_send : float;
+  fs : float array; (* 0 = last send; 1 = admit out; 2 = send out *)
 }
 
-let pb_create size = { free_at = Array.make size 0.0; size; count = 0; last_send = 0.0 }
+let pb_create size =
+  { free_at = Array.make size 0.0; size; count = 0; fs = Array.make 3 0.0 }
 
-(* Returns (slot_admit, send_time). *)
-let pb_admit_send pb ~ready ~gap =
+(* Leaves (slot_admit, send_time) in [fs.(1)], [fs.(2)]. *)
+let[@inline always] pb_admit_send pb ~ready ~gap =
   let admit =
     if pb.count < pb.size then ready
-    else Float.max ready pb.free_at.(pb.count mod pb.size)
+    else fmax ready pb.free_at.(pb.count mod pb.size)
   in
-  let send = Float.max admit (pb.last_send +. gap) in
-  pb.last_send <- send;
-  (admit, send)
+  let send = fmax admit (Array.unsafe_get pb.fs 0 +. gap) in
+  Array.unsafe_set pb.fs 0 send;
+  Array.unsafe_set pb.fs 1 admit;
+  Array.unsafe_set pb.fs 2 send
 
-let pb_record_free pb free_time =
+let[@inline always] pb_record_free pb free_time =
   pb.free_at.(pb.count mod pb.size) <- free_time;
   pb.count <- pb.count + 1
 
@@ -90,10 +158,10 @@ type rbt = { comp : float array; rsize : int; mutable rcount : int }
 
 let rbt_create size = { comp = Array.make size 0.0; rsize = size; rcount = 0 }
 
-let rbt_push rbt ~now ~completion =
+let[@inline always] rbt_push rbt ~now ~completion =
   let admit =
     if rbt.rcount < rbt.rsize then now
-    else Float.max now rbt.comp.(rbt.rcount mod rbt.rsize)
+    else fmax now rbt.comp.(rbt.rcount mod rbt.rsize)
   in
   rbt.comp.(rbt.rcount mod rbt.rsize) <- completion;
   rbt.rcount <- rbt.rcount + 1;
@@ -109,21 +177,23 @@ type t = {
   scheme : scheme;
   stats : Stats.t;
   hier : Hierarchy.t;
-  mutable now : float;
+  c : clocks;
   (* persist machinery *)
   pb : pb;
   wpqs : Tsq.t array; (* one per MC *)
-  mutable all_persist_max : float;      (* drain point for fences *)
-  mutable region_persist_max : float;   (* max persist of current region *)
   rbt : rbt;
-  line_persist : (int, float) Hashtbl.t; (* line -> last persist time *)
-  word_wpq_done : (int, float) Hashtbl.t; (* word -> WPQ drain completion *)
+  line_persist : Imap.t; (* line -> last persist time *)
+  word_wpq_done : Imap.t; (* word -> WPQ drain completion *)
   (* L1D write buffer *)
   wb : Tsq.t;
+  mutable wb_occ_n : int; (* occupancy sample count *)
   (* Capri redo buffer *)
   redo : pb;
   (* per-MC last line seen, for line-granularity write coalescing *)
   mc_last_line : int array;
+  (* per-MC copy of [Config.numa_of_mc] (unboxed reads on the persist
+     path; a cross-module float return would box without flambda) *)
+  numa_ns : float array;
 }
 
 let create (cfg : Config.t) (scheme : scheme) =
@@ -132,17 +202,17 @@ let create (cfg : Config.t) (scheme : scheme) =
     scheme;
     stats = Stats.create ();
     hier = Hierarchy.create cfg;
-    now = 0.0;
+    c = clocks_create ();
     pb = pb_create cfg.pb_entries;
     wpqs = Array.init cfg.n_mcs (fun _ -> Tsq.create ~size:cfg.wpq_entries);
-    all_persist_max = 0.0;
-    region_persist_max = 0.0;
     rbt = rbt_create cfg.rbt_entries;
-    line_persist = Hashtbl.create 4096;
-    word_wpq_done = Hashtbl.create 4096;
+    line_persist = Imap.create 4096;
+    word_wpq_done = Imap.create 4096;
     wb = Tsq.create ~size:cfg.wb_entries;
+    wb_occ_n = 0;
     redo = pb_create 288 (* 18KB Capri redo buffer / 64B lines *);
     mc_last_line = Array.make cfg.n_mcs (-1);
+    numa_ns = Array.init cfg.n_mcs (fun mc -> Config.numa_of_mc cfg mc);
   }
 
 (* ---- persist path ---- *)
@@ -150,15 +220,16 @@ let create (cfg : Config.t) (scheme : scheme) =
 (* Persist one store through PB -> path -> WPQ. [bytes] selects the
    persist granularity (8 for cWSP, 64 for Capri/ReplayCache); [logged]
    stores pay double drain service for the undo log write.
-   Returns the core-visible stall. *)
+   Leaves the core-visible stall in [t.c.pstall]. *)
 let persist_store t ~addr ~commit ~bytes ~logged ~use_redo ?(coalesce = false) () =
   let cfg = t.cfg in
   let gap = float_of_int bytes /. cfg.path_bandwidth_gbs in
   let buffer = if use_redo then t.redo else t.pb in
-  let admit, send = pb_admit_send buffer ~ready:commit ~gap in
+  pb_admit_send buffer ~ready:commit ~gap;
+  let admit = Array.unsafe_get buffer.fs 1 and send = Array.unsafe_get buffer.fs 2 in
   let line = Cwsp_interp.Layout.line_of_addr addr in
   let mc = Config.mc_of_line cfg line in
-  let arrive = send +. cfg.path_latency_ns +. Config.numa_of_mc cfg mc in
+  let arrive = send +. cfg.path_latency_ns +. Array.unsafe_get t.numa_ns mc in
   let drain_service =
     let per_entry = float_of_int bytes /. cfg.mem.write_bw_gbs in
     (* Line-granularity schemes (Capri/ReplayCache) coalesce consecutive
@@ -174,57 +245,65 @@ let persist_store t ~addr ~commit ~bytes ~logged ~use_redo ?(coalesce = false) (
        64-byte line write, costing 1/8 extra media bandwidth per entry. *)
     if logged then per_entry *. 1.125 else per_entry
   in
-  let wpq_admit, wpq_done = Tsq.push t.wpqs.(mc) ~ready:arrive ~service:drain_service in
+  let q = t.wpqs.(mc) in
+  Tsq.push_u q ~ready:arrive ~service:drain_service;
+  let qts = Tsq.times q in
+  let wpq_admit = Array.unsafe_get qts 1 and wpq_done = Array.unsafe_get qts 0 in
   (* the PB slot is held until the WPQ admits the entry (backpressure) *)
   pb_record_free buffer wpq_admit;
   let persist_time = wpq_admit in
-  t.all_persist_max <- Float.max t.all_persist_max persist_time;
-  t.region_persist_max <- Float.max t.region_persist_max persist_time;
-  Hashtbl.replace t.line_persist line persist_time;
-  Hashtbl.replace t.word_wpq_done addr wpq_done;
+  t.c.all_pm <- fmax t.c.all_pm persist_time;
+  t.c.region_pm <- fmax t.c.region_pm persist_time;
+  Imap.put t.line_persist line persist_time;
+  Imap.put t.word_wpq_done addr wpq_done;
   t.stats.nvm_writes <- t.stats.nvm_writes + 1;
   if logged then t.stats.log_writes <- t.stats.log_writes + 1;
-  Float.max 0.0 (admit -. commit)
+  t.c.pstall <- fmax 0.0 (admit -. commit)
 
 (* ---- event handlers ---- *)
 
+(* Returns the packed [Hierarchy.probe] code. *)
 let handle_cache_write t ~addr ~count_wb_occupancy =
-  let o = Hierarchy.access t.hier ~addr ~write:true in
-  (match o.l1_dirty_eviction with
-  | None -> ()
-  | Some line ->
-    (* the eviction enters the L1D write buffer; under cWSP's stale-read
-       prevention it may not drain to L2 before the line has persisted *)
-    let delay_start =
-      match t.scheme with
-      | Cwsp f when f.persist_path && f.wb_delay -> (
-        match Hashtbl.find_opt t.line_persist line with
-        | Some p -> Float.max t.now p
-        | None -> t.now)
-      | Baseline | Cwsp _ | Ido | Capri | Replaycache | Explicit_flush ->
-        t.now
-    in
-    let admit, _done_ = Tsq.push t.wb ~ready:delay_start ~service:t.cfg.wb_drain_ns in
-    Hierarchy.wb_install t.hier ~line_addr:line;
-    let stall = Float.max 0.0 (admit -. delay_start) in
-    t.stats.stall_wb_ns <- t.stats.stall_wb_ns +. stall;
-    t.now <- t.now +. stall);
-  if count_wb_occupancy then
-    Cwsp_util.Stats.Acc.add t.stats.wb_occupancy
-      (float_of_int (Tsq.occupancy t.wb ~now:t.now));
-  o
+  let code = Hierarchy.probe t.hier ~addr ~write:true in
+  (if code land Hierarchy.l1_evict_bit <> 0 then begin
+     let line = Hierarchy.last_l1_evict t.hier in
+     (* the eviction enters the L1D write buffer; under cWSP's stale-read
+        prevention it may not drain to L2 before the line has persisted *)
+     let delay_start =
+       match t.scheme with
+       | Cwsp f when f.persist_path && f.wb_delay ->
+         fmax t.c.now (Imap.find_def t.line_persist line neg_infinity)
+       | Baseline | Cwsp _ | Ido | Capri | Replaycache | Explicit_flush ->
+         t.c.now
+     in
+     Tsq.push_u t.wb ~ready:delay_start ~service:t.cfg.wb_drain_ns;
+     let admit = Array.unsafe_get (Tsq.times t.wb) 1 in
+     Hierarchy.wb_install t.hier ~line_addr:line;
+     let stall = fmax 0.0 (admit -. delay_start) in
+     t.c.s_wb <- t.c.s_wb +. stall;
+     t.c.now <- t.c.now +. stall
+   end);
+  if count_wb_occupancy then begin
+    t.c.wb_occ_sum <-
+      t.c.wb_occ_sum +. float_of_int (Tsq.occupancy t.wb ~now:t.c.now);
+    t.wb_occ_n <- t.wb_occ_n + 1
+  end;
+  code
 
 let handle_load t ~addr =
   t.stats.loads <- t.stats.loads + 1;
-  let o = Hierarchy.access t.hier ~addr ~write:false in
-  let latency =
-    if o.hit_level = 0 then o.latency_ns else o.latency_ns /. t.cfg.mlp
+  let code = Hierarchy.probe t.hier ~addr ~write:false in
+  let level = code land Hierarchy.level_mask in
+  let serve_ns =
+    if code land Hierarchy.from_memory_bit <> 0 then t.cfg.mem.read_ns
+    else Array.unsafe_get t.hier.hit_ns level
   in
-  t.now <- t.now +. t.cfg.cycle_ns +. latency;
+  let latency = if level = 0 then serve_ns else serve_ns /. t.cfg.mlp in
+  t.c.now <- t.c.now +. t.cfg.cycle_ns +. latency;
   (* loads reaching main memory may hit a pending WPQ entry *)
-  if o.from_memory then begin
-    match Hashtbl.find_opt t.word_wpq_done addr with
-    | Some d when d > t.now ->
+  if code land Hierarchy.from_memory_bit <> 0 then begin
+    let d = Imap.find_def t.word_wpq_done addr neg_infinity in
+    if d > t.c.now then begin
       t.stats.wpq_hits <- t.stats.wpq_hits + 1;
       let delays =
         match t.scheme with
@@ -233,104 +312,109 @@ let handle_load t ~addr =
         | Baseline -> false
       in
       if delays then begin
-        t.stats.stall_wpq_hit_ns <- t.stats.stall_wpq_hit_ns +. (d -. t.now);
-        t.now <- d
+        t.c.s_wpq_hit <- t.c.s_wpq_hit +. (d -. t.c.now);
+        t.c.now <- d
       end
-    | Some _ | None -> ()
+    end
   end
 
 let handle_store t ~addr ~is_ckpt =
   if is_ckpt then t.stats.ckpt_stores <- t.stats.ckpt_stores + 1
   else t.stats.stores <- t.stats.stores + 1;
-  let commit = t.now +. t.cfg.cycle_ns in
-  t.now <- commit;
-  let o = handle_cache_write t ~addr ~count_wb_occupancy:true in
+  let commit = t.c.now +. t.cfg.cycle_ns in
+  t.c.now <- commit;
+  let code = handle_cache_write t ~addr ~count_wb_occupancy:true in
   match t.scheme with
   | Baseline -> ()
   | Cwsp f ->
     if f.persist_path then begin
       (* stores of speculative regions are undo-logged at the MC *)
       let logged = f.mc_speculation in
-      let stall =
-        persist_store t ~addr ~commit ~bytes:8 ~logged ~use_redo:false ()
-      in
-      t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
-      t.now <- t.now +. stall
+      persist_store t ~addr ~commit ~bytes:8 ~logged ~use_redo:false ();
+      let stall = t.c.pstall in
+      t.c.s_pb <- t.c.s_pb +. stall;
+      t.c.now <- t.c.now +. stall
     end
   | Ido ->
-    let stall = persist_store t ~addr ~commit ~bytes:8 ~logged:false ~use_redo:false () in
-    t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
-    t.now <- t.now +. stall
+    persist_store t ~addr ~commit ~bytes:8 ~logged:false ~use_redo:false ();
+    let stall = t.c.pstall in
+    t.c.s_pb <- t.c.s_pb +. stall;
+    t.c.now <- t.c.now +. stall
   | Capri ->
     (* per-store dirty-cacheline copy into the redo buffer (one L1 port
        slot), then a 64B line + 8B of log metadata on the persist path;
        hardware redo+undo logging amplifies NVM writes (Section II-D) *)
-    t.now <- t.now +. t.cfg.cycle_ns;
-    let stall = persist_store t ~addr ~commit ~bytes:72 ~logged:true ~use_redo:true ~coalesce:true () in
-    t.stats.stall_redo_ns <- t.stats.stall_redo_ns +. stall;
-    t.now <- t.now +. stall;
+    t.c.now <- t.c.now +. t.cfg.cycle_ns;
+    persist_store t ~addr ~commit ~bytes:72 ~logged:true ~use_redo:true
+      ~coalesce:true ();
+    let stall = t.c.pstall in
+    t.c.s_redo <- t.c.s_redo +. stall;
+    t.c.now <- t.c.now +. stall;
     (* Capri scans the proxy buffer on DRAM-cache evictions and must wait
        the worst-case delivery latency (Section II-D) *)
-    if o.llc_eviction then t.now <- t.now +. t.cfg.path_latency_ns
+    if code land Hierarchy.llc_evict_bit <> 0 then
+      t.c.now <- t.c.now +. t.cfg.path_latency_ns
   | Replaycache ->
     (* software scheme: per-store instrumentation plus 64B write-through *)
-    t.now <- t.now +. (2.0 *. t.cfg.cycle_ns);
-    let stall = persist_store t ~addr ~commit ~bytes:64 ~logged:false ~use_redo:false ~coalesce:true () in
-    t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
-    t.now <- t.now +. stall
+    t.c.now <- t.c.now +. (2.0 *. t.cfg.cycle_ns);
+    persist_store t ~addr ~commit ~bytes:64 ~logged:false ~use_redo:false
+      ~coalesce:true ();
+    let stall = t.c.pstall in
+    t.c.s_pb <- t.c.s_pb +. stall;
+    t.c.now <- t.c.now +. stall
   | Explicit_flush ->
     (* data stores stay in the cache until an explicit flush; only the
        register-checkpoint engine keeps the hardware persist path *)
     if is_ckpt then begin
-      let stall = persist_store t ~addr ~commit ~bytes:8 ~logged:false ~use_redo:false () in
-      t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
-      t.now <- t.now +. stall
+      persist_store t ~addr ~commit ~bytes:8 ~logged:false ~use_redo:false ();
+      let stall = t.c.pstall in
+      t.c.s_pb <- t.c.s_pb +. stall;
+      t.c.now <- t.c.now +. stall
     end
 
 (* clwb-like line writeback: one issue cycle, then an asynchronous 64B
    line write down the persist path; the core stalls only on persist-
    buffer backpressure, never on the drain itself. *)
 let handle_flush t ~addr =
-  let commit = t.now +. t.cfg.cycle_ns in
-  t.now <- commit;
+  let commit = t.c.now +. t.cfg.cycle_ns in
+  t.c.now <- commit;
   match t.scheme with
   | Explicit_flush ->
-    let stall =
-      persist_store t ~addr ~commit ~bytes:64 ~logged:false ~use_redo:false
-        ~coalesce:true ()
-    in
-    t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
-    t.now <- t.now +. stall
+    persist_store t ~addr ~commit ~bytes:64 ~logged:false ~use_redo:false
+      ~coalesce:true ();
+    let stall = t.c.pstall in
+    t.c.s_pb <- t.c.s_pb +. stall;
+    t.c.now <- t.c.now +. stall
   | Baseline | Cwsp _ | Ido | Capri | Replaycache ->
     (* schemes with an implicit persist path treat the hint as a no-op *)
     ()
 
 (* sfence-like persist fence: drains every outstanding flush. *)
 let handle_pfence t =
-  t.now <- t.now +. t.cfg.cycle_ns;
+  t.c.now <- t.c.now +. t.cfg.cycle_ns;
   match t.scheme with
   | Explicit_flush ->
-    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
-    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall;
-    t.now <- t.now +. stall
+    let stall = fmax 0.0 (t.c.all_pm -. t.c.now) in
+    t.c.s_drain <- t.c.s_drain +. stall;
+    t.c.now <- t.c.now +. stall
   | Baseline | Cwsp _ | Ido | Capri | Replaycache -> ()
 
 let handle_boundary t =
   t.stats.boundaries <- t.stats.boundaries + 1;
-  let completion = Float.max t.now t.region_persist_max in
+  let completion = fmax t.c.now t.c.region_pm in
   (match t.scheme with
   | Baseline -> ()
   | Cwsp f when not f.persist_path -> ()
   | Cwsp f when f.mc_speculation ->
-    let stall = rbt_push t.rbt ~now:t.now ~completion in
-    t.stats.stall_rbt_ns <- t.stats.stall_rbt_ns +. stall;
-    t.now <- t.now +. stall
+    let stall = rbt_push t.rbt ~now:t.c.now ~completion in
+    t.c.s_rbt <- t.c.s_rbt +. stall;
+    t.c.now <- t.c.now +. stall
   | Cwsp f when f.boundary_drain ->
     (* conservative prior-work behaviour (Section II-B): wait at the
        region end for the region's stores to persist *)
-    let stall = Float.max 0.0 (t.region_persist_max -. t.now) in
-    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall;
-    t.now <- t.now +. stall
+    let stall = fmax 0.0 (t.c.region_pm -. t.c.now) in
+    t.c.s_drain <- t.c.s_drain +. stall;
+    t.c.now <- t.c.now +. stall
   | Cwsp _ -> () (* unsafe asynchronous persistence: Fig. 15 stage 2 *)
   | Capri ->
     (* battery-backed redo buffer: region end is free; buffer
@@ -338,56 +422,57 @@ let handle_boundary t =
     ()
   | Ido ->
     (* two persist barriers around every region boundary (Section I) *)
-    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
-    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall +. (2.0 *. t.cfg.path_latency_ns);
-    t.now <- t.now +. stall +. (2.0 *. t.cfg.path_latency_ns)
+    let stall = fmax 0.0 (t.c.all_pm -. t.c.now) in
+    t.c.s_drain <- t.c.s_drain +. stall +. (2.0 *. t.cfg.path_latency_ns);
+    t.c.now <- t.c.now +. stall +. (2.0 *. t.cfg.path_latency_ns)
   | Replaycache ->
     (* software region-end flush: wait for everything outstanding *)
-    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
-    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall +. (4.0 *. t.cfg.cycle_ns);
-    t.now <- t.now +. stall +. (4.0 *. t.cfg.cycle_ns)
+    let stall = fmax 0.0 (t.c.all_pm -. t.c.now) in
+    t.c.s_drain <- t.c.s_drain +. stall +. (4.0 *. t.cfg.cycle_ns);
+    t.c.now <- t.c.now +. stall +. (4.0 *. t.cfg.cycle_ns)
   | Explicit_flush ->
     (* the compiler's pfence already drained the region's data; the
        boundary only waits for its own register checkpoints *)
-    let stall = Float.max 0.0 (t.region_persist_max -. t.now) in
-    t.stats.stall_drain_ns <- t.stats.stall_drain_ns +. stall;
-    t.now <- t.now +. stall);
-  t.region_persist_max <- t.now
+    let stall = fmax 0.0 (t.c.region_pm -. t.c.now) in
+    t.c.s_drain <- t.c.s_drain +. stall;
+    t.c.now <- t.c.now +. stall);
+  t.c.region_pm <- t.c.now
 
+(* [addr < 0] is a fence; otherwise the atomic's address (an [option]
+   here would allocate per sync event). *)
 let handle_sync t ~addr =
   (* atomics/fences: stores prior to the primitive must have persisted
      before it commits (Section VIII) *)
-  (match addr with
-  | Some a ->
-    t.stats.atomics <- t.stats.atomics + 1;
-    (* a locked RMW is expensive on any machine, baseline included *)
-    t.now <- t.now +. t.cfg.atomic_ns;
-    handle_load t ~addr:a;
-    handle_store t ~addr:a ~is_ckpt:false
-  | None ->
-    t.stats.fences <- t.stats.fences + 1;
-    t.now <- t.now +. t.cfg.cycle_ns);
+  (if addr >= 0 then begin
+     t.stats.atomics <- t.stats.atomics + 1;
+     (* a locked RMW is expensive on any machine, baseline included *)
+     t.c.now <- t.c.now +. t.cfg.atomic_ns;
+     handle_load t ~addr;
+     handle_store t ~addr ~is_ckpt:false
+   end
+   else begin
+     t.stats.fences <- t.stats.fences + 1;
+     t.c.now <- t.c.now +. t.cfg.cycle_ns
+   end);
   match t.scheme with
   | Baseline -> ()
   | Explicit_flush ->
     (* the atomic's own store bypassed the data cache-only rule: it is
        hardware failure-atomic, so it enters the persist path here *)
-    (match addr with
-    | Some a ->
-      let stall =
-        persist_store t ~addr:a ~commit:t.now ~bytes:8 ~logged:false
-          ~use_redo:false ()
-      in
-      t.stats.stall_pb_ns <- t.stats.stall_pb_ns +. stall;
-      t.now <- t.now +. stall
-    | None -> ());
-    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
-    t.stats.stall_sync_ns <- t.stats.stall_sync_ns +. stall;
-    t.now <- t.now +. stall
+    (if addr >= 0 then begin
+       persist_store t ~addr ~commit:t.c.now ~bytes:8 ~logged:false
+         ~use_redo:false ();
+       let stall = t.c.pstall in
+       t.c.s_pb <- t.c.s_pb +. stall;
+       t.c.now <- t.c.now +. stall
+     end);
+    let stall = fmax 0.0 (t.c.all_pm -. t.c.now) in
+    t.c.s_sync <- t.c.s_sync +. stall;
+    t.c.now <- t.c.now +. stall
   | Cwsp _ | Ido | Capri | Replaycache ->
-    let stall = Float.max 0.0 (t.all_persist_max -. t.now) in
-    t.stats.stall_sync_ns <- t.stats.stall_sync_ns +. stall;
-    t.now <- t.now +. stall
+    let stall = fmax 0.0 (t.c.all_pm -. t.c.now) in
+    t.c.s_sync <- t.c.s_sync +. stall;
+    t.c.now <- t.c.now +. stall
 
 (* ---- main loop ---- *)
 
@@ -400,19 +485,19 @@ let handle_sync t ~addr =
 let epoch_mask = 8191
 
 let emit_epoch t track =
-  let ts_us = t.now /. 1000.0 in
+  let ts_us = t.c.now /. 1000.0 in
   Obs.counter_event ~pid:track ~name:"stall_ns" ~ts_us
     [
-      ("pb", t.stats.stall_pb_ns);
-      ("rbt", t.stats.stall_rbt_ns);
-      ("drain", t.stats.stall_drain_ns);
-      ("sync", t.stats.stall_sync_ns);
-      ("wb", t.stats.stall_wb_ns);
-      ("wpq_hit", t.stats.stall_wpq_hit_ns);
-      ("redo", t.stats.stall_redo_ns);
+      ("pb", t.c.s_pb);
+      ("rbt", t.c.s_rbt);
+      ("drain", t.c.s_drain);
+      ("sync", t.c.s_sync);
+      ("wb", t.c.s_wb);
+      ("wpq_hit", t.c.s_wpq_hit);
+      ("redo", t.c.s_redo);
     ];
   Obs.counter_event ~pid:track ~name:"wb_occupancy" ~ts_us
-    [ ("entries", float_of_int (Tsq.occupancy t.wb ~now:t.now)) ]
+    [ ("entries", float_of_int (Tsq.occupancy t.wb ~now:t.c.now)) ]
 
 let run_trace (cfg : Config.t) (scheme : scheme) (trace : Cwsp_interp.Trace.t) :
     Stats.t =
@@ -430,24 +515,27 @@ let run_trace (cfg : Config.t) (scheme : scheme) (trace : Cwsp_interp.Trace.t) :
       pid
     end
   in
+  let cycle_ns = cfg.cycle_ns in
   for i = 0 to n - 1 do
     let ev = Trace.get trace i in
     let tag = Event.tag ev in
-    if tag = Event.tag_alu then t.now <- t.now +. cfg.cycle_ns
+    if tag = Event.tag_alu then t.c.now <- t.c.now +. cycle_ns
     else if tag = Event.tag_load then handle_load t ~addr:(Event.payload ev)
     else if tag = Event.tag_store then
       handle_store t ~addr:(Event.payload ev) ~is_ckpt:false
     else if tag = Event.tag_ckpt then
       handle_store t ~addr:(Event.payload ev) ~is_ckpt:true
     else if tag = Event.tag_boundary then handle_boundary t
-    else if tag = Event.tag_fence then handle_sync t ~addr:None
+    else if tag = Event.tag_fence then handle_sync t ~addr:(-1)
     else if tag = Event.tag_flush then handle_flush t ~addr:(Event.payload ev)
     else if tag = Event.tag_pfence then handle_pfence t
-    else handle_sync t ~addr:(Some (Event.payload ev));
+    else handle_sync t ~addr:(Event.payload ev);
     if track >= 0 && i land epoch_mask = epoch_mask then emit_epoch t track
   done;
   t.stats.instructions <- n;
-  t.stats.elapsed_ns <- t.now;
+  clocks_flush t.c t.stats;
+  Cwsp_util.Stats.Acc.add_sum t.stats.wb_occupancy ~sum:t.c.wb_occ_sum
+    ~count:t.wb_occ_n;
   t.stats.nvm_reads <- t.hier.nvm_reads;
   t.stats.l1_miss_rate <- Hierarchy.l1_miss_rate t.hier;
   t.stats.llc_miss_rate <- Hierarchy.llc_miss_rate t.hier;

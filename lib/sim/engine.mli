@@ -31,19 +31,47 @@ val scheme_name : scheme -> string
 
 (** {2 Hardware sub-models (shared with the multi-core engine)} *)
 
+(** All-float mutable timeline state (flat, unboxed representation —
+    DESIGN.md §12): current time, persist high-water marks, the stall
+    breakdown accumulated during a run, and the out-params of the
+    allocation-free helpers. The multi-core engine keeps one per core. *)
+type clocks = {
+  mutable now : float;
+  mutable all_pm : float;     (** drain point for fences *)
+  mutable region_pm : float;  (** max persist of current region *)
+  mutable s_pb : float;
+  mutable s_rbt : float;
+  mutable s_drain : float;
+  mutable s_sync : float;
+  mutable s_wb : float;
+  mutable s_wpq_hit : float;
+  mutable s_redo : float;
+  mutable wb_occ_sum : float;
+  mutable pstall : float;     (** out-param of the persist helpers *)
+}
+
+val clocks_create : unit -> clocks
+
+(** Flush the accumulated stall breakdown (and [now] as elapsed) into a
+    [Stats.t]. *)
+val clocks_flush : clocks -> Stats.t -> unit
+
 (** Persist-buffer: bounded slots freed on WPQ admission; sends
-    serialized at the persist-path bandwidth. *)
+    serialized at the persist-path bandwidth. The record is transparent
+    so the multi-core engine can read the [fs] result cells with
+    unboxed array loads. *)
 type pb = {
   free_at : float array;
   size : int;
   mutable count : int;
-  mutable last_send : float;
+  fs : float array;  (** 0 = last send; 1 = admit out; 2 = send out *)
 }
 
 val pb_create : int -> pb
 
-(** [(slot_admit, send_time)] for an entry ready at [ready]. *)
-val pb_admit_send : pb -> ready:float -> gap:float -> float * float
+(** Admit an entry ready at [ready]; the resulting slot-admit and send
+    times are left in [fs.(1)] / [fs.(2)] (allocation-free). *)
+val pb_admit_send : pb -> ready:float -> gap:float -> unit
 
 val pb_record_free : pb -> float -> unit
 

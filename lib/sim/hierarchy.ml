@@ -16,6 +16,7 @@ type t = {
   hit_ns : float array; (* per level *)
   mutable nvm_reads : int;
   mutable llc_dirty_evictions : int;
+  mutable last_l1_evict : int; (* line address, -1 = none; see [probe] *)
 }
 
 let create (cfg : Config.t) =
@@ -25,6 +26,7 @@ let create (cfg : Config.t) =
     hit_ns = Array.of_list (List.map (fun (l : Config.cache_level) -> l.hit_ns) cfg.levels);
     nvm_reads = 0;
     llc_dirty_evictions = 0;
+    last_l1_evict = -1;
   }
 
 type outcome = {
@@ -35,36 +37,66 @@ type outcome = {
   llc_eviction : bool;            (* caused a dirty LLC eviction *)
 }
 
+(* packed [probe] result *)
+let level_mask = 63
+let from_memory_bit = 64
+let l1_evict_bit = 128
+let llc_evict_bit = 256
+
+(** Allocation-free access (the engines' hot path): the result packs the
+    0-based hit level ([land level_mask]; = number of levels when served
+    by memory) with the [from_memory_bit] / [l1_evict_bit] /
+    [llc_evict_bit] flags. A dirty L1 eviction leaves its line address
+    in [last_l1_evict] until the next probe; the serving latency is
+    [hit_ns.(level)] (or [cfg.mem.read_ns] from memory), which the
+    caller reads directly so no float crosses the call boundary. *)
+(* Top-level (closed) recursion: a local [let rec] capturing [t]/[addr]
+   would allocate a closure on every access. *)
+let rec probe_walk t ~addr ~write n i flags =
+  if i >= n then begin
+    t.nvm_reads <- t.nvm_reads + 1;
+    n lor from_memory_bit lor flags
+  end
+  else begin
+    let hit = Cache.probe t.caches.(i) ~addr ~write:(write && i = 0) in
+    let line = Cache.last_dirty_evict t.caches.(i) in
+    let flags =
+      if line < 0 then flags
+      else if i = 0 then begin
+        t.last_l1_evict <- line;
+        flags lor l1_evict_bit
+      end
+      else if i = n - 1 then begin
+        t.llc_dirty_evictions <- t.llc_dirty_evictions + 1;
+        flags lor llc_evict_bit
+      end
+      else begin
+        Cache.install_dirty t.caches.(i + 1) ~line_addr:line;
+        flags
+      end
+    in
+    if hit then i lor flags else probe_walk t ~addr ~write n (i + 1) flags
+  end
+
+let probe t ~addr ~write : int =
+  t.last_l1_evict <- -1;
+  probe_walk t ~addr ~write (Array.length t.caches) 0 0
+
+let last_l1_evict t = t.last_l1_evict
+
 let access t ~addr ~write : outcome =
   let n = Array.length t.caches in
-  let l1_evict = ref None in
-  let llc_evict = ref false in
-  let rec walk i =
-    if i >= n then begin
-      t.nvm_reads <- t.nvm_reads + 1;
-      (i, t.cfg.mem.read_ns)
-    end
-    else begin
-      let r = Cache.access t.caches.(i) ~addr ~write:(write && i = 0) in
-      (match r.evicted_dirty_line with
-      | None -> ()
-      | Some line ->
-        if i = 0 then l1_evict := Some line
-        else if i = n - 1 then begin
-          t.llc_dirty_evictions <- t.llc_dirty_evictions + 1;
-          llc_evict := true
-        end
-        else Cache.install_dirty t.caches.(i + 1) ~line_addr:line);
-      if r.hit then (i, t.hit_ns.(i)) else walk (i + 1)
-    end
-  in
-  let hit_level, latency = walk 0 in
+  let code = probe t ~addr ~write in
+  let hit_level = code land level_mask in
   {
-    latency_ns = latency;
+    latency_ns =
+      (if code land from_memory_bit <> 0 then t.cfg.mem.read_ns
+       else t.hit_ns.(hit_level));
     hit_level;
-    l1_dirty_eviction = !l1_evict;
+    l1_dirty_eviction =
+      (if code land l1_evict_bit <> 0 then Some t.last_l1_evict else None);
     from_memory = hit_level >= n;
-    llc_eviction = !llc_evict;
+    llc_eviction = code land llc_evict_bit <> 0;
   }
 
 (** A writeback arriving from the L1D write buffer installs into L2 (or

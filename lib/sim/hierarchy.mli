@@ -11,6 +11,7 @@ type t = {
   hit_ns : float array;
   mutable nvm_reads : int;
   mutable llc_dirty_evictions : int;
+  mutable last_l1_evict : int; (** line address, -1 = none; see [probe] *)
 }
 
 val create : Config.t -> t
@@ -24,6 +25,24 @@ type outcome = {
 }
 
 val access : t -> addr:int -> write:bool -> outcome
+
+(** {2 Allocation-free access (the engines' hot path)} *)
+
+(** Flags packed into a [probe] result alongside the hit level
+    ([land level_mask], = number of levels when served by memory). *)
+val level_mask : int
+
+val from_memory_bit : int
+val l1_evict_bit : int
+val llc_evict_bit : int
+
+(** [access] without the record: the caller unpacks the level and flags
+    and reads the serving latency from [hit_ns]/[cfg.mem.read_ns]
+    itself. A dirty L1 eviction's line address is left in
+    [last_l1_evict] until the next probe. *)
+val probe : t -> addr:int -> write:bool -> int
+
+val last_l1_evict : t -> int
 
 (** A writeback arriving from the L1D write buffer installs into L2. *)
 val wb_install : t -> line_addr:int -> unit

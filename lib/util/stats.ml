@@ -49,6 +49,13 @@ module Acc = struct
   let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
   let count t = t.count
 
+  (** Fold a pre-summed batch in: the timing engines accumulate their
+      samples in an unboxed local (a float-field assignment on this
+      mixed record would allocate per sample) and flush once per run. *)
+  let add_sum t ~sum ~count =
+    t.sum <- t.sum +. sum;
+    t.count <- t.count + count
+
   (** Fold [src] into [into] (combining per-domain accumulators after a
       pool run); [src] is left untouched. *)
   let merge ~into src =

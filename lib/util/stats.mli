@@ -19,6 +19,11 @@ module Acc : sig
 
   val create : unit -> t
   val add : t -> float -> unit
+
+  (** Fold a pre-summed batch in: callers on an allocation-free path
+      accumulate samples in an unboxed local and flush once. *)
+  val add_sum : t -> sum:float -> count:int -> unit
+
   val mean : t -> float
   val count : t -> int
 

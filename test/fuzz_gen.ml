@@ -1,0 +1,116 @@
+(* Randomized well-formed program generator shared by the fuzz suites
+   (test_fuzz: compiler oracles; test_decode: decoded-core differential
+   oracle). Emits nested loops, branches, random arithmetic DAGs,
+   loads/stores with both provable and unprovable addresses (mixing
+   Exact/Within/Any aliasing), calls into the runtime allocator, atomics
+   and fences. Every seed is reproducible from its number. *)
+
+open Cwsp_ir
+open Cwsp_util
+
+let n_globals = 3
+
+(* random operand: a live register or a small immediate *)
+let rand_operand rng regs =
+  if Rng.bool rng || regs = [] then Types.Imm (Rng.int rng 1000 - 500)
+  else Types.Reg (Rng.pick rng (Array.of_list regs))
+
+let rand_binop rng =
+  Rng.pick rng [| Types.Add; Sub; Mul; And; Or; Xor; Shl; Lshr |]
+
+let rand_global rng = Printf.sprintf "fz%d" (Rng.int rng n_globals)
+
+(* emit a random address computation over global [g]: exact, strided or
+   opaque (via a register the alias analysis cannot track) *)
+let rand_address rng fb regs g =
+  let open Builder in
+  let base = la fb g in
+  match Rng.int rng 3 with
+  | 0 -> (base, 8 * Rng.int rng 32) (* exact offset *)
+  | 1 ->
+    let idx =
+      match regs with
+      | [] -> imm fb (Rng.int rng 32)
+      | _ -> Rng.pick rng (Array.of_list regs)
+    in
+    let bounded = bin fb And (Reg idx) (Imm 31) in
+    (bin fb Add (Reg base) (Reg (bin fb Shl (Reg bounded) (Imm 3))), 0)
+  | _ ->
+    (* launder the pointer through memory: Any provenance *)
+    let slot = la fb "fzptr" in
+    store fb slot 0 (Reg base);
+    let p = load fb slot 0 in
+    (p, 8 * Rng.int rng 32)
+
+let rec gen_block rng fb depth regs budget =
+  let open Builder in
+  let regs = ref regs in
+  let n = 3 + Rng.int rng 8 in
+  for _ = 1 to n do
+    if !budget > 0 then begin
+      decr budget;
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 ->
+        let d = bin fb (rand_binop rng) (rand_operand rng !regs) (rand_operand rng !regs) in
+        regs := d :: !regs
+      | 3 | 4 ->
+        let g = rand_global rng in
+        let a, off = rand_address rng fb !regs g in
+        let v = load fb a off in
+        regs := v :: !regs
+      | 5 | 6 ->
+        let g = rand_global rng in
+        let a, off = rand_address rng fb !regs g in
+        store fb a off (rand_operand rng !regs)
+      | 7 when depth > 0 ->
+        let c = cmp fb Types.Ne (rand_operand rng !regs) (Imm 0) in
+        let saved = !regs in
+        if_ fb c
+          ~then_:(fun () -> gen_block rng fb (depth - 1) saved budget)
+          ~else_:(fun () -> gen_block rng fb (depth - 1) saved budget)
+      | 7 ->
+        let d = mov fb (rand_operand rng !regs) in
+        regs := d :: !regs
+      | 8 when depth > 0 ->
+        let iters = 2 + Rng.int rng 5 in
+        let saved = !regs in
+        let _ =
+          loop fb ~from:(Imm 0) ~below:(Imm iters) (fun i ->
+              gen_block rng fb (depth - 1) (i :: saved) budget)
+        in
+        ()
+      | 8 ->
+        let g = rand_global rng in
+        let a, off = rand_address rng fb !regs g in
+        let v = atomic_rmw fb Types.Add a off (rand_operand rng !regs) in
+        regs := v :: !regs
+      | _ ->
+        if Rng.int rng 4 = 0 then fence fb
+        else begin
+          let p = call fb "malloc" [ Imm (8 * (1 + Rng.int rng 4)) ] in
+          store fb p 0 (rand_operand rng !regs);
+          let v = load fb p 0 in
+          regs := v :: !regs;
+          if Rng.bool rng then call_void fb "free" [ Reg p ]
+        end
+    end
+  done;
+  (* make some values observable *)
+  match !regs with
+  | r :: _ -> call_void fb "__out" [ Reg r ]
+  | [] -> ()
+
+let gen_program seed : Prog.t =
+  let rng = Rng.create seed in
+  let b = Builder.program () in
+  Cwsp_runtime.Libc.add b;
+  for i = 0 to n_globals - 1 do
+    Builder.global b (Printf.sprintf "fz%d" i) ~size:256 ()
+  done;
+  Builder.global b "fzptr" ~size:8 ();
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      let budget = ref (40 + Rng.int rng 60) in
+      gen_block rng fb 2 [] budget;
+      Builder.ret fb None);
+  Builder.set_main b "main";
+  Builder.finish b

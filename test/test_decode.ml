@@ -1,0 +1,98 @@
+(* Differential validation of the decoded execution core (DESIGN.md
+   §12): [Cwsp_ir.Decode] must be observationally identical to the
+   reference interpreter ([Machine]/[Multi]) — same commit trace, same
+   outputs, same step count, same final memory, same trap behaviour.
+
+   Three oracles:
+   1. registry-wide identity: every workload in the registry, compiled
+      uninstrumented and fully instrumented;
+   2. SPMD identity: every parallel workload across thread counts,
+      against [Multi]'s round-robin schedule;
+   3. fuzz differential: randomized programs from the shared [Fuzz_gen]
+      generator (nested control flow, opaque pointers, allocator calls,
+      atomics) through both compile configurations. *)
+
+open Cwsp_interp
+
+let ok label = function
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: decoded/reference divergence: %s" label e
+
+let test_registry_identity () =
+  List.iter
+    (fun (w : Cwsp_workloads.Defs.t) ->
+      List.iter
+        (fun config ->
+          let compiled = Cwsp_compiler.Pipeline.compile ~config (w.build ~scale:1) in
+          let label =
+            Printf.sprintf "%s/%s" w.name
+              (Cwsp_compiler.Pipeline.config_name config)
+          in
+          ok label (Oracle.check ~label compiled.prog))
+        Cwsp_compiler.Pipeline.[ baseline; cwsp ])
+    Cwsp_workloads.Registry.all
+
+let test_spmd_identity () =
+  List.iter
+    (fun (w : Cwsp_workloads.W_parallel.t) ->
+      List.iter
+        (fun threads ->
+          List.iter
+            (fun config ->
+              let compiled =
+                Cwsp_compiler.Pipeline.compile ~config
+                  (w.pbuild ~scale:1 ~threads)
+              in
+              let label = Printf.sprintf "%s@%d" w.pname threads in
+              ok label
+                (Oracle.check_spmd ~label compiled.prog ~threads
+                   ~worker:w.worker))
+            Cwsp_compiler.Pipeline.[ baseline; cwsp ])
+        [ 2; 4 ])
+    Cwsp_workloads.W_parallel.
+      [ psweep; pcounter; pcounter_racy; ptransactions ]
+
+let test_fuzz_differential () =
+  for seed = 1 to 80 do
+    let prog = Fuzz_gen.gen_program seed in
+    List.iter
+      (fun config ->
+        let compiled = Cwsp_compiler.Pipeline.compile ~config prog in
+        let label =
+          Printf.sprintf "seed %d/%s" seed
+            (Cwsp_compiler.Pipeline.config_name config)
+        in
+        ok label (Oracle.check ~fuel:2_000_000 ~label compiled.prog))
+      Cwsp_compiler.Pipeline.[ baseline; cwsp ]
+  done
+
+(* the oracle's own plumbing: [trace_of_program] with checks forced on
+   must agree with what [check] returns, and a decoded run's trace is
+   the one the engines replay *)
+let test_oracle_trace_roundtrip () =
+  let w = Cwsp_workloads.Registry.find_exn "sjeng" in
+  let compiled =
+    Cwsp_compiler.Pipeline.compile ~config:Cwsp_compiler.Pipeline.cwsp
+      (w.build ~scale:1)
+  in
+  let tr = Oracle.trace_of_program ~label:"sjeng" compiled.prog in
+  let _, ref_tr = Machine.trace_of_program compiled.prog in
+  match Trace.first_diff tr ref_tr with
+  | None -> ()
+  | Some i -> Alcotest.failf "trace differs from reference at event %d" i
+
+let () =
+  Alcotest.run "decode"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "registry identity (all workloads x 2 configs)"
+            `Slow test_registry_identity;
+          Alcotest.test_case "SPMD identity (4 workloads x 2 threads x 2 configs)"
+            `Slow test_spmd_identity;
+          Alcotest.test_case "fuzz differential (80 programs x 2 configs)"
+            `Slow test_fuzz_differential;
+          Alcotest.test_case "oracle trace roundtrip" `Quick
+            test_oracle_trace_roundtrip;
+        ] );
+    ]
