@@ -1,8 +1,11 @@
 (** verify-all — sweep the static crash-consistency verifier (syntactic
-    tiers + the semantic slice checker) over every registry workload
-    under each instrumented pipeline configuration. One line per
-    (workload, config) pair — or a JSON report with [--format json] —
-    and a non-zero exit if any error-severity diagnostic is found.
+    tiers + the semantic slice checker + the SPMD race tier) over every
+    registry workload and every parallel workload under each
+    instrumented pipeline configuration. One line per (workload, config)
+    pair — or a JSON report with [--format json] — and a non-zero exit
+    if any error-severity diagnostic is found. Parallel workloads that
+    are deliberately racy ([W_parallel.expect_racy]) invert the check:
+    the race tier MUST reject them, and a clean report is the failure.
 
     [--jobs N] fans the (workload, config) pairs out over the shared
     domain pool; the report order is the declaration order regardless
@@ -17,29 +20,76 @@ type row = {
   workload : string;
   config : string;
   regions : int;
+  expect_racy : bool;
   diags : Cwsp_verify.Diag.t list;
 }
 
-let verify_pair ((w : Cwsp_workloads.Defs.t), config) : row =
-  let compiled = Pipeline.compile ~config (w.build ~scale:1) in
-  {
-    workload = w.name;
-    config = Pipeline.config_name config;
-    regions = Pipeline.nboundaries compiled;
-    diags = Cwsp_verify.Verify.(normalize (run compiled));
-  }
+type pair =
+  | Seq of Cwsp_workloads.Defs.t * Pipeline.config
+  | Spmd of Cwsp_workloads.W_parallel.t * Pipeline.config
+
+let spmd_threads = 4
+
+let pair_label = function
+  | Seq (w, config) ->
+    w.Cwsp_workloads.Defs.name ^ "/" ^ Pipeline.config_name config
+  | Spmd (w, config) ->
+    Printf.sprintf "%s@%d/%s" w.Cwsp_workloads.W_parallel.pname spmd_threads
+      (Pipeline.config_name config)
+
+let verify_pair (p : pair) : row =
+  match p with
+  | Seq (w, config) ->
+    let compiled = Pipeline.compile ~config (w.build ~scale:1) in
+    {
+      workload = w.name;
+      config = Pipeline.config_name config;
+      regions = Pipeline.nboundaries compiled;
+      expect_racy = false;
+      diags = Cwsp_verify.Verify.(normalize (run compiled));
+    }
+  | Spmd (w, config) ->
+    let compiled =
+      Pipeline.compile ~config (w.pbuild ~scale:1 ~threads:spmd_threads)
+    in
+    {
+      workload = Printf.sprintf "%s@%d" w.pname spmd_threads;
+      config = Pipeline.config_name config;
+      regions = Pipeline.nboundaries compiled;
+      expect_racy = w.expect_racy;
+      diags = Cwsp_verify.Verify.(normalize (run compiled));
+    }
+
+let is_race_error (d : Cwsp_verify.Diag.t) =
+  Cwsp_verify.Diag.is_error d
+  && match d.rule with
+     | Data_race | Unlocked_shared_write | Tid_overlap_unprovable -> true
+     | _ -> false
+
+(* A deliberately racy workload passes iff the race tier rejected it and
+   nothing else went wrong; everything else passes iff error-free. *)
+let row_failed row =
+  let errs = Cwsp_verify.Verify.errors row.diags in
+  if row.expect_racy then
+    List.exists (fun d -> not (is_race_error d)) errs
+    || not (List.exists is_race_error errs)
+  else errs <> []
 
 let print_text rows =
   Array.iter
     (fun row ->
       let errs = Cwsp_verify.Verify.errors row.diags in
       let warnings = List.length row.diags - List.length errs in
+      let status =
+        if row_failed row then Printf.sprintf "FAIL (%d errors)" (List.length errs)
+        else if row.expect_racy then
+          Printf.sprintf "ok (%d expected race errors)" (List.length errs)
+        else if warnings > 0 then Printf.sprintf "ok (%d warnings)" warnings
+        else "ok"
+      in
       Printf.printf "%-12s %-14s regions=%-5d %s\n" row.workload row.config
-        row.regions
-        (if errs <> [] then Printf.sprintf "FAIL (%d errors)" (List.length errs)
-         else if warnings > 0 then Printf.sprintf "ok (%d warnings)" warnings
-         else "ok");
-      if errs <> [] then begin
+        row.regions status;
+      if row_failed row && errs <> [] then begin
         print_string (Cwsp_verify.Verify.report errs);
         print_newline ()
       end)
@@ -50,9 +100,10 @@ let print_json rows =
     let errs = Cwsp_verify.Verify.errors row.diags in
     Printf.sprintf
       "{\"workload\":\"%s\",\"config\":\"%s\",\"regions\":%d,\"errors\":%d,\
-       \"warnings\":%d,\"diagnostics\":%s}"
+       \"warnings\":%d,\"expected_racy\":%b,\"failed\":%b,\"diagnostics\":%s}"
       row.workload row.config row.regions (List.length errs)
       (List.length row.diags - List.length errs)
+      row.expect_racy (row_failed row)
       (Cwsp_verify.Verify.report_json row.diags)
   in
   print_string "[\n";
@@ -102,23 +153,22 @@ let () =
     Array.of_list
       (List.concat_map
          (fun (w : Cwsp_workloads.Defs.t) ->
-           List.map (fun config -> (w, config)) configs)
-         Cwsp_workloads.Registry.all)
+           List.map (fun config -> Seq (w, config)) configs)
+         Cwsp_workloads.Registry.all
+      @ List.concat_map
+          (fun (w : Cwsp_workloads.W_parallel.t) ->
+            List.map (fun config -> Spmd (w, config)) configs)
+          Cwsp_workloads.W_parallel.all)
   in
   let rows =
     Cwsp_core.Executor.map_pool ~cat:"verify"
-      ~label:(fun i ->
-        let w, config = pairs.(i) in
-        w.Cwsp_workloads.Defs.name ^ "/" ^ Pipeline.config_name config)
+      ~label:(fun i -> pair_label pairs.(i))
       ~jobs:!jobs verify_pair pairs
   in
   (match !format with "json" -> print_json rows | _ -> print_text rows);
   Cwsp_obs.Obs.finalize ();
   let failures =
-    Array.fold_left
-      (fun acc row ->
-        if Cwsp_verify.Verify.errors row.diags <> [] then acc + 1 else acc)
-      0 rows
+    Array.fold_left (fun acc row -> if row_failed row then acc + 1 else acc) 0 rows
   in
   if failures > 0 then begin
     Printf.eprintf "verify-all: %d failing (workload, config) pairs\n" failures;

@@ -1,0 +1,91 @@
+(** Static call graph with bottom-up SCC ordering.
+
+    The first interprocedural layer in the repository: [Interproc]
+    computes per-function summaries in the order this module produces,
+    so every summary can assume its (non-recursive) callees are already
+    summarized. Call targets in this IR are direct names, so the graph
+    is exact — there are no indirect calls to approximate. *)
+
+open Cwsp_ir
+
+type t = {
+  funcs : string list; (* declaration order *)
+  callees : (string, string list) Hashtbl.t; (* deduped, declaration order *)
+}
+
+let build (p : Prog.t) : t =
+  let callees = Hashtbl.create 16 in
+  let funcs = List.map fst p.funcs in
+  List.iter
+    (fun (name, fn) ->
+      let seen = Hashtbl.create 4 in
+      let out = ref [] in
+      Prog.iter_instrs
+        (fun _ _ ins ->
+          match ins with
+          | Types.Call (callee, _, _) ->
+            if Prog.find_func p callee <> None && not (Hashtbl.mem seen callee)
+            then begin
+              Hashtbl.add seen callee ();
+              out := callee :: !out
+            end
+          | _ -> ())
+        fn;
+      Hashtbl.replace callees name (List.rev !out))
+    p.funcs;
+  { funcs; callees }
+
+let callees (t : t) name =
+  Option.value ~default:[] (Hashtbl.find_opt t.callees name)
+
+(* Tarjan strongly-connected components. The components come out in
+   reverse topological order of the condensation — i.e. callees before
+   callers — which is exactly the bottom-up summary order. *)
+let sccs_bottom_up (t : t) : string list list =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (callees t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let comp = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        match !stack with
+        | [] -> continue_ := false
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          comp := w :: !comp;
+          if w = v then continue_ := false
+      done;
+      out := !comp :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) t.funcs;
+  (* Tarjan emits components in reverse topological order already; we
+     accumulated them with [::], so reverse back. *)
+  List.rev !out
+
+let recursive (t : t) (scc : string list) =
+  match scc with
+  | [ v ] -> List.mem v (callees t v)
+  | _ -> true

@@ -1,0 +1,20 @@
+(** Static call graph with bottom-up SCC ordering; the interprocedural
+    summary layer ([Interproc]) processes functions in the order this
+    module produces so callee summaries exist before their callers'. *)
+
+open Cwsp_ir
+
+type t
+
+val build : Prog.t -> t
+
+(** Direct callees of a function (deduped, in first-call order);
+    intrinsics and undefined names are excluded. *)
+val callees : t -> string -> string list
+
+(** Strongly-connected components, callees before callers. *)
+val sccs_bottom_up : t -> string list list
+
+(** A component is recursive if it has more than one member or a
+    self-loop. *)
+val recursive : t -> string list -> bool

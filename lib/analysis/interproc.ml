@@ -1,0 +1,118 @@
+(** Bottom-up interprocedural summaries.
+
+    The first interprocedural layer in the repository: a client (the
+    race analysis) supplies a per-function summarizer; this module runs
+    it over [Callgraph.sccs_bottom_up] order so each function can fold
+    in its callees' already-computed summaries, and provides the place
+    substitution that instantiates a callee's parameter-relative effects
+    at a call site. Recursive components get the client's conservative
+    summary — precision there is not worth a fixpoint, since the only
+    recursive code in the repository is the allocator's free-list walk,
+    which is unsynchronized shared state anyway. *)
+
+open Cwsp_ir
+module Ta = Tid_affine
+
+(** How a summarized access touches memory. [Rmw] is an atomic
+    read-modify-write used as a *data* access (lock-protocol atomics are
+    classified out by the client and never appear in summaries). *)
+type kind = Read | Write | Rmw
+
+type access = {
+  kind : kind;
+  place : Ta.place;
+  locks : Ta.place list; (* sorted; locks held at the access *)
+  bi : int;
+  ii : int; (* position in the reported function (call site once lifted) *)
+  path : string; (* callee chain, "" for a direct access *)
+}
+
+type summary = {
+  s_accesses : access list;
+  s_acquired : Ta.place list; (* locks that may still be held at exit *)
+  s_released : Ta.place list; (* locks released on every path *)
+  s_conservative : bool; (* recursive SCC fallback *)
+}
+
+let conservative_summary =
+  {
+    s_accesses =
+      [
+        { kind = Read; place = Ta.Pany; locks = []; bi = -1; ii = -1; path = "" };
+        { kind = Write; place = Ta.Pany; locks = []; bi = -1; ii = -1; path = "" };
+      ];
+    s_acquired = [];
+    s_released = [];
+    s_conservative = true;
+  }
+
+(** Instantiate a callee-relative place at a call site: [Bparam i]
+    bases substitute the caller's abstract value for argument [i] (the
+    callee's residual interval shifts by the argument's), globals pass
+    through, anything unresolvable is [Pany]. *)
+let subst_place (args : Ta.t array) (p : Ta.place) : Ta.place =
+  match p with
+  | Ta.Pglob _ | Ta.Pany -> p
+  | Ta.Pparam { p = i; k; lo; hi } -> (
+    if i >= Array.length args then Ta.Pany
+    else
+      match args.(i) with
+      | Ta.V { base = Ta.Bglob g; k = ka; lo = la; hi = ha } -> (
+        match
+          (Ta.(if k = 0 then Some ka else checked_add ka k),
+           Ta.bound_add lo la, Ta.bound_add hi ha)
+        with
+        | Some k, Some lo, Some hi -> Ta.Pglob { g; k; lo; hi }
+        | _ -> Ta.Pany)
+      | Ta.V { base = Ta.Bparam q; k = ka; lo = la; hi = ha } -> (
+        match
+          (Ta.(if k = 0 then Some ka else checked_add ka k),
+           Ta.bound_add lo la, Ta.bound_add hi ha)
+        with
+        | Some k, Some lo, Some hi -> Ta.Pparam { p = q; k; lo; hi }
+        | _ -> Ta.Pany)
+      | _ -> Ta.Pany)
+
+(** Instantiate a whole callee summary at a call site: places
+    substituted, positions lifted to the call site, the callee name
+    prepended to each witness path. *)
+let instantiate (s : summary) ~callee ~(args : Ta.t array) ~bi ~ii :
+    summary =
+  let lift (a : access) =
+    {
+      a with
+      place = subst_place args a.place;
+      locks = List.sort_uniq compare (List.map (subst_place args) a.locks);
+      bi;
+      ii;
+      path = (if a.path = "" then callee else callee ^ " -> " ^ a.path);
+    }
+  in
+  {
+    s_accesses = List.map lift s.s_accesses;
+    s_acquired = List.sort_uniq compare (List.map (subst_place args) s.s_acquired);
+    s_released = List.sort_uniq compare (List.map (subst_place args) s.s_released);
+    s_conservative = s.s_conservative;
+  }
+
+(** Run [summarize] bottom-up over the call graph. [summarize] receives
+    a lookup that resolves any already-summarized callee (so a missing
+    entry means an intrinsic or an unresolved name). *)
+let summaries ~(summarize : lookup:(string -> summary option) -> Prog.func -> summary)
+    (p : Prog.t) : (string, summary) Hashtbl.t =
+  let cg = Callgraph.build p in
+  let tbl : (string, summary) Hashtbl.t = Hashtbl.create 16 in
+  let lookup name = Hashtbl.find_opt tbl name in
+  List.iter
+    (fun scc ->
+      if Callgraph.recursive cg scc then
+        List.iter (fun name -> Hashtbl.replace tbl name conservative_summary) scc
+      else
+        List.iter
+          (fun name ->
+            match Prog.find_func p name with
+            | Some fn -> Hashtbl.replace tbl name (summarize ~lookup fn)
+            | None -> ())
+          scc)
+    (Callgraph.sccs_bottom_up cg);
+  tbl

@@ -1,0 +1,46 @@
+(** Bottom-up interprocedural summary layer over [Callgraph]: a client
+    supplies the per-function summarizer; this module orders the
+    computation (callees first), substitutes parameter-relative places
+    at call sites, and falls back to a conservative summary on
+    recursive components. *)
+
+open Cwsp_ir
+module Ta = Tid_affine
+
+type kind = Read | Write | Rmw
+
+type access = {
+  kind : kind;
+  place : Ta.place;
+  locks : Ta.place list;
+  bi : int;
+  ii : int;
+  path : string;
+}
+
+type summary = {
+  s_accesses : access list;
+  s_acquired : Ta.place list;
+  s_released : Ta.place list;
+  s_conservative : bool;
+}
+
+(** Reads-and-writes-anything, no lock effects; used for recursive
+    components. *)
+val conservative_summary : summary
+
+(** Substitute the caller's abstract argument values into a
+    callee-relative place. *)
+val subst_place : Ta.t array -> Ta.place -> Ta.place
+
+(** Instantiate a callee summary at a call site [(bi, ii)]: places
+    substituted, witness paths extended with [callee]. *)
+val instantiate :
+  summary -> callee:string -> args:Ta.t array -> bi:int -> ii:int -> summary
+
+(** Bottom-up sweep; [summarize]'s [lookup] resolves already-computed
+    callee summaries ([None] for intrinsics/unknown names). *)
+val summaries :
+  summarize:(lookup:(string -> summary option) -> Prog.func -> summary) ->
+  Prog.t ->
+  (string, summary) Hashtbl.t

@@ -1,0 +1,52 @@
+(** Static SPMD data-race analysis: tid-affine disjointness + an
+    Eraser-style lockset analysis (on the shared [Dataflow] solver) +
+    bottom-up [Interproc] summaries, classifying every cross-thread
+    conflicting access pair of an SPMD worker. Discharges the
+    SC-for-DRF premise [Cwsp_interp.Multi] states (Section VIII). *)
+
+open Cwsp_ir
+module Ta = Tid_affine
+module Ip = Interproc
+
+(** The lock-operation idioms recognized, as named patterns:
+    [Cas_acquire] ([Libc.spin_lock]), [Rmw_acquire] (locked fetch-add,
+    [Kernels.transactions]), [Rmw_release] ([Libc.spin_unlock]), and
+    [Tso_release] — the plain-store-of-0 x86 unlock idiom
+    [Kernels.transactions] uses, recognized only on words some acquire
+    pattern targets. *)
+type pattern = Cas_acquire | Rmw_acquire | Rmw_release | Tso_release
+
+val pattern_name : pattern -> string
+
+(** Shape-level classification of an atomic instruction. *)
+val atomic_pattern : Types.instr -> pattern option
+
+(** Per-function result, also usable directly in tests. *)
+type fresult = {
+  r_accesses : Ip.access list;
+  r_may_exit : Ta.place list;
+  r_rel_exit : Ta.place list;
+  r_lock_objs : (Ta.place, unit) Hashtbl.t;
+}
+
+val analyze :
+  lookup:(string -> Ip.summary option) -> ?tid_param:int -> Prog.func -> fresult
+
+(** The [Interproc] summarizer this analysis plugs in. *)
+val summarize : lookup:(string -> Ip.summary option) -> Prog.func -> Ip.summary
+
+(** The SPMD entry convention: a unary function named ["worker"]
+    (thread id parameter), as built by [W_parallel.scaffold] and run by
+    [Multi.create]. *)
+val spmd_entry : Prog.t -> string option
+
+type rule =
+  | Rdata_race             (* conflicting pair, locks exist but prove nothing *)
+  | Runlocked_shared_write (* conflicting pair, no locks at all *)
+  | Rtid_overlap_unprovable(* tid-indexed footprints not provably disjoint *)
+  | Rredundant_atomic      (* lint: atomic on a thread-private word *)
+
+type finding = { f_rule : rule; f_bi : int; f_ii : int; f_msg : string }
+
+(** All findings for [worker], deterministic order. *)
+val check : Prog.t -> worker:string -> finding list

@@ -21,9 +21,12 @@ type t = {
 }
 
 (** [create linked ~threads ~worker] initializes globals once and spawns
-    [threads] machines, each entering [worker](tid). *)
-let create (linked : Machine.linked) ~threads ~worker : t =
+    [threads] machines, each entering [worker](tid). [quantum] is the
+    round-robin instruction quantum (default 32); different quanta give
+    different — but each individually reproducible — interleavings. *)
+let create ?(quantum = 32) (linked : Machine.linked) ~threads ~worker : t =
   if threads <= 0 then invalid_arg "Multi.create: threads must be positive";
+  if quantum <= 0 then invalid_arg "Multi.create: quantum must be positive";
   let wf =
     match Hashtbl.find_opt linked.fidx worker with
     | Some i -> linked.lfuncs.(i)
@@ -46,7 +49,7 @@ let create (linked : Machine.linked) ~threads ~worker : t =
           ~depth:0
         |> fun m -> { m with Machine.tid })
   in
-  { linked; mem; machines; quantum = 32 }
+  { linked; mem; machines; quantum }
 
 exception Deadlock
 
@@ -82,7 +85,7 @@ let run ?(fuel = 200_000_000) ?quantum (t : t) (hooks : int -> Machine.hooks) =
 let traces_of_program ?fuel ?quantum (p : Prog.t) ~threads ~worker :
     t * Trace.t array =
   let linked = Machine.link p in
-  let t = create linked ~threads ~worker in
+  let t = create ?quantum linked ~threads ~worker in
   let traces = Array.init threads (fun _ -> Trace.create ()) in
   run ?fuel ?quantum t (fun tid ->
       { Machine.no_hooks with on_event = Trace.push traces.(tid) });

@@ -19,8 +19,11 @@ type t = {
 exception Deadlock
 
 (** Initialize globals once and spawn [threads] machines, each entering
-    [worker](tid); the worker must take exactly one parameter. *)
-val create : Machine.linked -> threads:int -> worker:string -> t
+    [worker](tid); the worker must take exactly one parameter. [quantum]
+    sets the round-robin instruction quantum (default 32); different
+    quanta give different — but each individually reproducible —
+    interleavings. *)
+val create : ?quantum:int -> Machine.linked -> threads:int -> worker:string -> t
 
 (** Run all threads round-robin to completion. [hooks tid] supplies the
     per-thread hooks. Raises [Machine.Fuel_exhausted] when the combined

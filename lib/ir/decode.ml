@@ -479,8 +479,9 @@ type spmd = {
 (** [create_spmd d ~threads ~worker]: [threads] decoded machines sharing
     one memory image, thread [t] entering [worker](t) — the decoded
     equivalent of [Multi.create], same round-robin quantum default. *)
-let create_spmd (d : t) ~threads ~worker : spmd =
+let create_spmd ?(quantum = 32) (d : t) ~threads ~worker : spmd =
   if threads <= 0 then invalid_arg "Decode.create_spmd: threads must be positive";
+  if quantum <= 0 then invalid_arg "Decode.create_spmd: quantum must be positive";
   let wf =
     match Hashtbl.find_opt d.fidx worker with
     | Some i -> d.dfuncs.(i)
@@ -496,7 +497,7 @@ let create_spmd (d : t) ~threads ~worker : spmd =
         regs.(0) <- tid;
         make_st ~tid ~mem ~regs ~ops:wf.d_ops ())
   in
-  { sts; quantum = 32 }
+  { sts; quantum }
 
 exception Deadlock
 

@@ -61,8 +61,9 @@ type spmd = {
 exception Deadlock
 
 (** [threads] machines sharing one memory image, thread [t] entering
-    [worker](t); worker must take exactly the thread id. *)
-val create_spmd : t -> threads:int -> worker:string -> spmd
+    [worker](t); worker must take exactly the thread id. [quantum] sets
+    the round-robin instruction quantum (default 32). *)
+val create_spmd : ?quantum:int -> t -> threads:int -> worker:string -> spmd
 
 (** Run all threads to completion under the fixed round-robin quantum
     schedule (default 32, identical interleaving to [Multi.run]). *)

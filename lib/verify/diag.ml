@@ -30,6 +30,10 @@ type rule =
   | Missing_fence        (* persist: flushed but unfenced at a commit point *)
   | Early_commit         (* persist: the fence exists but after the commit *)
   | Redundant_flush      (* persist lint: flush covers no dirty site *)
+  | Data_race            (* race: conflicting pair, locks prove nothing *)
+  | Unlocked_shared_write(* race: conflicting pair with no locks at all *)
+  | Tid_overlap_unprovable (* race: tid-indexed footprints not provably disjoint *)
+  | Redundant_atomic     (* race lint: atomic on a thread-private word *)
 
 let rule_name = function
   | Antidep -> "antidep"
@@ -53,6 +57,10 @@ let rule_name = function
   | Missing_fence -> "missing-fence"
   | Early_commit -> "early-commit"
   | Redundant_flush -> "redundant-flush"
+  | Data_race -> "data-race"
+  | Unlocked_shared_write -> "unlocked-shared-write"
+  | Tid_overlap_unprovable -> "tid-overlap-unprovable"
+  | Redundant_atomic -> "redundant-atomic"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 

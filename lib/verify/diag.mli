@@ -29,6 +29,14 @@ type rule =
   | Early_commit          (** persist: a fence exists but only after the commit *)
   | Redundant_flush       (** persist lint: flush upgrades no dirty site on any
                               path *)
+  | Data_race             (** race: conflicting cross-thread pair whose locks
+                              prove no exclusion ([Race_check]) *)
+  | Unlocked_shared_write (** race: conflicting cross-thread pair with no
+                              locks held at all *)
+  | Tid_overlap_unprovable(** race: tid-indexed footprints not provably
+                              disjoint across threads *)
+  | Redundant_atomic      (** race lint: atomic RMW on a provably
+                              thread-private word *)
 
 (** Stable kebab-case name, used by tests and the CLI. *)
 val rule_name : rule -> string

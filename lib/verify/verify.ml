@@ -22,6 +22,7 @@ let h_idem = Obs.Hist.make "verify.tier_us.idem"
 let h_ckpt = Obs.Hist.make "verify.tier_us.ckpt"
 let h_semantic = Obs.Hist.make "verify.tier_us.semantic"
 let h_persist = Obs.Hist.make "verify.tier_us.persist"
+let h_race = Obs.Hist.make "verify.tier_us.race"
 
 (* Time one verifier tier: a span on the trace plus a sample in the
    tier's latency histogram. Single branch when instrumentation is off. *)
@@ -75,7 +76,15 @@ let run ?(sem = true) (c : Pipeline.compiled) : Diag.t list =
     then timed h_persist "tier:persist" (fun () -> per_func Persist_check.check_func)
     else []
   in
-  structural @ ids @ idem @ ckpt @ semantic @ persist
+  let race =
+    (* SPMD data-race freedom is a property of the final program under
+       every configuration (the SC-for-DRF premise of [Multi]), so the
+       tier arms on the entry convention alone. *)
+    if Race_check.spmd_entry prog <> None then
+      timed h_race "tier:race" (fun () -> Race_check.check prog)
+    else []
+  in
+  structural @ ids @ idem @ ckpt @ semantic @ persist @ race
 
 let errors diags = List.filter Diag.is_error diags
 

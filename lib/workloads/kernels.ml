@@ -225,7 +225,8 @@ let transactions fb ~accounts ~n_accounts ~lock_g ~iters ~work ?(think = 12) () 
         let s2 = mix fb seed in
         emit fb (Mov (seed, Reg s2));
         let b_idx = bin fb Rem (Reg s2) (Imm n_accounts) in
-        (* acquire *)
+        (* acquire: a locked fetch-add — [Cwsp_analysis.Race] names this
+           shape [Rmw_acquire] *)
         let _ = atomic_rmw fb Add lock 0 (Imm 1) in
         let a = bin fb Add (Reg accounts) (Reg (bin fb Mul (Reg a_idx) (Imm word))) in
         let b = bin fb Add (Reg accounts) (Reg (bin fb Mul (Reg b_idx) (Imm word))) in
@@ -236,7 +237,13 @@ let transactions fb ~accounts ~n_accounts ~lock_g ~iters ~work ?(think = 12) () 
         store fb a 0 (Reg va');
         store fb b 0 (Reg (bin fb Add (Reg vb) (Reg amount)));
         (* release: on TSO a plain store suffices (x86 unlock idiom); only
-           the acquire side is a locked RMW / sync point *)
+           the acquire side is a locked RMW / sync point. The race tier
+           recognizes exactly this shape — a plain store of 0 to a word
+           some acquire pattern targets — as [Cwsp_analysis.Race]'s
+           [Tso_release], so the critical section still certifies; the
+           dynamic monitor ([Cwsp_interp.Race_monitor]) blesses the same
+           store as a release edge. Any other value, or any other word,
+           stays an ordinary (checked) access. *)
         store fb lock 0 (Imm 0);
         (* non-transactional think time between critical sections; the
            result feeds the next transaction's seed so dead-code

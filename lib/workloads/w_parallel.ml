@@ -16,6 +16,9 @@ type t = {
   pname : string;
   pdescription : string;
   worker : string;
+  expect_racy : bool;
+      (* deliberately racy: the race tier must reject it and the dynamic
+         monitor must observe the race — tests assert both *)
   pbuild : scale:int -> threads:int -> Prog.t;
 }
 
@@ -41,6 +44,7 @@ let psweep =
     pname = "psweep";
     pdescription = "striped parallel array update (DRF, lock-free)";
     worker = "worker";
+    expect_racy = false;
     pbuild =
       (fun ~scale ~threads ->
         let words = 64 * 1024 in
@@ -80,6 +84,7 @@ let pcounter =
     pname = "pcounter";
     pdescription = "shared counter under a spinlock (mutual exclusion)";
     worker = "worker";
+    expect_racy = false;
     pbuild =
       (fun ~scale ~threads ->
         scaffold
@@ -106,6 +111,7 @@ let pcounter_racy =
     pname = "pcounter-racy";
     pdescription = "shared counter without a lock (lost updates expected)";
     worker = "worker";
+    expect_racy = true;
     pbuild =
       (fun ~scale ~threads ->
         scaffold
@@ -127,6 +133,7 @@ let ptransactions =
     pname = "ptx";
     pdescription = "locked account transfers with per-thread think time";
     worker = "worker";
+    expect_racy = false;
     pbuild =
       (fun ~scale ~threads ->
         let accounts_words = 32 * 1024 in
@@ -163,7 +170,55 @@ let ptransactions =
           () ~threads);
   }
 
-let all = [ psweep; pcounter; pcounter_racy; ptransactions ]
+(* Inline lock with the TSO release idiom: a CAS-acquire spin written
+   directly in the worker and a *plain* store of 0 as the unlock — the
+   x86 pattern [Kernels.transactions] also uses, recognized by the race
+   tier as [Race.Tso_release]. DRF: every shared access happens between
+   the CAS and the release store. *)
+let ptso =
+  {
+    pname = "ptso";
+    pdescription = "masked shared updates under an inline CAS/TSO-release lock";
+    worker = "worker";
+    expect_racy = false;
+    pbuild =
+      (fun ~scale ~threads ->
+        let words = 1024 in
+        scaffold
+          ~globals:[ Defs.g "tso_acc" (words * 8); Defs.g "tso_lock" 8 ]
+          ~worker_body:(fun fb ~threads:_ ->
+            let tid = param fb 0 in
+            let acc = la fb "tso_acc" in
+            let lock = la fb "tso_lock" in
+            let seed = bin fb Add (Reg (imm fb 88172645)) (Reg tid) in
+            let _ =
+              loop fb ~from:(Imm 0) ~below:(Imm (200 * scale)) (fun _i ->
+                  let s = mix fb seed in
+                  emit fb (Types.Mov (seed, Reg s));
+                  let idx = bin fb And (Reg s) (Imm (words - 1)) in
+                  let off = bin fb Shl (Reg idx) (Imm 3) in
+                  (* inline CAS-acquire spin (same shape as Libc.spin_lock) *)
+                  let head = block fb in
+                  let cont = block fb in
+                  jmp fb head;
+                  switch_to fb head;
+                  let old = cas fb lock 0 ~expected:(Imm 0) ~desired:(Imm 1) in
+                  let got = cmp fb Eq (Reg old) (Imm 0) in
+                  br fb got ~ifso:cont ~ifnot:head;
+                  switch_to fb cont;
+                  let slot = bin fb Add (Reg acc) (Reg off) in
+                  let v = load fb slot 0 in
+                  store fb slot 0 (Reg (bin fb Add (Reg v) (Imm 1)));
+                  (* TSO release: plain store of 0 publishes the section *)
+                  store fb lock 0 (Imm 0))
+            in
+            let ck = la fb "checksum" in
+            let slot = bin fb Add (Reg ck) (Reg (bin fb Shl (Reg tid) (Imm 3))) in
+            store fb slot 0 (Reg seed))
+          () ~threads);
+  }
+
+let all = [ psweep; pcounter; pcounter_racy; ptransactions; ptso ]
 
 let find_exn name =
   match List.find_opt (fun w -> w.pname = name) all with

@@ -114,3 +114,93 @@ let gen_program seed : Prog.t =
       Builder.ret fb None);
   Builder.set_main b "main";
   Builder.finish b
+
+(* ---- SPMD generation ---- *)
+
+(* Random SPMD programs for the multi-thread differential oracle and as
+   a soundness hammer for the race tier: a [`Drf] seed mixes tid-striped
+   private traffic, a spinlock-protected shared section and an atomic
+   shared accumulator — all idioms [Cwsp_verify.Race_check] certifies —
+   while a [`Racy] seed plants exactly one defect (unlocked shared
+   section, plain accumulator, or a stride widened into the neighbour's
+   stripe). Workers deliberately avoid the allocator and [lcg_next]:
+   their bump pointer / hidden state is itself shared and would race. *)
+
+let spmd_threads = 4 (* stripe sizing bound; runs may use fewer *)
+let spmd_stripe = 32 (* words of private stripe per thread *)
+
+let gen_spmd_program seed : Prog.t * [ `Drf | `Racy ] =
+  let open Builder in
+  let rng = Rng.create (0x5bd1e995 * (seed + 1)) in
+  let racy = Rng.int rng 3 = 0 in
+  let defect = Rng.int rng 3 in
+  let b = Builder.program () in
+  Cwsp_runtime.Libc.add b;
+  Builder.global b "sp_arr" ~size:(spmd_stripe * spmd_threads * 8) ();
+  Builder.global b "sp_shared" ~size:(32 * 8) ();
+  Builder.global b "sp_res" ~size:(spmd_threads * 8) ();
+  Builder.global b "sp_lock" ~size:8 ();
+  Builder.global b "sp_acc" ~size:8 ();
+  Builder.func b "worker" ~nparams:1 (fun fb ->
+      let tid = param fb 0 in
+      let arr = la fb "sp_arr" in
+      let shared = la fb "sp_shared" in
+      let lock = la fb "sp_lock" in
+      let accw = la fb "sp_acc" in
+      let mybase =
+        bin fb Add (Reg arr) (Reg (bin fb Mul (Reg tid) (Imm (spmd_stripe * 8))))
+      in
+      let acc = imm fb (Rng.int rng 100) in
+      let iters = 4 + Rng.int rng 8 in
+      let locked_section =
+        (* the drawn defect must actually exist in the program *)
+        Rng.int rng 4 < 3 || (racy && defect = 0)
+      in
+      let use_acc = Rng.bool rng in
+      let _ =
+        loop fb ~from:(Imm 0) ~below:(Imm iters) (fun i ->
+            (* tid-striped private traffic; defect 2 widens the index
+               mask into the neighbour's stripe *)
+            let mask =
+              if racy && defect = 2 then (2 * spmd_stripe) - 1
+              else spmd_stripe - 1
+            in
+            let idx = bin fb And (Reg (bin fb Add (Reg i) (Reg acc))) (Imm mask) in
+            let off = bin fb Shl (Reg idx) (Imm 3) in
+            let slot = bin fb Add (Reg mybase) (Reg off) in
+            let v = load fb slot 0 in
+            let v2 = bin fb (rand_binop rng) (Reg v) (rand_operand rng [ acc; i ]) in
+            store fb slot 0 (Reg v2);
+            emit fb (Types.Mov (acc, Reg (bin fb Xor (Reg acc) (Reg v2))));
+            (* shared section; defect 0 drops the lock *)
+            if locked_section then begin
+              let sidx = bin fb And (Reg acc) (Imm 31) in
+              let sslot = bin fb Add (Reg shared) (Reg (bin fb Shl (Reg sidx) (Imm 3))) in
+              if racy && defect = 0 then begin
+                let sv = load fb sslot 0 in
+                store fb sslot 0 (Reg (bin fb Add (Reg sv) (Imm 1)))
+              end
+              else begin
+                call_void fb "spin_lock" [ Reg lock ];
+                let sv = load fb sslot 0 in
+                store fb sslot 0 (Reg (bin fb Add (Reg sv) (Imm 1)));
+                call_void fb "spin_unlock" [ Reg lock ]
+              end
+            end;
+            (* shared accumulator; defect 1 downgrades it to plain *)
+            if use_acc || (racy && defect = 1) then
+              if racy && defect = 1 then begin
+                let av = load fb accw 0 in
+                store fb accw 0 (Reg (bin fb Add (Reg av) (Reg v2)))
+              end
+              else ignore (atomic_rmw fb Types.Add accw 0 (Reg v2)))
+      in
+      let res = la fb "sp_res" in
+      let rslot = bin fb Add (Reg res) (Reg (bin fb Shl (Reg tid) (Imm 3))) in
+      store fb rslot 0 (Reg acc);
+      ret fb None);
+  Builder.func b "main" ~nparams:0 (fun fb ->
+      call_void fb "worker" [ Imm 0 ];
+      ret fb None);
+  Builder.set_main b "main";
+  (Builder.finish b, if racy then `Racy else `Drf)

@@ -49,8 +49,24 @@ let test_spmd_identity () =
                    ~worker:w.worker))
             Cwsp_compiler.Pipeline.[ baseline; cwsp ])
         [ 2; 4 ])
-    Cwsp_workloads.W_parallel.
-      [ psweep; pcounter; pcounter_racy; ptransactions ]
+    Cwsp_workloads.W_parallel.all
+
+(* SPMD fuzz differential: racy seeds included deliberately — whatever
+   the interleaving does, both engines must do it identically. *)
+let test_spmd_fuzz_differential () =
+  for seed = 1 to 30 do
+    let prog, kind = Fuzz_gen.gen_spmd_program seed in
+    List.iter
+      (fun threads ->
+        let label =
+          Printf.sprintf "spmd seed %d@%d (%s)" seed threads
+            (match kind with `Drf -> "drf" | `Racy -> "racy")
+        in
+        ok label
+          (Oracle.check_spmd ~fuel:2_000_000 ~label prog ~threads
+             ~worker:"worker"))
+      [ 2; 3 ]
+  done
 
 let test_fuzz_differential () =
   for seed = 1 to 80 do
@@ -88,8 +104,10 @@ let () =
         [
           Alcotest.test_case "registry identity (all workloads x 2 configs)"
             `Slow test_registry_identity;
-          Alcotest.test_case "SPMD identity (4 workloads x 2 threads x 2 configs)"
+          Alcotest.test_case "SPMD identity (all parallel workloads x 2 threads x 2 configs)"
             `Slow test_spmd_identity;
+          Alcotest.test_case "SPMD fuzz differential (30 programs x 2 thread counts)"
+            `Slow test_spmd_fuzz_differential;
           Alcotest.test_case "fuzz differential (80 programs x 2 configs)"
             `Slow test_fuzz_differential;
           Alcotest.test_case "oracle trace roundtrip" `Quick

@@ -146,6 +146,31 @@ let test_alias_soundness () =
       accesses
   done
 
+(* SPMD semantic equivalence, DRF seeds only: instrumentation changes
+   the instruction counts and therefore the round-robin interleaving,
+   but a data-race-free program's result must not depend on the
+   interleaving (the SC-for-DRF premise) — so the instrumented binary
+   must still produce the baseline's final data memory. Racy seeds are
+   skipped: their result is interleaving-dependent by design, and the
+   pipeline hook below would (correctly) reject compiling them. *)
+let test_spmd_semantic_equivalence () =
+  for seed = 1 to 40 do
+    let prog, kind = Fuzz_gen.gen_spmd_program seed in
+    if kind = `Drf then begin
+      let run config =
+        let compiled = Cwsp_compiler.Pipeline.compile ~config prog in
+        let t, _ =
+          Cwsp_interp.Multi.traces_of_program ~fuel:2_000_000 compiled.prog
+            ~threads:3 ~worker:"worker"
+        in
+        data_words t.mem
+      in
+      if
+        run Cwsp_compiler.Pipeline.baseline <> run Cwsp_compiler.Pipeline.cwsp
+      then Alcotest.failf "spmd seed %d: final memory diverges" seed
+    end
+  done
+
 (* The static verifier as a fuzzing oracle: every randomized program,
    compiled under every instrumented configuration, must verify clean. *)
 let test_verifier_clean () =
@@ -178,6 +203,8 @@ let () =
             test_crash_recovery_fuzz;
           Alcotest.test_case "alias soundness (80 programs)" `Slow
             test_alias_soundness;
+          Alcotest.test_case "SPMD semantic equivalence (DRF seeds of 40)" `Slow
+            test_spmd_semantic_equivalence;
           Alcotest.test_case "verifier clean (80 programs x 3 configs)" `Slow
             test_verifier_clean;
         ] );
