@@ -19,19 +19,33 @@
 
     {2 Named lock-operation patterns}
 
-    - [Cas_acquire]: [cas (expected 0) (desired nonzero)] — the
-      spinlock acquire in [Cwsp_runtime.Libc.spin_lock].
-    - [Rmw_acquire]: [atomic_rmw (Add|Or) _ (Imm nonzero)] — the
-      locked fetch-add acquire written inline by
-      [Workloads.Kernels.transactions].
-    - [Rmw_release]: [atomic_rmw And _ (Imm 0)] — [spin_unlock].
+    - [Cas_acquire]: a {e guarded} [cas (expected 0) (desired nonzero)]
+      — the spinlock acquire in [Cwsp_runtime.Libc.spin_lock] and the
+      inline spins in [Workloads.Kernels.transactions] /
+      [Workloads.W_parallel.ptso]. Guarded means the CAS result is
+      compared against the expected value and the failure edge of that
+      comparison branches back to re-execute the CAS ([cas_guarded]):
+      only then does a successful CAS witness that no other thread
+      holds the lock. A CAS whose outcome is ignored, or whose failure
+      path proceeds into the "critical" section anyway, excludes
+      nothing and is demoted to an ordinary atomic data access.
+    - [Rmw_release]: [atomic_rmw And _ (Imm 0)] — [spin_unlock]. The
+      release applies its lockset effect {e and} is still recorded as
+      an atomic write to the word, so mixed atomic/plain traffic on the
+      word stays visible to classification.
     - [Tso_release]: a *plain* store of 0 to a known lock word — the
       x86 unlock idiom [Workloads.Kernels.transactions] uses ("on TSO a
       plain store suffices"). Under the interpreter's SC-interleaving
       memory this publishes the critical section exactly like an atomic
       release, so the lockset treats it as one; it is only recognized
-      on words some acquire pattern targets, anything else stored to a
-      lock word remains an ordinary (racy) access.
+      on words some {e guarded} acquire targets, anything else stored
+      to a lock word remains an ordinary (racy) access.
+
+    A bare fetch-add such as [atomic_rmw Add lock (Imm 1)] with the
+    result discarded is deliberately {e not} an acquire: it never
+    blocks or retries, so every thread sails into the section and the
+    only thing the RMW provides is atomicity of its own update. It is
+    classified as what it is — an [Ip.Rmw] data access.
 
     A lock identity must be a provably unique concrete word
     ([Ta.exact_place]); acquire shapes on unprovable addresses are
@@ -45,22 +59,95 @@ module Ip = Interproc
 
 (* ---- named patterns ---- *)
 
-type pattern = Cas_acquire | Rmw_acquire | Rmw_release | Tso_release
+type pattern = Cas_acquire | Rmw_release | Tso_release
 
 let pattern_name = function
   | Cas_acquire -> "cas-acquire"
-  | Rmw_acquire -> "rmw-acquire"
   | Rmw_release -> "rmw-release"
   | Tso_release -> "tso-release"
 
-(* Shape-level classification (address not yet considered). *)
+(* Shape-level classification (address and guard not yet considered). *)
 let atomic_pattern (ins : Types.instr) : pattern option =
   match ins with
   | Types.Cas (_, _, _, Types.Imm 0, Types.Imm d) when d <> 0 -> Some Cas_acquire
-  | Types.Atomic_rmw ((Types.Add | Types.Or), _, _, _, Types.Imm s) when s <> 0
-    -> Some Rmw_acquire
   | Types.Atomic_rmw (Types.And, _, _, _, Types.Imm 0) -> Some Rmw_release
   | _ -> None
+
+(* ---- acquire-guard verification ---- *)
+
+(* Register written by an instruction, if any. *)
+let def_of = function
+  | Types.Bin (_, d, _, _)
+  | Types.Cmp (_, d, _, _)
+  | Types.Mov (d, _)
+  | Types.La (d, _)
+  | Types.Load (d, _, _)
+  | Types.Atomic_rmw (_, d, _, _, _)
+  | Types.Cas (d, _, _, _, _)
+  | Types.Call (_, _, Some d) -> Some d
+  | _ -> None
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+(* Does label [l] re-execute the CAS's block [target]? Either directly,
+   or through a short chain of empty forwarding blocks. *)
+let rec retries_to (fn : Prog.func) ~target l ~depth =
+  l = target
+  || depth > 0
+     && (let blk = fn.blocks.(l) in
+         blk.instrs = []
+         &&
+         match blk.term with
+         | Types.Jmp l' -> retries_to fn ~target l' ~depth:(depth - 1)
+         | _ -> false)
+
+(** A [Cas_acquire] shape only acquires if it is {e guarded}: within
+    its block the CAS result [d] is compared against the expected value
+    0 (before any redefinition of [d]), the comparison result reaches
+    the block terminator unclobbered, and the terminator branches the
+    {e failure} side back to the CAS's own block — i.e. the thread
+    spins until the CAS succeeds. Anything looser (result ignored,
+    failure path falling through into the section) provides no mutual
+    exclusion. *)
+let cas_guarded (fn : Prog.func) ~bi ~ii d : bool =
+  let blk = fn.blocks.(bi) in
+  let rec find_guard = function
+    | [] -> None
+    | Types.Cmp (((Types.Eq | Types.Ne) as op), g, Types.Reg r, Types.Imm 0) :: tl
+      when r = d ->
+      Some (op, g, tl)
+    | Types.Cmp (((Types.Eq | Types.Ne) as op), g, Types.Imm 0, Types.Reg r) :: tl
+      when r = d ->
+      Some (op, g, tl)
+    | ins :: tl -> if def_of ins = Some d then None else find_guard tl
+  in
+  match find_guard (drop (ii + 1) blk.instrs) with
+  | None -> false
+  | Some (op, g, rest) -> (
+    List.for_all (fun ins -> def_of ins <> Some g) rest
+    &&
+    match blk.term with
+    | Types.Br (r, ifso, ifnot) when r = g ->
+      (* [Br] takes [ifso] when g <> 0: for [Eq old 0] success is the
+         taken edge, for [Ne old 0] success is the fall-through. *)
+      let fail = match op with Types.Eq -> ifnot | _ -> ifso in
+      retries_to fn ~target:bi fail ~depth:4
+    | _ -> false)
+
+(* Guarded Cas_acquire sites of a function, keyed by (block, instr). *)
+let guarded_sites (fn : Prog.func) : (int * int, unit) Hashtbl.t =
+  let t = Hashtbl.create 4 in
+  Array.iteri
+    (fun bi (blk : Prog.block) ->
+      List.iteri
+        (fun ii ins ->
+          match ins with
+          | Types.Cas (d, _, _, Types.Imm 0, Types.Imm dz) when dz <> 0 ->
+            if cas_guarded fn ~bi ~ii d then Hashtbl.replace t (bi, ii) ()
+          | _ -> ())
+        blk.instrs)
+    fn.blocks;
+  t
 
 (* ---- lockset flow state ---- *)
 
@@ -86,6 +173,7 @@ type effect_ =
 type fctx = {
   fn : Prog.func;
   av : Ta.t array array; (* tid-affine entry states per block *)
+  guarded : (int * int, unit) Hashtbl.t; (* guarded Cas_acquire sites *)
   lock_objs : (Ta.place, unit) Hashtbl.t; (* exact words some acquire targets *)
   lookup : string -> Ip.summary option;
 }
@@ -96,12 +184,16 @@ let operand_av (av : Ta.t array) = function
 
 let args_av av args = Array.of_list (List.map (operand_av av) args)
 
-(* Classify one instruction given the live tid-affine state. *)
-let effect_of (ctx : fctx) (av : Ta.t array) (ins : Types.instr) : effect_ =
+(* Classify one instruction given the live tid-affine state. [bi]/[ii]
+   locate the instruction so [Cas_acquire] shapes can be checked for a
+   guard; unguarded ones stay [Enone] (ordinary atomic data access). *)
+let effect_of (ctx : fctx) (av : Ta.t array) ~bi ~ii (ins : Types.instr) :
+    effect_ =
   match ins with
   | Types.Cas (_, base, _, _, _) | Types.Atomic_rmw (_, _, base, _, _) -> (
     match atomic_pattern ins with
     | None -> Enone
+    | Some Cas_acquire when not (Hashtbl.mem ctx.guarded (bi, ii)) -> Enone
     | Some pat -> (
       let off =
         match ins with
@@ -112,7 +204,7 @@ let effect_of (ctx : fctx) (av : Ta.t array) (ins : Types.instr) : effect_ =
       if not (Ta.exact_place p) then Enone
       else
         match pat with
-        | Cas_acquire | Rmw_acquire -> Eacquire p
+        | Cas_acquire -> Eacquire p
         | Rmw_release | Tso_release -> Erelease p))
   | Types.Store (base, off, Types.Imm 0) ->
     (* Tso_release: plain unlock store, only on known lock words *)
@@ -169,9 +261,9 @@ module Lockset_problem = struct
     | Some ls ->
       let av = Array.copy ctx.av.(bi) in
       let state = ref ls in
-      List.iter
-        (fun ins ->
-          state := apply_effect !state (effect_of ctx av ins);
+      List.iteri
+        (fun ii ins ->
+          state := apply_effect !state (effect_of ctx av ~bi ~ii ins);
           Ta.step av ins)
         fn.blocks.(bi).instrs;
       Some !state
@@ -191,7 +283,8 @@ type fresult = {
 let analyze ~(lookup : string -> Ip.summary option) ?tid_param (fn : Prog.func)
     : fresult =
   let av, reachable = Ta.block_entry_states ?tid_param fn in
-  (* Pre-pass: every exact word an acquire pattern (direct or via a
+  let guarded = guarded_sites fn in
+  (* Pre-pass: every exact word a *guarded* acquire (direct or via a
      summarized callee) targets is a lock object; the set must exist
      before the lockset flow so [Tso_release] stores classify. *)
   let lock_objs : (Ta.place, unit) Hashtbl.t = Hashtbl.create 4 in
@@ -199,13 +292,12 @@ let analyze ~(lookup : string -> Ip.summary option) ?tid_param (fn : Prog.func)
     (fun bi (blk : Prog.block) ->
       if reachable.(bi) then begin
         let st = Array.copy av.(bi) in
-        List.iter
-          (fun ins ->
+        List.iteri
+          (fun ii ins ->
             (match ins with
-            | Types.Cas (_, base, off, _, _)
-            | Types.Atomic_rmw (_, _, base, off, _) -> (
+            | Types.Cas (_, base, off, _, _) -> (
               match atomic_pattern ins with
-              | Some (Cas_acquire | Rmw_acquire) ->
+              | Some Cas_acquire when Hashtbl.mem guarded (bi, ii) ->
                 let p = Ta.place_of st.(base) ~disp:off in
                 if Ta.exact_place p then Hashtbl.replace lock_objs p ()
               | _ -> ())
@@ -225,7 +317,7 @@ let analyze ~(lookup : string -> Ip.summary option) ?tid_param (fn : Prog.func)
           blk.instrs
       end)
     fn.blocks;
-  let ctx = { fn; av; lock_objs; lookup } in
+  let ctx = { fn; av; guarded; lock_objs; lookup } in
   let solved = Lockset_solver.solve ctx fn in
   (* Collection pass: data accesses with the locks held at them, plus
      the exit-state lock discipline facts. *)
@@ -244,8 +336,16 @@ let analyze ~(lookup : string -> Ip.summary option) ?tid_param (fn : Prog.func)
         in
         List.iteri
           (fun ii ins ->
-            let eff = effect_of ctx st ins in
+            let eff = effect_of ctx st ~bi ~ii ins in
             (match (eff, ins) with
+            | Erelease _, Types.Atomic_rmw (_, _, base, off, _) ->
+              (* Rmw_release: lockset effect *and* an atomic write to
+                 the word — mixed atomic/plain traffic must stay
+                 classifiable *)
+              accesses :=
+                { Ip.kind = Ip.Rmw; place = Ta.place_of st.(base) ~disp:off;
+                  locks = !ls.must; bi; ii; path = "" }
+                :: !accesses
             | (Eacquire _ | Erelease _), _ -> () (* lock op, not data *)
             | Ecall (f, _), Types.Call (_, args, _) ->
               (* re-instantiate with the true position *)

@@ -9,17 +9,26 @@ module Ta = Tid_affine
 module Ip = Interproc
 
 (** The lock-operation idioms recognized, as named patterns:
-    [Cas_acquire] ([Libc.spin_lock]), [Rmw_acquire] (locked fetch-add,
-    [Kernels.transactions]), [Rmw_release] ([Libc.spin_unlock]), and
-    [Tso_release] — the plain-store-of-0 x86 unlock idiom
-    [Kernels.transactions] uses, recognized only on words some acquire
-    pattern targets. *)
-type pattern = Cas_acquire | Rmw_acquire | Rmw_release | Tso_release
+    [Cas_acquire] (the guarded CAS spin of [Libc.spin_lock] and the
+    inline acquire in [Kernels.transactions]), [Rmw_release]
+    ([Libc.spin_unlock]), and [Tso_release] — the plain-store-of-0 x86
+    unlock idiom [Kernels.transactions] uses, recognized only on words
+    some guarded acquire targets. A bare fetch-add with its result
+    discarded is {e not} an acquire (it never blocks, so it excludes
+    nothing) and stays an ordinary atomic data access. *)
+type pattern = Cas_acquire | Rmw_release | Tso_release
 
 val pattern_name : pattern -> string
 
-(** Shape-level classification of an atomic instruction. *)
+(** Shape-level classification of an atomic instruction. A
+    [Cas_acquire] shape only *acts* as an acquire when [cas_guarded]
+    additionally holds at its site. *)
 val atomic_pattern : Types.instr -> pattern option
+
+(** Is the CAS at [(bi, ii)] with result register [d] guarded — result
+    compared against the expected value 0 and the failure edge looping
+    back to retry the CAS? Only guarded CAS shapes acquire. *)
+val cas_guarded : Prog.func -> bi:int -> ii:int -> int -> bool
 
 (** Per-function result, also usable directly in tests. *)
 type fresult = {

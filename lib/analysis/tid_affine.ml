@@ -46,8 +46,12 @@ let checked_mul a b =
   if a = 0 || b = 0 then Some 0
   else
     let p = a * b in
-    if p / b = a && (p <> min_int || (a = 1 && b = min_int)) then Some p
-    else None
+    (* [min_int] products are rejected even when exact: [min_int] is the
+       -inf sentinel, and a coefficient of [min_int] cannot be negated
+       without wrapping (sub_av, exists_mult). *)
+    if p / b = a && p <> min_int then Some p else None
+
+let checked_sub a b = if b = min_int then None else checked_add a (-b)
 
 (* Interval-bound addition: infinities absorb, finite overflow fails. *)
 let bound_add a b =
@@ -110,7 +114,9 @@ let sub_av a b =
       | _ -> None
     in
     let neg x = if x = ninf then pinf else if x = pinf then ninf else -x in
-    match (base, checked_add a.k (-b.k)) with
+    (* [checked_sub], not [checked_add _ (-k)]: negating k = min_int
+       wraps and would feed a wrong coefficient to disjointness *)
+    match (base, checked_sub a.k b.k) with
     | Some base, Some k ->
       mk base k (bound_add a.lo (neg b.hi)) (bound_add a.hi (neg b.lo))
     | _ -> Top)
@@ -362,16 +368,20 @@ let place_to_string = function
 type verdict = Disjoint | Overlap | Unknown
 
 (* Is there an integer t >= tmin with k*t in [a, b]?  (k <> 0, finite
-   window; an empty window has no solution.) *)
+   window; an empty window has no solution.) [None] when the
+   normalization itself would wrap — [min_int] cannot be negated — so
+   the caller answers Unknown rather than risking a wrapped Disjoint. *)
 let exists_mult k (a, b) ~tmin =
-  if b < a then false
+  if b < a then Some false
+  else if k = min_int || a = min_int || b = min_int then None
   else
     let k, a, b = if k > 0 then (k, a, b) else (-k, -b, -a) in
-    (* smallest multiple of k that is >= max a (k*tmin) *)
-    let floor_div x y = if x >= 0 then x / y else -(((-x) + y - 1) / y) in
-    let ceil_div x y = if x >= 0 then (x + y - 1) / y else -((-x) / y) in
+    (* divisions written via [mod] so they cannot overflow (the additive
+       forms [x + y - 1] wrap for x near max_int) *)
+    let floor_div x y = if x >= 0 || x mod y = 0 then x / y else (x / y) - 1 in
+    let ceil_div x y = if x <= 0 || x mod y = 0 then x / y else (x / y) + 1 in
     let tlo = max tmin (ceil_div a k) in
-    tlo <= floor_div b k
+    Some (tlo <= floor_div b k)
 
 let finite lo hi = lo > ninf && hi < pinf
 
@@ -386,21 +396,38 @@ let cross_thread p1 p2 : verdict =
   | Pglob a, Pglob b ->
     if a.g <> b.g then Disjoint
     else
-      (* 8-byte word footprints: [lo, hi+7] *)
-      let ahi = if a.hi = pinf then pinf else a.hi + 7 in
-      let bhi = if b.hi = pinf then pinf else b.hi + 7 in
+      (* 8-byte word footprints: [lo, hi+7]; a finite upper bound that
+         cannot be widened without wrapping saturates to +inf, which
+         downstream turns into Unknown/Overlap, never Disjoint *)
+      let sat7 h =
+        if h = pinf then pinf
+        else match checked_add h 7 with Some v -> v | None -> pinf
+      in
+      let ahi = sat7 a.hi in
+      let bhi = sat7 b.hi in
       if a.k = 0 && b.k = 0 then
         if a.lo <= bhi && b.lo <= ahi then Overlap else Disjoint
-      else if a.k = b.k then
+      else if a.k = b.k then begin
         if not (finite a.lo ahi && finite b.lo bhi) then Unknown
-        else if
+        else
           (* footprints collide iff k*d ∈ [a.lo-bhi, ahi-b.lo] for some
              thread gap d = t2-t1 <> 0; by symmetry d >= 1 suffices
-             after also checking the mirrored window. *)
-          exists_mult a.k (a.lo - bhi, ahi - b.lo) ~tmin:1
-          || exists_mult a.k (b.lo - ahi, bhi - a.lo) ~tmin:1
-        then Overlap
-        else Disjoint
+             after also checking the mirrored window. Window bounds go
+             through checked subtraction: a wrapped window could answer
+             a false Disjoint. *)
+          match
+            ( checked_sub a.lo bhi, checked_sub ahi b.lo,
+              checked_sub b.lo ahi, checked_sub bhi a.lo )
+          with
+          | Some w1l, Some w1h, Some w2l, Some w2h -> (
+            match
+              ( exists_mult a.k (w1l, w1h) ~tmin:1,
+                exists_mult a.k (w2l, w2h) ~tmin:1 )
+            with
+            | Some e1, Some e2 -> if e1 || e2 then Overlap else Disjoint
+            | _ -> Unknown)
+          | _ -> Unknown
+      end
       else if a.k = 0 || b.k = 0 then begin
         (* fixed window vs a striped family: exact, since the striped
            side's thread ranges over all t >= 0 and the fixed side is
@@ -410,14 +437,20 @@ let cross_thread p1 p2 : verdict =
           else (b.lo, bhi, a.k, a.lo, ahi)
         in
         if not (finite flo fhi && finite slo shi) then Unknown
-        else if exists_mult sk (flo - shi, fhi - slo) ~tmin:0 then Overlap
-        else Disjoint
+        else
+          match (checked_sub flo shi, checked_sub fhi slo) with
+          | Some wl, Some wh -> (
+            match exists_mult sk (wl, wh) ~tmin:0 with
+            | Some true -> Overlap
+            | Some false -> Disjoint
+            | None -> Unknown)
+          | _ -> Unknown
       end
       else begin
         (* distinct nonzero strides: no closed form here; scan small
            thread pairs for a provable overlap, otherwise give up. This
            branch only affects diagnostic classification — Disjoint is
-           never claimed. *)
+           never claimed — so overflowing candidates are just skipped. *)
         if not (finite a.lo ahi && finite b.lo bhi) then Unknown
         else begin
           let hit = ref false in
@@ -427,9 +460,14 @@ let cross_thread p1 p2 : verdict =
                 match
                   ( checked_mul a.k t1, checked_mul b.k t2 )
                 with
-                | Some o1, Some o2 ->
-                  if a.lo + o1 <= bhi + o2 && b.lo + o2 <= ahi + o1 then
-                    hit := true
+                | Some o1, Some o2 -> (
+                  match
+                    ( checked_add a.lo o1, checked_add bhi o2,
+                      checked_add b.lo o2, checked_add ahi o1 )
+                  with
+                  | Some alo1, Some bhi2, Some blo2, Some ahi1 ->
+                    if alo1 <= bhi2 && blo2 <= ahi1 then hit := true
+                  | _ -> ())
                 | _ -> ()
               end
             done

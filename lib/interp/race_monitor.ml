@@ -15,14 +15,24 @@
       vector, and flags any access that the recorded epoch does not
       happen-before;
     - any word an [Atomic] event ever targets is a {e sync word} from
-      then on. Atomics on a sync word form a release/acquire chain
-      ([vc_t ⊔= L\[a\]; L\[a\] := vc_t]) — exactly how the spinlock's
-      CAS and [atomic_rmw] unlock publish a critical section;
+      then on. Atomics that write (RMWs, successful CAS) form a
+      release/acquire chain ([vc_t ⊔= L\[a\]; L\[a\] := vc_t]) —
+      exactly how the spinlock's CAS and [atomic_rmw] unlock publish a
+      critical section. A {e failed} CAS (no store committed) is an
+      atomic read: it acquires ([vc_t ⊔= L\[a\]]) but does not release,
+      so spinning threads cannot overwrite the holder's release clock;
     - a {e plain} store of 0 to a sync word is the TSO release idiom
       ([Race.Tso_release]): it publishes like an atomic release
-      ([L\[a\] := vc_t]) and is not itself a checked access. Any other
-      plain access to a sync word is checked like ordinary data — that
-      is what catches mixed atomic/plain accesses to one word;
+      ([L\[a\] := vc_t]) and is not itself a checked access — but only
+      when the storing thread's VC {e dominates} the word's current
+      release clock, i.e. the thread actually synchronized on this word
+      (its acquire joined, and nobody released since). A non-holder's
+      0-store must not impersonate a release: it would both escape
+      checking and overwrite the true holder's release VC, distorting
+      happens-before for every later acquirer. Such stores, and any
+      other plain access to a sync word, are checked like ordinary
+      data — that is what catches mixed atomic/plain accesses to one
+      word;
     - the per-thread register-checkpoint area ([Layout.is_ckpt_addr])
       is exempt: slots are thread-private by construction.
 
@@ -118,12 +128,32 @@ let observe ?(fuel = 200_000_000) ?(quantum = 32) (p : Prog.t) ~threads
     c.l <- Some (Array.copy vc.(tid));
     vc.(tid).(tid) <- vc.(tid).(tid) + 1
   in
+  (* The storing thread holds the word's synchronization iff its VC
+     dominates the recorded release clock: its acquire joined that
+     clock and no other thread released since. *)
+  let holds_sync c tid =
+    match c.l with
+    | None -> false
+    | Some l ->
+      let ok = ref true in
+      Array.iteri (fun i v -> if vc.(tid).(i) < v then ok := false) l;
+      !ok
+  in
   (* [on_store] fires before [on_event] for the same instruction, so the
-     stored value is buffered per thread until the event classifies it. *)
+     stored value is buffered per thread until the event classifies it.
+     [wrote] marks that the current instruction actually wrote memory —
+     a *failed* CAS fires the Atomic event with no store, which is how
+     the monitor tells a spinning acquire attempt from a successful
+     one. The flag is cleared at the end of every event (each
+     instruction commits exactly one). *)
   let pending = Array.make threads 0 in
+  let wrote = Array.make threads false in
   let hooks tid =
     {
-      Machine.on_store = (fun ~addr:_ ~old:_ ~value -> pending.(tid) <- value);
+      Machine.on_store =
+        (fun ~addr:_ ~old:_ ~value ->
+          pending.(tid) <- value;
+          wrote.(tid) <- true);
       on_event =
         (fun ev ->
           let tag = Event.tag ev in
@@ -138,16 +168,19 @@ let observe ?(fuel = 200_000_000) ?(quantum = 32) (p : Prog.t) ~threads
                 record_read c tid
               end
               else if tag = Event.tag_store then begin
-                if c.sync && pending.(tid) = 0 then release c tid
+                if c.sync && pending.(tid) = 0 && holds_sync c tid then
+                  release c tid
                 else begin
                   check_write c addr tid;
                   check_reads c addr tid;
                   record_write c tid ~plain:true
                 end
               end
-              else begin
-                (* Atomic: the chain orders it against every earlier
-                   atomic on the word, so only plain state is checked. *)
+              else if wrote.(tid) then begin
+                (* Atomic that wrote (RMW or successful CAS): a full
+                   acquire+release link. The chain orders it against
+                   every earlier atomic on the word, so only plain
+                   state is checked. *)
                 c.sync <- true;
                 if c.w_plain then check_write c addr tid;
                 check_reads c addr tid;
@@ -155,8 +188,19 @@ let observe ?(fuel = 200_000_000) ?(quantum = 32) (p : Prog.t) ~threads
                 record_write c tid ~plain:false;
                 release c tid
               end
+              else begin
+                (* Failed CAS: an atomic read — acquire edge only. It
+                   must NOT release (a spinner overwriting [l] with its
+                   own VC would let the holder's later unlock store fail
+                   the [holds_sync] test) and writes nothing, so only
+                   the plain-write state is checked. *)
+                c.sync <- true;
+                if c.w_plain then check_write c addr tid;
+                match c.l with Some l -> join vc.(tid) l | None -> ()
+              end
             end
-          end);
+          end;
+          wrote.(tid) <- false);
     }
   in
   let hung =

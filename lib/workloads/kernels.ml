@@ -225,9 +225,19 @@ let transactions fb ~accounts ~n_accounts ~lock_g ~iters ~work ?(think = 12) () 
         let s2 = mix fb seed in
         emit fb (Mov (seed, Reg s2));
         let b_idx = bin fb Rem (Reg s2) (Imm n_accounts) in
-        (* acquire: a locked fetch-add — [Cwsp_analysis.Race] names this
-           shape [Rmw_acquire] *)
-        let _ = atomic_rmw fb Add lock 0 (Imm 1) in
+        (* acquire: a guarded CAS spin, the [Libc.spin_lock] shape
+           written inline — [Cwsp_analysis.Race] only treats a CAS as
+           [Cas_acquire] when its result is checked and the failure
+           edge retries; a bare fetch-add with the result discarded
+           never blocks and would (rightly) certify nothing *)
+        let head = block fb in
+        let cont = block fb in
+        jmp fb head;
+        switch_to fb head;
+        let old = cas fb lock 0 ~expected:(Imm 0) ~desired:(Imm 1) in
+        let got = cmp fb Eq (Reg old) (Imm 0) in
+        br fb got ~ifso:cont ~ifnot:head;
+        switch_to fb cont;
         let a = bin fb Add (Reg accounts) (Reg (bin fb Mul (Reg a_idx) (Imm word))) in
         let b = bin fb Add (Reg accounts) (Reg (bin fb Mul (Reg b_idx) (Imm word))) in
         let va = load fb a 0 in
@@ -237,13 +247,15 @@ let transactions fb ~accounts ~n_accounts ~lock_g ~iters ~work ?(think = 12) () 
         store fb a 0 (Reg va');
         store fb b 0 (Reg (bin fb Add (Reg vb) (Reg amount)));
         (* release: on TSO a plain store suffices (x86 unlock idiom); only
-           the acquire side is a locked RMW / sync point. The race tier
+           the acquire side is a CAS / sync point. The race tier
            recognizes exactly this shape — a plain store of 0 to a word
-           some acquire pattern targets — as [Cwsp_analysis.Race]'s
+           some *guarded* acquire targets — as [Cwsp_analysis.Race]'s
            [Tso_release], so the critical section still certifies; the
            dynamic monitor ([Cwsp_interp.Race_monitor]) blesses the same
-           store as a release edge. Any other value, or any other word,
-           stays an ordinary (checked) access. *)
+           store as a release edge only when the storing thread actually
+           holds the word's synchronization. Any other value, any other
+           word, or a non-holder's store stays an ordinary (checked)
+           access. *)
         store fb lock 0 (Imm 0);
         (* non-transactional think time between critical sections; the
            result feeds the next transaction's seed so dead-code
