@@ -1,0 +1,56 @@
+(** Coverage-guided campaign driver.
+
+    Work is cut into batches of a fixed size over a global exec-index
+    space: batch [k] covers exec indices [k*batch, (k+1)*batch), a shard
+    [i/n] processes the indices congruent to [i] mod [n], and every
+    index draws its randomness from [Rng.stream master_seed index] — so
+    what each exec does depends only on (master seed, index, corpus
+    state at its batch start), never on pool width or scheduling.
+    Batches evaluate on the executor's domain pool and merge
+    sequentially in index order; campaign state persists at every batch
+    boundary, which makes a killed campaign resumable to the exact
+    report an uninterrupted run produces, and makes coverage reports
+    byte-identical at any [--jobs] width.
+
+    Retention: an exec whose evaluation lit at least one new coverage
+    cell enters the on-disk corpus and becomes mutation fodder for later
+    batches. Findings are deduplicated by signature, auto-minimized
+    (budget-capped), and persisted under [findings/]. *)
+
+type params = {
+  p_dir : string;          (** campaign directory *)
+  p_master_seed : int;
+  p_shard : int * int;     (** (i, n): process indices ≡ i mod n *)
+  p_batch : int;           (** execs per batch (state-save granularity) *)
+  p_jobs : int;            (** executor pool width *)
+  p_min_budget : int;      (** minimizer predicate-evaluation budget *)
+}
+
+val default_params : dir:string -> params
+
+type outcome = {
+  o_execs : int;       (** execs this shard has processed, lifetime *)
+  o_discards : int;
+  o_corpus : int;      (** retained programs *)
+  o_cells : int;       (** total coverage cells *)
+  o_new_cells : int;   (** cells first lit during this invocation *)
+  o_findings : int;
+  o_fatal : bool;      (** a verifier escape was found *)
+  o_report : string;   (** deterministic JSON coverage report *)
+}
+
+(** Run (or resume) the campaign until [execs] total exec indices are
+    covered — rounded up to whole batches, so a batch's item set never
+    depends on the invocation's budget. [compile] substitutes a
+    (possibly broken) pipeline; [max_seconds] stops at the next batch
+    boundary once exceeded — progress made so far stays persisted and
+    resumable. *)
+val run :
+  ?compile:Oracle.compile_fn ->
+  ?max_seconds:float ->
+  params ->
+  execs:int ->
+  outcome
+
+(** The report JSON of a campaign state (what [o_report] contains). *)
+val report_json : Corpus.state -> string

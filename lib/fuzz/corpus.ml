@@ -1,0 +1,202 @@
+(* On-disk corpus: content-fingerprinted program files (first-writer-
+   wins, like [Cwsp_core.Store]'s content-addressed entries) plus a
+   plain-text resumable state file per shard. *)
+
+open Cwsp_ir
+
+(* FNV-1a over the printed program, with the offset basis and every
+   round folded to 60 bits so the hex form is stable across platforms
+   (OCaml ints are 63-bit). *)
+let fingerprint (p : Prog.t) =
+  let s = Pp.program_str p in
+  let h = ref (0xcbf29ce484222325L |> Int64.to_int |> ( land ) 0xfffffffffffffff) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land 0xfffffffffffffff)
+    s;
+  Printf.sprintf "%015x" !h
+
+type t = { root : string }
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+let open_dir root =
+  ensure_dir root;
+  ensure_dir (Filename.concat root "corpus");
+  ensure_dir (Filename.concat root "findings");
+  { root }
+
+let dir t = t.root
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+(* First-writer-wins: identical content maps to an identical path, so
+   an existing file is already the right bytes. *)
+let save_in t sub (p : Prog.t) =
+  let fp = fingerprint p in
+  let path = Filename.concat (Filename.concat t.root sub) (fp ^ ".ir") in
+  if not (Sys.file_exists path) then write_atomic path (Pp.program_str p);
+  fp
+
+let save_program t p = save_in t "corpus" p
+let save_finding t p = save_in t "findings" p
+
+let load_program t fp =
+  let path = Filename.concat (Filename.concat t.root "corpus") (fp ^ ".ir") in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Parse.program s with
+    | p -> if Validate.check p = [] then Some p else None
+    | exception _ -> None
+  end
+
+(* ---- campaign state ---- *)
+
+type saved_finding = {
+  sf_key : string;
+  sf_kind : string;
+  sf_fp : string;
+  sf_instrs : int;
+  sf_detail : string;
+}
+
+type state = {
+  mutable s_master_seed : int;
+  mutable s_shard : int * int;
+  mutable s_batch : int;
+  mutable s_next_batch : int;
+  mutable s_execs : int;
+  mutable s_discards : int;
+  mutable s_retained : (string * Coverage.origin) list;
+  s_cov : Coverage.t;
+  mutable s_findings : saved_finding list;
+}
+
+let fresh_state ~master_seed ~shard ~batch =
+  {
+    s_master_seed = master_seed;
+    s_shard = shard;
+    s_batch = batch;
+    s_next_batch = 0;
+    s_execs = 0;
+    s_discards = 0;
+    s_retained = [];
+    s_cov = Coverage.create ();
+    s_findings = [];
+  }
+
+(* percent-encoding keeps every field single-token on its line *)
+let enc s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9'
+      | '-' | ':' | '.' | '_' | '/' | '@' | '=' | '<' | '>' | '+' | '*' ->
+        Buffer.add_char b c
+      | _ -> Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let dec s =
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if s.[!i] = '%' && !i + 2 < n then begin
+      Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let origin_tag = function Coverage.Gen -> "g" | Coverage.Mut -> "m"
+
+let origin_of_tag = function "g" -> Some Coverage.Gen | "m" -> Some Coverage.Mut | _ -> None
+
+let state_path t (i, n) =
+  Filename.concat t.root (Printf.sprintf "state-%dof%d" i n)
+
+let save_state t (st : state) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "cwsp-fuzz-state 1";
+  line "master_seed %d" st.s_master_seed;
+  line "shard %d %d" (fst st.s_shard) (snd st.s_shard);
+  line "batch %d" st.s_batch;
+  line "next_batch %d" st.s_next_batch;
+  line "execs %d" st.s_execs;
+  line "discards %d" st.s_discards;
+  List.iter (fun (fp, o) -> line "prog %s %s" (origin_tag o) fp) st.s_retained;
+  List.iter
+    (fun (c, o) -> line "cell %s %s" (origin_tag o) (enc c))
+    (Coverage.to_list st.s_cov);
+  List.iter
+    (fun f ->
+      line "finding %s %s %s %d %s" (enc f.sf_key) f.sf_kind f.sf_fp f.sf_instrs
+        (enc f.sf_detail))
+    (List.rev st.s_findings);
+  write_atomic (state_path t st.s_shard) (Buffer.contents b)
+
+let load_state t ~master_seed ~shard ~batch : state option =
+  let path = state_path t shard in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let body = really_input_string ic n in
+    close_in ic;
+    let st = fresh_state ~master_seed ~shard ~batch in
+    let ok = ref true in
+    let findings = ref [] in
+    (try
+    List.iter
+      (fun l ->
+        if !ok && l <> "" then
+          match String.split_on_char ' ' l with
+          | [ "cwsp-fuzz-state"; "1" ] -> ()
+          | [ "master_seed"; v ] -> if int_of_string v <> master_seed then ok := false
+          | [ "shard"; i; n ] ->
+            if (int_of_string i, int_of_string n) <> shard then ok := false
+          | [ "batch"; v ] -> if int_of_string v <> batch then ok := false
+          | [ "next_batch"; v ] -> st.s_next_batch <- int_of_string v
+          | [ "execs"; v ] -> st.s_execs <- int_of_string v
+          | [ "discards"; v ] -> st.s_discards <- int_of_string v
+          | [ "prog"; o; fp ] -> (
+            match origin_of_tag o with
+            | Some o -> st.s_retained <- st.s_retained @ [ (fp, o) ]
+            | None -> ok := false)
+          | [ "cell"; o; c ] -> (
+            match origin_of_tag o with
+            | Some o -> ignore (Coverage.add st.s_cov ~origin:o [ dec c ])
+            | None -> ok := false)
+          | [ "finding"; key; kind; fp; instrs; detail ] ->
+            findings :=
+              {
+                sf_key = dec key;
+                sf_kind = kind;
+                sf_fp = fp;
+                sf_instrs = int_of_string instrs;
+                sf_detail = dec detail;
+              }
+              :: !findings
+          | _ -> ok := false)
+      (String.split_on_char '\n' body)
+    with _ -> ok := false);
+    st.s_findings <- !findings;
+    if !ok then Some st else None
+  end

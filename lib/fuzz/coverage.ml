@@ -1,0 +1,138 @@
+(* Coverage map: string cells with first-writer origin tracking. The
+   map itself is order-insensitive (a set), but insertion order is kept
+   for the persisted campaign state so a resumed run replays the exact
+   retention decisions of the killed one. *)
+
+open Cwsp_ir
+
+type origin = Gen | Mut
+
+type t = {
+  tbl : (string, origin) Hashtbl.t;
+  mutable rev_order : (string * origin) list; (* newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 256; rev_order = [] }
+let mem t c = Hashtbl.mem t.tbl c
+let count t = Hashtbl.length t.tbl
+
+let count_origin t o =
+  Hashtbl.fold (fun _ o' n -> if o' = o then n + 1 else n) t.tbl 0
+
+let add t ~origin cells =
+  List.fold_left
+    (fun fresh c ->
+      if Hashtbl.mem t.tbl c then fresh
+      else begin
+        Hashtbl.replace t.tbl c origin;
+        t.rev_order <- (c, origin) :: t.rev_order;
+        fresh + 1
+      end)
+    0 cells
+
+let to_list t = List.rev t.rev_order
+
+let of_list l =
+  let t = create () in
+  List.iter (fun (c, o) -> ignore (add t ~origin:o [ c ])) l;
+  t
+
+let cells_sorted t = List.sort compare (List.map fst (to_list t))
+
+let by_category t =
+  let cat c = match String.index_opt c ':' with
+    | Some i -> String.sub c 0 i
+    | None -> c
+  in
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun c _ ->
+      let k = cat c in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    t.tbl;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+
+let bucket n =
+  if n <= 0 then 0
+  else begin
+    let b = ref 1 in
+    while !b * 2 <= n && !b < 65536 do
+      b := !b * 2
+    done;
+    !b
+  end
+
+(* Transitive may-alias classes over a function's data accesses: the
+   number of address equivalence classes is a shape feature (a program
+   whose accesses collapse into [Any] looks very different to the
+   region-formation pass than one with disjoint exact globals). *)
+let alias_classes (fn : Prog.func) =
+  let classes : Cwsp_analysis.Alias.sym list list ref = ref [] in
+  List.iter
+    (fun (a : Cwsp_analysis.Alias.access) ->
+      let touches, rest =
+        List.partition
+          (List.exists (fun s -> Cwsp_analysis.Alias.may_alias s a.sym))
+          !classes
+      in
+      classes := (a.sym :: List.concat touches) :: rest)
+    (Cwsp_analysis.Alias.accesses fn);
+  List.length !classes
+
+let shape_cells (c : Cwsp_compiler.Pipeline.compiled) ~trace : string list =
+  let prog = c.Cwsp_compiler.Pipeline.prog in
+  let main = Prog.func_exn prog prog.main in
+  let loops =
+    Array.fold_left
+      (fun n h -> if h then n + 1 else n)
+      0
+      (Cwsp_analysis.Loops.headers main)
+  in
+  let atomics = ref false
+  and cas = ref false
+  and fences = ref false
+  and flushes = ref false
+  and pfences = ref false
+  and allocs = ref false in
+  List.iter
+    (fun (name, fn) ->
+      if not (List.mem name Cwsp_runtime.Libc.function_names) then
+        Prog.iter_instrs
+          (fun _ _ i ->
+            match i with
+            | Types.Atomic_rmw _ -> atomics := true
+            | Types.Cas _ -> cas := true
+            | Types.Fence -> fences := true
+            | Types.Flush _ -> flushes := true
+            | Types.Pfence -> pfences := true
+            | Types.Call (("malloc" | "free"), _, _) -> allocs := true
+            | _ -> ())
+          fn)
+    prog.funcs;
+  let spmd =
+    match Prog.find_func prog "worker" with
+    | Some w -> w.nparams = 1
+    | None -> false
+  in
+  let s = Trace.summarize trace in
+  let rmax = List.fold_left max 0 (Trace.region_lengths trace) in
+  let persist =
+    match (!flushes, !pfences) with
+    | false, false -> "none"
+    | true, false -> "flush"
+    | false, true -> "pfence"
+    | true, true -> "flush+pfence"
+  in
+  [
+    Printf.sprintf "shape:loops:%d" (min loops 8);
+    Printf.sprintf "shape:aliascls:%d" (bucket (alias_classes main));
+    Printf.sprintf "shape:atomics:%b" !atomics;
+    Printf.sprintf "shape:cas:%b" !cas;
+    Printf.sprintf "shape:fences:%b" !fences;
+    Printf.sprintf "shape:alloc:%b" !allocs;
+    Printf.sprintf "shape:spmd:%b" spmd;
+    Printf.sprintf "shape:persistops:%s" persist;
+    Printf.sprintf "shape:dynboundaries:%d" (bucket s.boundaries);
+    Printf.sprintf "shape:dynstores:%d" (bucket s.stores);
+    Printf.sprintf "shape:regionmax:%d" (bucket rmax);
+  ]

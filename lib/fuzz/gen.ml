@@ -1,9 +1,10 @@
-(* Randomized well-formed program generator shared by the fuzz suites
-   (test_fuzz: compiler oracles; test_decode: decoded-core differential
-   oracle). Emits nested loops, branches, random arithmetic DAGs,
-   loads/stores with both provable and unprovable addresses (mixing
-   Exact/Within/Any aliasing), calls into the runtime allocator, atomics
-   and fences. Every seed is reproducible from its number. *)
+(* Randomized well-formed program generator: the fuzzer's seed source,
+   shared with the test suites (test_fuzz: compiler oracles; test_decode:
+   decoded-core differential oracle; test_race: labelled SPMD seeds).
+   Emits nested loops, branches, random arithmetic DAGs, loads/stores
+   with both provable and unprovable addresses (mixing Exact/Within/Any
+   aliasing), calls into the runtime allocator, atomics and fences.
+   Every seed is reproducible from its number. *)
 
 open Cwsp_ir
 open Cwsp_util

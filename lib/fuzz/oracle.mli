@@ -1,0 +1,74 @@
+(** The WITCHER-style output-equivalence oracle, one program at a time.
+
+    A program is first run uninstrumented (the baseline), with every
+    dynamic memory access screened: anything touching the hardware
+    checkpoint area or a negative address is a wild program — discarded,
+    not a finding (mutation freely manufactures such pointers, and they
+    would fault the instrumented run for reasons that indict nobody).
+
+    Surviving programs are compiled under [cwsp] and [cwsp-explicit] and
+    pushed through the whole stack: verifier-rule firings become
+    coverage cells; a statically accepted program must then (1) produce
+    the baseline's outputs and final data memory, (2) recover to a
+    bit-exact state from a power failure in every inter-boundary
+    interval, (3) survive the adversarial fault classes hardened, and
+    (4) — when the race tier certified an SPMD worker — stay race-free
+    under the dynamic vector-clock monitor. Any dynamic divergence of a
+    statically certified program is a verifier escape: the
+    campaign-fatal finding class.
+
+    Static errors from the race tier are verdicts about the source
+    program (mutants race on purpose) and count as coverage only; static
+    errors from every other tier indict the compiler, whose obligations
+    hold for arbitrary valid input. *)
+
+open Cwsp_ir
+
+(** Injectable compiler, so campaigns can fuzz a deliberately broken
+    pipeline (the bug-reinjection acceptance tests). *)
+type compile_fn =
+  Cwsp_compiler.Pipeline.config -> Prog.t -> Cwsp_compiler.Pipeline.compiled
+
+val default_compile : compile_fn
+
+type finding_kind =
+  | Compile_crash       (** the pipeline raised on valid input *)
+  | Static_reject       (** non-race verifier error on a fresh compile *)
+  | Fault_escape        (** hardened protocol committed a wrong image *)
+  | Verifier_escape     (** statically certified, dynamically diverged *)
+
+val kind_name : finding_kind -> string
+val kind_of_name : string -> finding_kind option
+
+type finding = { fk : finding_kind; detail : string }
+
+(** Dedupe key: kind plus the leading token of the detail (rule name,
+    fault class, oracle stage) — one corpus entry per distinct bug
+    signature, not per crash point. *)
+val finding_key : finding -> string
+
+type eval = {
+  e_cells : string list;        (** distinct, sorted *)
+  e_findings : finding list;
+  e_discarded : string option;  (** why the input left the pool early *)
+}
+
+val is_fatal : eval -> bool
+
+(** Crash points derived from the trace's actual boundary structure: one
+    step index per inter-boundary interval (including the tail after the
+    last boundary), evenly thinned to [max_points] when there are more
+    intervals. Empty for traces too short to crash inside. *)
+val boundary_crash_points :
+  Cwsp_util.Rng.t -> trace:Trace.t -> max_points:int -> int list
+
+(** Evaluate one program. [rng] drives crash-point jitter, fault-class
+    selection and seeds; stream it per exec index for deterministic
+    campaigns. *)
+val evaluate : ?compile:compile_fn -> Cwsp_util.Rng.t -> Prog.t -> eval
+
+(** Does [prog] still reproduce a finding of this kind/detail signature?
+    The minimizer's predicate: cheap, deterministic, and false on any
+    exception. *)
+val reproduces :
+  ?compile:compile_fn -> kind:finding_kind -> detail:string -> Prog.t -> bool

@@ -1,0 +1,67 @@
+open Cwsp_ir
+module IntSet = Set.Make (Int)
+
+(* Definite initialization (must-reach): IN[entry] = params, IN[b] =
+   intersection of predecessor OUTs (unvisited = top), OUT[b] = IN[b] +
+   every def in b. Intersection matters: a self-recurrent def like
+   [r = add r, 1] at a loop header reaches its own use around the back
+   edge, yet on first entry the register is uninitialized — exactly the
+   case the verifier's slice construction flags. Sets only shrink, so
+   the worklist terminates. *)
+let func_defined (fn : Prog.func) =
+  let nb = Array.length fn.blocks in
+  if nb = 0 then true
+  else begin
+    let params =
+      List.fold_left (fun s r -> IntSet.add r s) IntSet.empty
+        (List.init fn.nparams Fun.id)
+    in
+    let out_of set (b : Prog.block) =
+      List.fold_left
+        (fun s i -> match Types.def i with Some d -> IntSet.add d s | None -> s)
+        set b.instrs
+    in
+    let in_ = Array.make nb None in
+    in_.(0) <- Some params;
+    let work = Queue.create () in
+    Queue.add 0 work;
+    while not (Queue.is_empty work) do
+      let b = Queue.take work in
+      let set = Option.value in_.(b) ~default:params in
+      let out = out_of set fn.blocks.(b) in
+      List.iter
+        (fun s ->
+          if s >= 0 && s < nb then begin
+            match in_.(s) with
+            | None ->
+              in_.(s) <- Some out;
+              Queue.add s work
+            | Some old ->
+              let merged = IntSet.inter old out in
+              (* semantic equality: structural compare of sets with equal
+                 elements but different tree shapes would never converge *)
+              if not (IntSet.equal merged old) then begin
+                in_.(s) <- Some merged;
+                Queue.add s work
+              end
+          end)
+        (Types.term_succs fn.blocks.(b).term)
+    done;
+    let block_ok bi (blk : Prog.block) =
+      (* unreachable blocks are still compiled and verified: only the
+         parameters count as defined there *)
+      let set = ref (Option.value in_.(bi) ~default:params) in
+      List.for_all
+        (fun i ->
+          let ok = List.for_all (fun r -> IntSet.mem r !set) (Types.uses i) in
+          (match Types.def i with Some d -> set := IntSet.add d !set | None -> ());
+          ok)
+        blk.instrs
+      && List.for_all (fun r -> IntSet.mem r !set) (Types.term_uses blk.term)
+    in
+    let ok = ref true in
+    Array.iteri (fun bi blk -> if not (block_ok bi blk) then ok := false) fn.blocks;
+    !ok
+  end
+
+let defined (p : Prog.t) = List.for_all (fun (_, fn) -> func_defined fn) p.funcs

@@ -1,0 +1,19 @@
+(** Definite-initialization screen for fuzzer inputs.
+
+    The compiler's obligations are stated over programs whose register
+    reads are all reachable from some definition; a read that no
+    definition can reach (on any path from function entry — parameters
+    count as defined) makes checkpoint-slice construction report
+    [Slot_ref_undefined] about the *source*, which would be misfiled as
+    a compiler finding. Such programs are screened out of the pool,
+    like wild-address programs, rather than reported. *)
+
+open Cwsp_ir
+
+(** [defined p] is true when, in every function, every register use
+    (instruction or terminator operand) is definitely initialized: a
+    definition reaches it on *every* path from the function entry
+    (parameters count as defined). Code in blocks unreachable from the
+    entry still gets compiled and verified, so it must satisfy the rule
+    with only the parameters treated as defined. *)
+val defined : Prog.t -> bool

@@ -346,7 +346,16 @@ let validate ?(window = 16) ?(n_mcs = 2) ~seed ~crash_at
   if halted then Error "program halted before the crash point"
   else begin
     let recovered, report = crash_and_recover ~n_mcs rng t in
-    Machine.run recovered Machine.no_hooks;
+    (* a recovered run that never halts is a divergence to report, not a
+       hang: allow a generous multiple of the failure-free step count *)
+    let fuel = (4 * golden.steps) + 10_000 in
+    match Machine.run ~fuel recovered Machine.no_hooks with
+    | exception Machine.Fuel_exhausted ->
+      Error
+        (Printf.sprintf
+           "recovered run failed to halt within %d steps (crash@%d, region %d)"
+           fuel report.crash_step report.recovery_region)
+    | () ->
     let io_ok =
       (* exactly-once device I/O (Section VIII): released prefix plus the
          recovered run's output must equal the failure-free output *)
@@ -571,7 +580,17 @@ let validate_explicit ~crash_at (compiled : Cwsp_compiler.Pipeline.compiled) :
         ( Machine.resume linked ~mem:image ~frames:(`Frames frames) ~depth,
           static_id, List.length slice, released )
     in
-    Machine.run recovered Machine.no_hooks;
+    (* bound the blind re-execution the same way [validate] bounds its
+       recovered run: non-termination is a reportable divergence *)
+    let fuel = (4 * golden.steps) + 10_000 in
+    match Machine.run ~fuel recovered Machine.no_hooks with
+    | exception Machine.Fuel_exhausted ->
+      Error
+        (Printf.sprintf
+           "explicit-mode recovered run failed to halt within %d steps \
+            (crash@%d)"
+           fuel crash_step)
+    | () ->
     let report =
       {
         crash_step;

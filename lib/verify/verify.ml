@@ -90,6 +90,13 @@ let errors diags = List.filter Diag.is_error diags
 
 let normalize diags = List.sort_uniq Diag.compare diags
 
+let fired diags =
+  List.sort_uniq compare
+    (List.map
+       (fun (d : Diag.t) ->
+         (Diag.rule_name d.rule, Diag.severity_name d.severity))
+       diags)
+
 let report diags =
   String.concat "\n" (List.map Diag.to_string (normalize diags))
 

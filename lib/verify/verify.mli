@@ -16,6 +16,10 @@ val errors : Diag.t list -> Diag.t list
     stable report order (rule, func, block, instr). *)
 val normalize : Diag.t list -> Diag.t list
 
+(** Distinct (rule-name, severity-name) pairs that fired, sorted — the
+    fuzzer's coverage-cell view of a verification run. *)
+val fired : Diag.t list -> (string * string) list
+
 (** Render one diagnostic per line, normalized ({!normalize}). *)
 val report : Diag.t list -> string
 

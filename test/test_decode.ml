@@ -8,11 +8,12 @@
       uninstrumented and fully instrumented;
    2. SPMD identity: every parallel workload across thread counts,
       against [Multi]'s round-robin schedule;
-   3. fuzz differential: randomized programs from the shared [Fuzz_gen]
-      generator (nested control flow, opaque pointers, allocator calls,
-      atomics) through both compile configurations. *)
+   3. fuzz differential: randomized programs from the shared
+      [Cwsp_fuzz.Gen] generator (nested control flow, opaque pointers,
+      allocator calls, atomics) through both compile configurations. *)
 
 open Cwsp_interp
+module Fuzz_gen = Cwsp_fuzz.Gen
 
 let ok label = function
   | Ok _ -> ()

@@ -6,11 +6,13 @@
    2. crash consistency: power failures injected at random points recover
       to a bit-exact NVM state and an exactly-once output stream.
 
-   Programs come from the shared [Fuzz_gen] generator; every seed that
-   fails is reproducible from its number. *)
+   Programs come from the shared [Cwsp_fuzz.Gen] generator (the fuzzing
+   subsystem's seed source); every seed that fails is reproducible from
+   its number. *)
 
 open Cwsp_ir
 open Cwsp_util
+module Fuzz_gen = Cwsp_fuzz.Gen
 
 (* program-visible memory: everything outside the hardware-managed
    checkpoint area (checkpoints are genuine stores, so the instrumented
@@ -66,17 +68,18 @@ let test_crash_recovery_fuzz () =
       Cwsp_compiler.Pipeline.compile ~config:Cwsp_compiler.Pipeline.cwsp prog
     in
     let _, tr = Cwsp_interp.Machine.trace_of_program compiled.prog in
-    let total = Cwsp_interp.Trace.length tr in
-    if total > 4 then
-      for _ = 1 to 8 do
-        let crash_at = 1 + Rng.int rng (total - 2) in
+    (* crash points follow the program's actual boundary structure: one
+       per inter-boundary interval (a fixed count would oversample short
+       programs and leave long ones with untested intervals) *)
+    List.iter
+      (fun crash_at ->
         match
           Cwsp_recovery.Harness.validate ~seed:(Rng.int rng 100000) ~crash_at
             compiled
         with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "seed %d crash@%d: %s" seed crash_at e
-      done
+        | Error e -> Alcotest.failf "seed %d crash@%d: %s" seed crash_at e)
+      (Cwsp_fuzz.Oracle.boundary_crash_points rng ~trace:tr ~max_points:8)
   done
 
 (* Alias-analysis soundness against dynamic behaviour: for every pair of
@@ -199,7 +202,7 @@ let () =
             test_semantic_equivalence;
           Alcotest.test_case "regions clean (120 programs)" `Slow
             test_regions_clean;
-          Alcotest.test_case "crash recovery (60 programs x 8 crashes)" `Slow
+          Alcotest.test_case "crash recovery (60 programs, boundary sweep)" `Slow
             test_crash_recovery_fuzz;
           Alcotest.test_case "alias soundness (80 programs)" `Slow
             test_alias_soundness;

@@ -18,6 +18,7 @@
    7. parallel verify sweep is byte-identical across executor widths. *)
 
 open Cwsp_ir
+module Fuzz_gen = Cwsp_fuzz.Gen
 open Cwsp_interp
 module Ta = Cwsp_analysis.Tid_affine
 module Race = Cwsp_analysis.Race
