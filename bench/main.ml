@@ -86,6 +86,16 @@ let microbenches () =
 
 (* ---- machine-readable timing runs ---- *)
 
+(* Per-experiment wall-clock samples collected across this process's
+   timed runs; the end-of-run summary reports the tail (through p999,
+   the ROADMAP tail-latency item) on stderr. 1-2-5 grid, 1ms..2000s. *)
+let wall_hist =
+  Cwsp_util.Stats.Histogram.create
+    [|
+      0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
+      10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0;
+    |]
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -122,6 +132,7 @@ let json_run ~jobs ?(ids = []) () =
         let t0 = Unix.gettimeofday () in
         let headline = Index.run_one x in
         let dt = Unix.gettimeofday () -. t0 in
+        Cwsp_util.Stats.Histogram.add wall_hist dt;
         (x, dt, headline))
       selected
   in
@@ -151,6 +162,98 @@ let json_run ~jobs ?(ids = []) () =
   close_out oc;
   Printf.printf "\nwrote %s (overall %.1fs, %d experiments, jobs=%d)\n" path
     overall (List.length results) jobs
+
+(* ---- perf trajectory across every committed BENCH json file ---- *)
+
+(** [history ()]: fold all BENCH_*.json files in the working directory
+    (run ids sort chronologically) into one per-experiment trajectory
+    table — wall seconds and headline per run — so the whole perf
+    history is readable at a glance without pairwise [compare] calls. *)
+let history () =
+  let files =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f ->
+           String.starts_with ~prefix:"BENCH_" f
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    Printf.eprintf "history: no BENCH_*.json files in %s\n" (Sys.getcwd ());
+    exit 1
+  end;
+  let runs =
+    List.filter_map
+      (fun path ->
+        match Bjson.of_file path with
+        | exception _ ->
+          Printf.eprintf "history: skipping unreadable %s\n" path;
+          None
+        | j ->
+          let run =
+            Option.value ~default:(Filename.remove_extension path)
+              (Option.bind (Bjson.member "run" j) Bjson.to_string_opt)
+          in
+          let exps =
+            List.filter_map
+              (fun e ->
+                match Option.bind (Bjson.member "id" e) Bjson.to_string_opt with
+                | None -> None
+                | Some id ->
+                  let wall =
+                    Option.bind (Bjson.member "wall_s" e) Bjson.to_float_opt
+                  in
+                  let headline =
+                    Option.bind (Bjson.member "headline" e) Bjson.to_float_opt
+                  in
+                  Some (id, (wall, headline)))
+              (Bjson.to_list
+                 (Option.value ~default:(Bjson.List [])
+                    (Bjson.member "experiments" j)))
+          in
+          Some (run, exps))
+      files
+  in
+  (* experiment rows in first-appearance order across runs *)
+  let ids = ref [] in
+  List.iter
+    (fun (_, exps) ->
+      List.iter
+        (fun (id, _) -> if not (List.mem id !ids) then ids := id :: !ids)
+        exps)
+    runs;
+  let ids = List.rev !ids in
+  let cell (wall, headline) =
+    let h = match headline with Some h -> Printf.sprintf "%.4g" h | None -> "-" in
+    match wall with
+    | Some w -> Printf.sprintf "%.1fs %s" w h
+    | None -> "- " ^ h
+  in
+  Printf.printf "perf history: %d runs, %d experiments (cell = wall, headline)\n\n"
+    (List.length runs) (List.length ids);
+  Cwsp_util.Table.print
+    ~headers:("experiment" :: List.map fst runs)
+    (List.map
+       (fun id ->
+         id
+         :: List.map
+              (fun (_, exps) ->
+                match List.assoc_opt id exps with
+                | None -> "-"
+                | Some v -> cell v)
+              runs)
+       ids);
+  (* total wall across the runs' joined experiments, oldest -> newest *)
+  Printf.printf "\ntotal wall: %s\n"
+    (String.concat " -> "
+       (List.map
+          (fun (_, exps) ->
+            let t =
+              List.fold_left
+                (fun acc (_, (w, _)) -> acc +. Option.value ~default:0.0 w)
+                0.0 exps
+            in
+            Printf.sprintf "%.1fs" t)
+          runs))
 
 (* ---- perf-trajectory comparison of two BENCH json files ---- *)
 
@@ -259,7 +362,10 @@ let print_cache_summary () =
       Printf.eprintf " %s %d entries, %d hits, %d misses, %d races;" name
         entries st.hits st.misses st.races)
     (Cwsp_core.Api.cache_stats ());
-  Printf.eprintf "\n"
+  Printf.eprintf "\n";
+  if Cwsp_util.Stats.Histogram.count wall_hist > 0 then
+    Printf.eprintf "experiment wall: %s\n"
+      (Cwsp_util.Stats.Histogram.summary wall_hist)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -300,9 +406,13 @@ let () =
       Index.all;
     print_endline "bechamel   Bechamel micro-benchmarks";
     print_endline "json       timed full run -> BENCH_<run>.json";
-    print_endline "compare    delta table of two BENCH json files"
+    print_endline "compare    delta table of two BENCH json files";
+    print_endline "history    trajectory table over all BENCH_*.json"
   | [ "bechamel" ] -> microbenches ()
   | "json" :: ids -> json_run ~jobs:!jobs ~ids ()
+  | [ "history" ] ->
+    history ();
+    exit 0
   | [ "compare"; old_path; new_path ] ->
     compare_runs old_path new_path;
     exit 0

@@ -1,0 +1,62 @@
+(** cwsp-postmortem — forensic timeline analyzer for flight-recorder
+    dumps (the [.flight] artifacts written by [fault_campaign --flight],
+    fuzz findings, or [Harness.validate_*] with recording on).
+
+    Audits the ring the way recovery audits the undo logs: per-record
+    checksums and LSNs separate intact records from torn ones, and the
+    damage report says whether the losses are consistent with a
+    fail-stop crash ([truncated] — only the write frontier is damaged,
+    the surviving timeline is a trustworthy prefix) or not ([corrupt]).
+    Then renders the cross-crash timeline: records grouped by crash
+    epoch, totally ordered by LSN, with recovery-ladder decisions and
+    fault injections decoded.
+
+    Exit status: 0 for a clean/truncated/empty ring (the timeline is
+    trustworthy), 1 for corrupt or no-ring (it is not), 2 for usage. *)
+
+module Recorder = Cwsp_flight.Recorder
+module Postmortem = Cwsp_flight.Postmortem
+
+let usage = "cwsp_postmortem [--chrome FILE] [--quiet] DUMP.flight"
+
+let () =
+  let chrome = ref "" in
+  let quiet = ref false in
+  let dumps = ref [] in
+  Arg.parse
+    [
+      ( "--chrome",
+        Arg.Set_string chrome,
+        "FILE  also write the timeline as Chrome trace-event JSON (one \
+         track per crash epoch, ts = LSN)" );
+      ("--quiet", Arg.Set quiet, "  suppress the text timeline (audit only)");
+    ]
+    (fun a -> dumps := a :: !dumps)
+    usage;
+  let path =
+    match !dumps with
+    | [ p ] -> p
+    | _ ->
+        prerr_endline usage;
+        exit 2
+  in
+  match Recorder.load_dump path with
+  | None ->
+      Printf.eprintf "cwsp-postmortem: %s: not a readable flight dump\n" path;
+      exit 2
+  | Some mem ->
+      let a = Postmortem.audit mem in
+      if not !quiet then print_string (Postmortem.render_text a);
+      if !chrome <> "" then begin
+        let oc = open_out !chrome in
+        output_string oc (Postmortem.render_chrome a);
+        close_out oc;
+        if not !quiet then
+          Printf.printf "chrome trace written to %s\n" !chrome
+      end;
+      match a.a_verdict with
+      | Postmortem.Clean | Postmortem.Truncated | Postmortem.Empty -> ()
+      | Postmortem.Corrupt | Postmortem.No_ring ->
+          Printf.eprintf "cwsp-postmortem: ring is %s — timeline untrustworthy\n"
+            (Postmortem.verdict_name a.a_verdict);
+          exit 1

@@ -28,6 +28,7 @@ let () =
   let master_seed = ref 2024 in
   let hardened = ref true in
   let json_file = ref "" in
+  let flight_dir = ref "" in
   let trace = ref "" in
   let metrics = ref "" in
   Arg.parse
@@ -55,6 +56,10 @@ let () =
         Arg.Clear hardened,
         "  run the blind legacy protocol (escapes expected)" );
       ("--json", Arg.Set_string json_file, "FILE  write the JSON coverage report");
+      ( "--flight",
+        Arg.Set_string flight_dir,
+        "DIR  record every cell's in-NVM flight ring and write the dumps \
+         (one .flight file per cell; feed to cwsp_postmortem)" );
       ( "--trace",
         Arg.Set_string trace,
         "FILE  write a Chrome trace-event JSON profile (per-cell spans)" );
@@ -85,9 +90,13 @@ let () =
     Cwsp_recovery.Campaign.run
       ~map:(fun f specs -> Cwsp_core.Executor.map_pool ~jobs:!jobs f specs)
       ~window:!window ~hardened:!hardened ~master_seed:!master_seed
-      ~seeds:!seeds ~classes:!classes targets
+      ~flight:(!flight_dir <> "") ~seeds:!seeds ~classes:!classes targets
   in
   print_string (Cwsp_recovery.Campaign.render report);
+  if !flight_dir <> "" then begin
+    let n = Cwsp_recovery.Campaign.save_flights report !flight_dir in
+    Printf.printf "flight dumps: %d written to %s\n" n !flight_dir
+  end;
   if !json_file <> "" then begin
     let oc = open_out !json_file in
     output_string oc (Cwsp_recovery.Campaign.to_json report);

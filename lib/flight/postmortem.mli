@@ -1,0 +1,59 @@
+(** Audit and timeline reconstruction over a flight-recorder ring.
+
+    Verdict semantics: [Clean] — every occupied slot intact; [Truncated]
+    — some slots unreadable, but all of them sit in the consecutive run
+    starting at the write frontier, exactly where a fail-stop crash
+    (with at worst a single torn persist) can leave damage, so the
+    surviving timeline is a consistent prefix; [Corrupt] — damage
+    outside the frontier, which the fault model cannot explain; [Empty]
+    — a formatted ring with no records; [No_ring] — no valid
+    superblock. *)
+
+type verdict = Clean | Truncated | Corrupt | Empty | No_ring
+
+val verdict_name : verdict -> string
+
+type record = {
+  r_lsn : int;
+  r_epoch : int;
+  r_kind : Recorder.kind option;
+  r_kind_code : int;
+  r_args : int * int * int * int;
+}
+
+type audit = {
+  a_verdict : verdict;
+  a_capacity : int;
+  a_records : record list;  (** intact, ascending LSN *)
+  a_max_lsn : int;
+  a_torn : int;
+  a_corrupt_slots : int list;
+  a_stale : int;
+  a_overwritten : int;
+  a_epochs : int list;
+}
+
+val audit : Cwsp_ir.Memory.t -> audit
+
+(** One-line decodings used by both renderers. *)
+val kind_label : record -> string
+
+val describe : record -> string
+
+type summary = {
+  s_crashes : int;
+  s_injections : (string * int) list;
+  s_decisions : (string * int) list;
+  s_refusals : int;
+  s_restarts : int;
+}
+
+val summarize : audit -> summary
+
+(** Human timeline: verdict header, damage report, correlation summary,
+    then records grouped by crash epoch in LSN order. Deterministic. *)
+val render_text : audit -> string
+
+(** Chrome trace-event JSON: one track (pid) per crash epoch, [ts] = LSN
+    — no wall-clock anywhere, so output is bit-deterministic. *)
+val render_chrome : audit -> string

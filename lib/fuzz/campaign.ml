@@ -257,6 +257,13 @@ let run ?(compile = Oracle.default_compile) ?max_seconds (p : params) ~execs =
                 else prog
               in
               let ffp = Corpus.save_finding c mini in
+              (* forensic companion: replay the failing experiment with
+                 the flight recorder on and ship the dump with the .ir *)
+              (match
+                 Oracle.flight_dump ~compile ~kind:f.fk ~detail:f.detail mini
+               with
+              | Some dump -> Corpus.save_flight c ~fp:ffp dump
+              | None -> ());
               st.s_findings <-
                 {
                   Corpus.sf_key = key;

@@ -47,6 +47,12 @@ let save_in t sub (p : Prog.t) =
 let save_program t p = save_in t "corpus" p
 let save_finding t p = save_in t "findings" p
 
+(* The finding's forensic flight dump rides next to its .ir under the
+   same fingerprint; deterministic content, so first-writer-wins too. *)
+let save_flight t ~fp dump =
+  let path = Filename.concat (Filename.concat t.root "findings") (fp ^ ".flight") in
+  if not (Sys.file_exists path) then write_atomic path dump
+
 let load_program t fp =
   let path = Filename.concat (Filename.concat t.root "corpus") (fp ^ ".ir") in
   if not (Sys.file_exists path) then None

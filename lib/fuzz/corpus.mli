@@ -32,6 +32,10 @@ val save_program : t -> Prog.t -> string
 (** Write a minimized counterexample under [findings/]. *)
 val save_finding : t -> Prog.t -> string
 
+(** Write a finding's flight-recorder dump as [findings/<fp>.flight],
+    next to its [.ir]; first writer wins. *)
+val save_flight : t -> fp:string -> string -> unit
+
 val load_program : t -> string -> Prog.t option
 
 type saved_finding = {

@@ -62,22 +62,26 @@ type base_run = { br_outputs : int list; br_data : (int * int) list }
 let data_words mem =
   let out = ref [] in
   Memory.iter
-    (fun a v -> if not (Layout.is_ckpt_addr a) then out := (a, v) :: !out)
+    (fun a v ->
+      if not (Layout.is_ckpt_addr a || Layout.is_flight_addr a) then
+        out := (a, v) :: !out)
     mem;
   List.sort compare !out
 
 exception Wild of int
 
 (* Step the source program, screening every data access: negative,
-   misaligned or checkpoint-area addresses mean the mutant manufactured
-   a pointer no sane program holds — such inputs are discarded before
-   they can fault the instrumented stack for uninteresting reasons. *)
+   misaligned, checkpoint-area or flight-recorder addresses mean the
+   mutant manufactured a pointer no sane program holds — such inputs are
+   discarded before they can fault the instrumented stack (or stomp the
+   forensic ring) for uninteresting reasons. *)
 let baseline_run (prog : Prog.t) : (base_run, string) result =
   let m = Machine.create (Machine.link prog) in
   let steps = ref 0 in
   let screen base off (fr : Machine.frame) =
     let a = fr.regs.(base) + off in
-    if a < 0 || a land 7 <> 0 || Layout.is_ckpt_addr a then raise (Wild a)
+    if a < 0 || a land 7 <> 0 || Layout.is_ckpt_addr a || Layout.is_flight_addr a
+    then raise (Wild a)
   in
   try
     while m.status = Machine.Running && !steps < baseline_fuel do
@@ -440,3 +444,91 @@ let reproduces ?(compile = default_compile) ~kind ~detail (prog : Prog.t) : bool
                 o.races <> [])
           | _ -> false))
   with _ -> false
+
+(* ---- forensic flight dump for a finding ---- *)
+
+(* "crash@12" / "@12" -> 12 *)
+let parse_at tok =
+  match String.index_opt tok '@' with
+  | None -> None
+  | Some i ->
+    let rest = String.sub tok (i + 1) (String.length tok - i - 1) in
+    let rest =
+      match String.index_opt rest ':' with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    int_of_string_opt rest
+
+let second_token s =
+  match String.index_opt s ' ' with
+  | None -> None
+  | Some i -> Some (first_token (String.sub s (i + 1) (String.length s - i - 1)))
+
+let flight_dump ?(compile = default_compile) ~kind ~detail (prog : Prog.t) :
+    string option =
+  try
+    match kind with
+    | Compile_crash | Static_reject -> None
+    | Fault_escape -> (
+      (* mirror [reproduces]'s search, recorder on; ship the dump of the
+         first crash that escapes *)
+      match Fault.of_name (first_token detail) with
+      | None -> None
+      | Some cls -> (
+        match baseline_run prog with
+        | Error _ -> None
+        | Ok _ -> (
+          match certified_compile compile Pipeline.cwsp prog with
+          | None -> None
+          | Some compiled ->
+            let g = Harness.golden_of compiled in
+            let dump = ref None in
+            let escaped crash_at seed =
+              match
+                Harness.validate_fault ~golden:g ~hardened:true ~flight:true
+                  ~fault:cls ~seed ~crash_at compiled
+              with
+              | Ok r when (not r.fr_state_ok) || r.fr_sweep_failures > 0 ->
+                dump := r.fr_flight;
+                true
+              | _ -> false
+            in
+            let pts =
+              List.filter
+                (fun p -> p >= 1 && p < g.g_steps - 1)
+                [ g.g_steps / 4; g.g_steps / 2; 3 * g.g_steps / 4 ]
+            in
+            ignore
+              (List.exists (fun p -> List.exists (escaped p) [ 1; 2; 3 ]) pts);
+            !dump)))
+    | Verifier_escape -> (
+      match (first_token detail, second_token detail) with
+      | "crash", Some tok -> (
+        match (parse_at tok, certified_compile compile Pipeline.cwsp prog) with
+        | Some crash_at, Some compiled -> (
+          (* no injected fault: a plain power cut at the diverging point,
+             recovered by the hardened ladder with the recorder on *)
+          match
+            Harness.validate_fault ~hardened:true ~flight:true ~seed:1
+              ~crash_at compiled
+          with
+          | Ok r -> r.fr_flight
+          | Error _ -> None)
+        | _ -> None)
+      | "explicit", Some tok -> (
+        match
+          (parse_at tok, certified_compile compile Pipeline.cwsp_explicit prog)
+        with
+        | Some crash_at, Some compiled ->
+          let dump = ref None in
+          (match
+             Harness.validate_explicit ~flight:true
+               ~on_flight:(fun d -> dump := Some d)
+               ~crash_at compiled
+           with
+          | Ok _ | Error _ -> ());
+          !dump
+        | _ -> None)
+      | _ -> None)
+  with _ -> None

@@ -72,3 +72,18 @@ val evaluate : ?compile:compile_fn -> Cwsp_util.Rng.t -> Prog.t -> eval
     exception. *)
 val reproduces :
   ?compile:compile_fn -> kind:finding_kind -> detail:string -> Prog.t -> bool
+
+(** Forensic companion to a finding: re-run the failing experiment with
+    the in-NVM flight recorder on and return the
+    [Cwsp_flight.Recorder] dump artifact (feed to [cwsp_postmortem]).
+    [Fault_escape] replays the [reproduces] search at the escaping crash
+    point; [Verifier_escape]s of the crash/explicit stages replay the
+    diverging power cut. [None] for static finding kinds or when the
+    replay no longer fails. Deterministic, and never changes a verdict —
+    the recorder ring is invisible to every oracle comparison. *)
+val flight_dump :
+  ?compile:compile_fn ->
+  kind:finding_kind ->
+  detail:string ->
+  Prog.t ->
+  string option

@@ -32,5 +32,15 @@ let is_ckpt_addr a = a >= ckpt_base && a < ckpt_base + (16 * ckpt_area_bytes)
 (* The IR runtime's sbrk starts the heap here. *)
 let heap_base = 0x4000_0000
 
+(* Flight-recorder ring: a reserved NVM region, far above anything the
+   heap can plausibly reach, where the persistent event log lives
+   (superblock + fixed 64-byte records). It is ordinary simulated NVM —
+   written through the same persist path as everything else — but it is
+   observability state, not program state, so the golden-image
+   comparisons exclude it ([Memory.equal_except is_flight_addr]). *)
+let flight_base = 0x1_0000_0000
+let flight_bytes = 0x10_0000
+let is_flight_addr a = a >= flight_base && a < flight_base + flight_bytes
+
 let cache_line = 64
 let line_of_addr a = a land lnot (cache_line - 1)

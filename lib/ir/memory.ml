@@ -91,6 +91,34 @@ let equal a b =
   in
   covered a b && covered b a
 
+(** Like [equal], but words whose address satisfies [except] are ignored.
+    Identical pages still take the fast structural-compare path; only
+    pages that differ fall back to the word-wise scan. *)
+let equal_except ~except a b =
+  let covered t other =
+    Hashtbl.fold
+      (fun k p ok ->
+        ok
+        &&
+        let q =
+          match Hashtbl.find_opt other.pages k with
+          | Some q -> q
+          | None -> no_page
+        in
+        (q != no_page && p = q)
+        ||
+        let base = k * page_bytes in
+        let ok = ref true in
+        Array.iteri
+          (fun i v ->
+            let w = if q == no_page then 0 else q.(i) in
+            if v <> w && not (except (base + (i * 8))) then ok := false)
+          p;
+        !ok)
+      t.pages true
+  in
+  covered a b && covered b a
+
 (** First differing (addr, a_value, b_value), for test diagnostics. *)
 let first_diff a b =
   let exception Found of int * int * int in
@@ -110,6 +138,32 @@ let first_diff a b =
   try
     scan a b;
     (* catch words present only in b *)
+    (try
+       scan b a;
+       None
+     with Found (addr, bv, av) -> Some (addr, av, bv))
+  with Found (addr, av, bv) -> Some (addr, av, bv)
+
+(** [first_diff] restricted to addresses where [except] is false. *)
+let first_diff_except ~except a b =
+  let exception Found of int * int * int in
+  let scan t other =
+    Hashtbl.iter
+      (fun k p ->
+        let q =
+          match Hashtbl.find_opt other.pages k with
+          | Some q -> q
+          | None -> Array.make page_words 0
+        in
+        Array.iteri
+          (fun i v ->
+            let addr = (k * page_bytes) + (i * 8) in
+            if v <> q.(i) && not (except addr) then raise (Found (addr, v, q.(i))))
+          p)
+      t.pages
+  in
+  try
+    scan a b;
     (try
        scan b a;
        None

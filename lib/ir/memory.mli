@@ -30,5 +30,14 @@ val equal : t -> t -> bool
 (** First differing (address, left value, right value), if any. *)
 val first_diff : t -> t -> (int * int * int) option
 
+(** [equal]/[first_diff] with an exclusion predicate: words whose address
+    satisfies [except] are ignored. Used to compare golden and recovered
+    images modulo the flight-recorder region, which is observability
+    state and legitimately differs across a crash. *)
+val equal_except : except:(int -> bool) -> t -> t -> bool
+
+val first_diff_except :
+  except:(int -> bool) -> t -> t -> (int * int * int) option
+
 (** Iterate non-zero words as [f addr value]. *)
 val iter : (int -> int -> unit) -> t -> unit

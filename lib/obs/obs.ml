@@ -85,6 +85,42 @@ let push d ev =
   d.ring.(d.widx mod Array.length d.ring) <- Some ev;
   d.widx <- d.widx + 1
 
+(* ---- structured event records ---- *)
+
+(* The flight-recorder hook: a per-domain sink for structured integer
+   events (kind + four args). Like spans, the disabled path is a single
+   branch — here on a global activation count — and the sink itself
+   lives in DLS, so concurrent campaign cells each record into their own
+   ring without cross-talk. Nothing downstream of [record] feeds back
+   into program state; installing a sink changes what lands in the
+   ring and nothing else. *)
+
+let recording = Atomic.make 0
+
+let sink_dls : (int -> int -> int -> int -> int -> unit) option ref Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(** Install [sink] as the calling domain's event sink for the duration
+    of [f] (nestable; the previous sink is restored). *)
+let with_recorder sink f =
+  let r = Domain.DLS.get sink_dls in
+  let prev = !r in
+  r := Some sink;
+  Atomic.incr recording;
+  Fun.protect f ~finally:(fun () ->
+      ignore (Atomic.fetch_and_add recording (-1));
+      r := prev)
+
+(** Record one structured event: [record kind a0 a1 a2 a3]. No-op (one
+    branch, no allocation) unless a sink is installed somewhere; a
+    domain without its own sink stays a no-op even then. *)
+let record kind a0 a1 a2 a3 =
+  if Atomic.get recording > 0 then
+    match !(Domain.DLS.get sink_dls) with
+    | Some sink -> sink kind a0 a1 a2 a3
+    | None -> ()
+
 (* ---- spans ---- *)
 
 let span_begin ?(cat = "") ?(args = []) name =
@@ -227,12 +263,17 @@ let snapshot_events () =
         (List.init n (fun i -> d.ring.((d.widx - n + i) mod cap))))
     ds
 
+(** Events overwritten in full rings, per domain: (tid, dropped) sorted
+    by tid. Domains that dropped nothing still appear — the export
+    asserting "no domain overflowed" needs the zeros. *)
+let dropped_per_domain () =
+  let ds = Mutex.protect mu (fun () -> !dstates) in
+  List.map (fun d -> (d.tid, max 0 (d.widx - Array.length d.ring))) ds
+  |> List.sort compare
+
 (** Events overwritten in full rings, program-wide. *)
 let dropped_events () =
-  let ds = Mutex.protect mu (fun () -> !dstates) in
-  List.fold_left
-    (fun acc d -> acc + max 0 (d.widx - Array.length d.ring))
-    0 ds
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (dropped_per_domain ())
 
 (** All completed spans, merged across domains, timestamp-sorted. *)
 let snapshot_spans () =
@@ -355,13 +396,13 @@ let write_metrics path =
           let q p = json_float (Histogram.quantile h.Hist.h p) in
           Printf.fprintf oc
             "%s\n  \"%s\":{\"count\":%d,\"sum\":%s,\"mean\":%s,\"p50\":%s,\
-             \"p90\":%s,\"p99\":%s,\"buckets\":["
+             \"p90\":%s,\"p99\":%s,\"p999\":%s,\"buckets\":["
             (if i > 0 then "," else "")
             (json_escape k)
             (Histogram.count h.Hist.h)
             (json_float (Histogram.sum h.Hist.h))
             (json_float (Histogram.mean h.Hist.h))
-            (q 0.5) (q 0.9) (q 0.99);
+            (q 0.5) (q 0.9) (q 0.99) (q 0.999);
           List.iteri
             (fun j (ub, n) ->
               Printf.fprintf oc "%s{\"le\":%s,\"n\":%d}"
@@ -378,10 +419,16 @@ let write_metrics path =
         (json_escape k) (json_float v))
     gauges;
   Printf.fprintf oc
-    "\n},\n\"spans\":{\"recorded\":%d,\"dropped\":%d,\"unbalanced\":%d}\n}\n"
+    "\n},\n\"spans\":{\"recorded\":%d,\"dropped\":%d,\"unbalanced\":%d,\
+     \"dropped_per_domain\":{"
     (List.length (snapshot_spans ()))
     (dropped_events ())
     (Atomic.get unbalanced);
+  List.iteri
+    (fun i (tid, n) ->
+      Printf.fprintf oc "%s\"d%d\":%d" (if i > 0 then "," else "") tid n)
+    (dropped_per_domain ());
+  output_string oc "}}\n}\n";
   close_out oc
 
 (* ---- CLI wiring ---- *)

@@ -19,6 +19,22 @@ val enable : unit -> unit
 (** Microseconds since process start (the trace timebase). *)
 val now_us : unit -> float
 
+(** {1 Structured event records}
+
+    The flight-recorder hook: sites call [record kind a0 a1 a2 a3]; the
+    call is a single branch (no allocation) unless a sink is installed
+    for the calling domain, in which case the five integers are handed
+    to it. Sinks are per-domain (DLS), so concurrent campaign cells
+    record into disjoint rings. *)
+
+(** Install [sink] as the calling domain's sink for the duration of [f]
+    (nestable; the previous sink is restored on exit). *)
+val with_recorder :
+  (int -> int -> int -> int -> int -> unit) -> (unit -> 'a) -> 'a
+
+(** Record one structured event; no-op without an installed sink. *)
+val record : int -> int -> int -> int -> int -> unit
+
 (** {1 Spans} *)
 
 (** Open a span on the calling domain. [args] become Chrome trace args. *)
@@ -99,6 +115,10 @@ val snapshot_spans : unit -> span_view list
 
 (** Events overwritten in full rings, program-wide. *)
 val dropped_events : unit -> int
+
+(** Per-domain overflow accounting: (tid, dropped) sorted by tid, zeros
+    included. Exported under [spans.dropped_per_domain] in metrics. *)
+val dropped_per_domain : unit -> (int * int) list
 
 (** Write the Chrome trace-event JSON file. *)
 val write_trace : string -> unit

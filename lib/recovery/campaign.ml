@@ -60,6 +60,7 @@ type cell = {
   c_sweep_points : int;
   c_sweep_slice_points : int;
   c_sweep_failures : int;
+  c_flight : string option; (* flight-recorder dump artifact when enabled *)
 }
 
 type class_stats = {
@@ -83,12 +84,36 @@ type report = {
   r_cells : cell list; (* matrix order, independent of pool width *)
 }
 
-let run_cell_inner ~hardened ~window ~master_seed (sp : cell_spec) : cell =
+let outcome_code = function
+  | Recovered -> 0
+  | Degraded -> 1
+  | Refused -> 2
+  | Escaped -> 3
+  | Masked -> 4
+
+(* Stamp the campaign's own verdict into the cell's flight dump: reload
+   the ring from the artifact, re-attach, append a [Cell] record in a
+   fresh epoch and re-dump. The harness never sees this record — it is
+   the campaign layer annotating the forensic timeline after the fact. *)
+let stamp_cell_event ~sp ~outcome ~detections dump =
+  match Cwsp_flight.Recorder.load_dump_string dump with
+  | None -> Some dump (* unreadable artifact: ship it untouched *)
+  | Some mem -> (
+      match Cwsp_flight.Recorder.attach mem with
+      | None -> Some dump
+      | Some fr ->
+          Cwsp_flight.Recorder.bump_epoch fr;
+          Cwsp_flight.Recorder.append fr ~kind:Cwsp_flight.Recorder.Cell
+            sp.sp_index (outcome_code outcome) detections sp.sp_rep;
+          Some (Cwsp_flight.Recorder.dump_string mem))
+
+let run_cell_inner ?(flight = false) ~hardened ~window ~master_seed
+    (sp : cell_spec) : cell =
   let rng = Cwsp_util.Rng.stream (Cwsp_util.Rng.create master_seed) sp.sp_index in
   let seed = Cwsp_util.Rng.int rng max_int in
   let g = sp.sp_target.t_golden in
   let crash_at = 1 + Cwsp_util.Rng.int rng (max 1 (g.g_steps - 2)) in
-  let base outcome ~injected ~detected ~detail ~sweep ~slice ~fails =
+  let base outcome ~injected ~detected ~detail ~sweep ~slice ~fails ~fdump =
     {
       c_workload = sp.sp_target.t_name;
       c_cls = sp.sp_cls;
@@ -102,15 +127,20 @@ let run_cell_inner ~hardened ~window ~master_seed (sp : cell_spec) : cell =
       c_sweep_points = sweep;
       c_sweep_slice_points = slice;
       c_sweep_failures = fails;
+      c_flight =
+        Option.bind fdump (fun d ->
+            stamp_cell_event ~sp ~outcome
+              ~detections:(if detected then 1 else 0)
+              d);
     }
   in
   match
-    Harness.validate_fault ~window ~golden:g ~hardened ~fault:sp.sp_cls ~seed
-      ~crash_at sp.sp_target.t_compiled
+    Harness.validate_fault ~window ~golden:g ~hardened ~flight ~fault:sp.sp_cls
+      ~seed ~crash_at sp.sp_target.t_compiled
   with
   | Error e ->
       base Masked ~injected:false ~detected:false ~detail:("harness: " ^ e)
-        ~sweep:0 ~slice:0 ~fails:0
+        ~sweep:0 ~slice:0 ~fails:0 ~fdump:None
   | Ok r ->
       let injected = r.fr_injected <> None in
       let detected = r.fr_detections <> [] || r.fr_outcome = Harness.Refused in
@@ -133,13 +163,14 @@ let run_cell_inner ~hardened ~window ~master_seed (sp : cell_spec) : cell =
       in
       base outcome ~injected ~detected ~detail ~sweep:r.fr_sweep_points
         ~slice:r.fr_sweep_slice_points ~fails:r.fr_sweep_failures
+        ~fdump:r.fr_flight
 
 (* Tracing wrapper: one span per matrix cell plus a per-(class, outcome)
    counter, e.g. "campaign.torn_write.recovered". Dynamic names are only
    built when instrumentation is on; outcomes themselves are computed by
    [run_cell_inner] either way, so reports are unaffected. *)
-let run_cell ~hardened ~window ~master_seed (sp : cell_spec) : cell =
-  if not !Obs.on then run_cell_inner ~hardened ~window ~master_seed sp
+let run_cell ?flight ~hardened ~window ~master_seed (sp : cell_spec) : cell =
+  if not !Obs.on then run_cell_inner ?flight ~hardened ~window ~master_seed sp
   else begin
     Obs.span_begin ~cat:"campaign"
       ~args:
@@ -149,7 +180,7 @@ let run_cell ~hardened ~window ~master_seed (sp : cell_spec) : cell =
         ]
       (Printf.sprintf "cell:%s/%s" sp.sp_target.t_name (Fault.name sp.sp_cls));
     Fun.protect ~finally:Obs.span_end (fun () ->
-        let c = run_cell_inner ~hardened ~window ~master_seed sp in
+        let c = run_cell_inner ?flight ~hardened ~window ~master_seed sp in
         Obs.Counter.incr
           (Obs.Counter.make
              (Printf.sprintf "campaign.%s.%s" (Fault.name c.c_cls)
@@ -160,7 +191,7 @@ let run_cell ~hardened ~window ~master_seed (sp : cell_spec) : cell =
 (** Run the matrix. [map] fans the cells out (default: sequential); it
     MUST be order-preserving, e.g. [Executor.map_pool]. *)
 let run ?(map = Array.map) ?(window = 16) ?(hardened = true)
-    ?(master_seed = 2024) ~seeds ~classes targets : report =
+    ?(master_seed = 2024) ?(flight = false) ~seeds ~classes targets : report =
   let specs =
     List.concat_map
       (fun t ->
@@ -172,7 +203,7 @@ let run ?(map = Array.map) ?(window = 16) ?(hardened = true)
            { sp_target = t; sp_cls = cls; sp_rep = rep; sp_index = i })
     |> Array.of_list
   in
-  let cells = map (run_cell ~hardened ~window ~master_seed) specs in
+  let cells = map (run_cell ~flight ~hardened ~window ~master_seed) specs in
   {
     r_hardened = hardened;
     r_master_seed = master_seed;
@@ -216,6 +247,26 @@ let summarize report = List.map (fun c -> (c, class_stats report c)) report.r_cl
 
 let escaped report =
   List.filter (fun c -> c.c_outcome = Escaped) report.r_cells
+
+(* Deterministic per-cell artifact name: derived from the cell's fixed
+   matrix coordinates only, so a --jobs 4 run writes byte-identical
+   files under byte-identical names as --jobs 1. *)
+let flight_file_name c =
+  Printf.sprintf "%s-%s-rep%03d.flight" c.c_workload (Fault.name c.c_cls)
+    c.c_rep
+
+let save_flights report dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.fold_left
+    (fun n c ->
+      match c.c_flight with
+      | None -> n
+      | Some dump ->
+          let oc = open_out (Filename.concat dir (flight_file_name c)) in
+          output_string oc dump;
+          close_out oc;
+          n + 1)
+    0 report.r_cells
 
 (** Total (mid-recovery crash sites, of which recovery-slice
     instructions) exercised by the sweep cells. *)

@@ -45,6 +45,11 @@ type cell = {
   c_sweep_points : int;
   c_sweep_slice_points : int;
   c_sweep_failures : int;
+  c_flight : string option;
+      (** flight-recorder dump ([Cwsp_flight.Recorder] text artifact)
+          when the campaign ran with [flight:true]: the harness's
+          cross-crash event ring plus a final campaign [Cell] record
+          (index, outcome, detected, rep) stamped in its own epoch *)
 }
 
 type class_stats = {
@@ -70,15 +75,24 @@ type report = {
 
 (** Run one cell (exposed for tests). *)
 val run_cell :
-  hardened:bool -> window:int -> master_seed:int -> cell_spec -> cell
+  ?flight:bool ->
+  hardened:bool ->
+  window:int ->
+  master_seed:int ->
+  cell_spec ->
+  cell
 
 (** Run the matrix. [map] fans the cells out (default sequential); it
-    must be order-preserving, e.g. [Executor.map_pool ~jobs]. *)
+    must be order-preserving, e.g. [Executor.map_pool ~jobs].
+    [flight:true] runs every cell with the in-NVM flight recorder on and
+    carries each cell's dump in [c_flight]; recording never changes an
+    outcome (the harness excludes the ring from its golden compare). *)
 val run :
   ?map:((cell_spec -> cell) -> cell_spec array -> cell array) ->
   ?window:int ->
   ?hardened:bool ->
   ?master_seed:int ->
+  ?flight:bool ->
   seeds:int ->
   classes:Fault.cls list ->
   target list ->
@@ -93,6 +107,14 @@ val escaped : report -> cell list
 (** Total (mid-recovery crash sites, of which on recovery-slice
     instructions) exercised by the crash-during-recovery sweeps. *)
 val sweep_coverage : report -> int * int
+
+(** Deterministic per-cell flight-dump file name (matrix coordinates
+    only — identical at any pool width). *)
+val flight_file_name : cell -> string
+
+(** Write every cell's flight dump under [dir] (created if missing)
+    using [flight_file_name]; returns the number written. *)
+val save_flights : report -> string -> int
 
 (** Human-readable summary table. *)
 val render : report -> string

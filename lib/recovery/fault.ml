@@ -34,20 +34,11 @@ let name = function
 let of_name s =
   List.find_opt (fun c -> name c = s) all
 
-(* Word-sized avalanche (splitmix64 finalizer). Stands in for the CRC an
-   MC would store beside each record/slot; what matters for the model is
-   that any single-field change moves the sum with overwhelming
-   probability, and that it is cheap and byte-order independent. Result
-   is truncated to 62 bits so it round-trips through OCaml ints. *)
-let value_sum v =
-  let open Int64 in
-  let z = of_int v in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)
-
-(* Order-sensitive combination, so swapped fields do not cancel. *)
-let combine acc v = value_sum (acc lxor (v + 0x9E3779B9 + (acc lsl 6)))
+(* The checksum core lives in [Cwsp_util.Checksum] so the flight
+   recorder (which this library depends on) shares the exact sum the
+   undo-log records use. *)
+let value_sum = Cwsp_util.Checksum.value_sum
+let combine = Cwsp_util.Checksum.combine
 
 (** Checksum of a full undo-log record. Covers every field the replay
     trusts: position (region, per-MC sequence number), address, the OLD

@@ -29,8 +29,28 @@
     machine; our IR keeps them in interpreter frames). *)
 
 open Cwsp_interp
+module Obs = Cwsp_obs.Obs
+module Recorder = Cwsp_flight.Recorder
 
 let poison = 0x5F5F5F5F
+
+(* Flight-recorder event codes, routed through [Obs.record] so the sites
+   stay a single no-op branch when no recorder is installed. *)
+let k_boundary = Recorder.kind_code Recorder.Boundary
+let k_telemetry = Recorder.kind_code Recorder.Telemetry
+
+(* CWSP_FLIGHT=1 turns the flight recorder on for every experiment in
+   the process — the CI switch for proving recorder-on runs match the
+   recorder-off goldens and perf baselines. Read once at startup. *)
+let flight_env = Sys.getenv_opt "CWSP_FLIGHT" = Some "1"
+
+(* [Fault.cls] codes as the ring records them ([Recorder.fault_name]). *)
+let fault_code = function
+  | Fault.Torn_persist -> 1
+  | Fault.Dropped_tail -> 2
+  | Fault.Log_corruption -> 3
+  | Fault.Ckpt_bitflip -> 4
+  | Fault.Recovery_crash -> 5
 
 type region_record = {
   region_index : int;
@@ -113,8 +133,20 @@ let on_boundary t static_id =
   (* closing a region that contained a sync primitive seals it: the drain
      semantics of Section VIII guarantee everything up to and including
      it is persistent *)
-  (let cur = current_region t in
-   if cur.has_sync then t.sync_floor <- cur.region_index);
+  let closed_sync =
+    let cur = current_region t in
+    if cur.has_sync then t.sync_floor <- cur.region_index;
+    cur.has_sync
+  in
+  (* flight recorder: a boundary commit plus persist-path telemetry.
+     [Obs.record] is a single no-op branch unless a recorder sink is
+     installed (validate_fault ~flight:true), so untraced runs pay two
+     dead branches per region boundary. *)
+  let live = Mc_logs.live_entries t.logs in
+  Obs.record k_boundary t.machine.steps static_id live
+    (if closed_sync then 1 else 0);
+  Obs.record k_telemetry (List.length t.regions) live t.sync_floor
+    (Hashtbl.length t.slot_sums);
   (* regions falling out of the tracking window are treated as persisted
      (non-speculative): the MCs reclaim their log arrays, exactly the
      hardware's deallocation protocol *)
@@ -499,6 +531,11 @@ let explicit_hooks e : Machine.hooks =
           e.e_last_store <- None
         end
         else if tag = Event.tag_boundary then begin
+          (* flight recorder: boundary commit in the explicit model,
+             with the flushed-but-unfenced set as persist telemetry *)
+          Obs.record k_boundary e.e_machine.steps (Event.payload ev)
+            (Hashtbl.length e.e_pending)
+            (match e.e_pending_atomic with Some _ -> 1 | None -> 0);
           (match e.e_pending_atomic with
           | Some (a, v) -> Memory.write e.e_nvm a v
           | None -> ());
@@ -523,8 +560,10 @@ let explicit_hooks e : Machine.hooks =
     and compare the final NVM state and the exactly-once device output
     stream against a failure-free run. Deterministic: the adversary
     always takes everything a fence had not sealed. *)
-let validate_explicit ~crash_at (compiled : Cwsp_compiler.Pipeline.compiled) :
-    (crash_report, string) result =
+let validate_explicit ?(flight = false) ?on_flight ~crash_at
+    (compiled : Cwsp_compiler.Pipeline.compiled) : (crash_report, string) result
+    =
+  let flight = flight || flight_env in
   let golden = Machine.create (Machine.link compiled.prog) in
   Machine.run golden Machine.no_hooks;
   let linked = Machine.link compiled.prog in
@@ -541,6 +580,23 @@ let validate_explicit ~crash_at (compiled : Cwsp_compiler.Pipeline.compiled) :
       e_boundary = None;
     }
   in
+  (* In the explicit model the recorder lives in the durable image
+     directly: each append is its own flush+fence (the commit-word
+     ordering is the failure-atomicity), so the ring survives the
+     deterministic crash whole. *)
+  let frec = if flight then Some (Recorder.format e.e_nvm) else None in
+  let with_sink f =
+    match frec with
+    | Some fr ->
+      Obs.with_recorder
+        (fun k a b c d ->
+          match Recorder.kind_of_code k with
+          | Some kind -> Recorder.append fr ~kind a b c d
+          | None -> ())
+        f
+    | None -> f ()
+  in
+  with_sink @@ fun () ->
   let h = explicit_hooks e in
   while e.e_machine.status = Machine.Running && e.e_machine.steps < crash_at do
     Machine.step e.e_machine h
@@ -580,6 +636,19 @@ let validate_explicit ~crash_at (compiled : Cwsp_compiler.Pipeline.compiled) :
         ( Machine.resume linked ~mem:image ~frames:(`Frames frames) ~depth,
           static_id, List.length slice, released )
     in
+    (* recovery-side flight events: new crash epoch on the surviving
+       image, then the crash record and the blind-resume decision *)
+    if flight then begin
+      (match Recorder.attach image with
+      | Some r ->
+        Recorder.bump_epoch r;
+        Recorder.append r ~kind:Recorder.Crash crash_step recovery_region 0 0;
+        Recorder.append r ~kind:Recorder.Resume recovery_region restored 0 0
+      | None -> ());
+      match on_flight with
+      | Some f -> f (Recorder.dump_string image)
+      | None -> ()
+    end;
     (* bound the blind re-execution the same way [validate] bounds its
        recovered run: non-termination is a reportable divergence *)
     let fuel = (4 * golden.steps) + 10_000 in
@@ -611,9 +680,15 @@ let validate_explicit ~crash_at (compiled : Cwsp_compiler.Pipeline.compiled) :
            (List.length released_outputs)
            (List.length (Machine.outputs recovered))
            (List.length (Machine.outputs golden)))
-    else if Memory.equal golden.mem recovered.mem then Ok report
+    else if
+      Memory.equal_except ~except:Layout.is_flight_addr golden.mem
+        recovered.mem
+    then Ok report
     else
-      match Memory.first_diff golden.mem recovered.mem with
+      match
+        Memory.first_diff_except ~except:Layout.is_flight_addr golden.mem
+          recovered.mem
+      with
       | Some (addr, g, r) ->
         Error
           (Printf.sprintf
@@ -1159,12 +1234,14 @@ let resume_at cs w ~back =
 
 (* Run the resumed machine to completion and compare against the golden
    run. A trap, a hang, or any NVM/IO divergence is a wrong outcome —
-   the oracle, independent of all checksums. *)
+   the oracle, independent of all checksums. The flight-recorder region
+   is excluded: it is observability state, written on the crashing path
+   only, and legitimately differs from the failure-free image. *)
 let run_and_compare cs golden m =
   let fuel = (4 * golden.g_steps) + 10_000 in
   match Machine.run ~fuel m Machine.no_hooks with
   | () ->
-      Memory.equal golden.g_mem m.mem
+      Memory.equal_except ~except:Layout.is_flight_addr golden.g_mem m.mem
       && cs.cs_released @ Machine.outputs m = golden.g_outputs
   | exception Machine.Trap _ -> false
   | exception Machine.Fuel_exhausted -> false
@@ -1182,6 +1259,10 @@ type fault_report = {
   fr_sweep_points : int; (* mid-recovery crash sites exercised *)
   fr_sweep_slice_points : int; (* ... of which were slice instructions *)
   fr_sweep_failures : int; (* sweep runs with a wrong final state *)
+  fr_flight : string option;
+    (* flight-recorder dump (text artifact) when recording was enabled:
+       the ring's surviving words after the crash, the recovery-side
+       events appended to them, ready for [cwsp_postmortem] *)
 }
 
 (* Mid-recovery crash sites: every non-revert step (intent, truncate and
@@ -1242,15 +1323,49 @@ let execute_recovery cs golden ~back ~plan ~restart ~sweep =
     what the audits detected, and whether the final state is right;
     [Refused] means recovery proved it could not proceed safely and
     stopped without committing any image. *)
-let validate_fault ?(window = 16) ?(n_mcs = 2) ?golden ~hardened ?fault ~seed
-    ~crash_at (compiled : Cwsp_compiler.Pipeline.compiled) :
-    (fault_report, string) result =
+let validate_fault ?(window = 16) ?(n_mcs = 2) ?golden ?(flight = false)
+    ~hardened ?fault ~seed ~crash_at
+    (compiled : Cwsp_compiler.Pipeline.compiled) : (fault_report, string) result
+    =
+  let flight = flight || flight_env in
   let rng = Cwsp_util.Rng.create seed in
   let golden = match golden with Some g -> g | None -> golden_of compiled in
   let t = create ~window compiled in
+  (* The recorder ring is formatted inside the tracked machine's own NVM
+     image and fed through [Obs.record] sites; its writes bypass the
+     instrumentation hooks (never undo-logged) and nothing in recovery
+     reads it, so enabling it cannot change any outcome. Its rng draws
+     come from a dedicated stream so the main [rng]'s draw sequence is
+     byte-identical with recording on or off. *)
+  let frec = if flight then Some (Recorder.format t.machine.mem) else None in
+  let with_sink f =
+    match frec with
+    | Some fr ->
+      Obs.with_recorder
+        (fun k a b c d ->
+          match Recorder.kind_of_code k with
+          | Some kind -> Recorder.append fr ~kind a b c d
+          | None -> ())
+        f
+    | None -> f ()
+  in
+  with_sink @@ fun () ->
   if run_until t crash_at then Error "program halted before the crash point"
   else begin
     let cs = cut_power ~n_mcs rng t in
+    (* the ring is ordinary NVM: the in-flight append can tear at the
+       crash, leaving a frontier slot that fails its checksum *)
+    (match frec with
+    | Some fr ->
+      let frng = Cwsp_util.Rng.stream (Cwsp_util.Rng.create seed) 0x666c74 in
+      if Cwsp_util.Rng.bool frng then (
+        match Recorder.frontier_words fr with
+        | [] -> ()
+        | ws ->
+          let a = List.nth ws (Cwsp_util.Rng.int frng (List.length ws)) in
+          Memory.mutate cs.cs_mem a (fun v ->
+              Fault.tear frng ~value:v ~old:0))
+    | None -> ());
     let injected =
       match fault with None -> None | Some cls -> inject rng cls cs
     in
@@ -1258,6 +1373,21 @@ let validate_fault ?(window = 16) ?(n_mcs = 2) ?golden ~hardened ?fault ~seed
       (List.nth cs.cs_regions cs.cs_nominal).region_index
     in
     let want_sweep = fault = Some Fault.Recovery_crash in
+    (* recovery-side recorder: re-attach on the surviving image (cursor
+       rebuilt by slot scan), open a new crash epoch, and log what the
+       adversary did and what the ladder decides *)
+    let rrec = if flight then Recorder.attach cs.cs_mem else None in
+    (match rrec with Some r -> Recorder.bump_epoch r | None -> ());
+    let rapp kind a b c d =
+      match rrec with
+      | Some r -> Recorder.append r ~kind a b c d
+      | None -> ()
+    in
+    rapp Recorder.Crash cs.cs_crash_step nominal_region n_mcs 0;
+    (match fault with
+    | Some cls when injected <> None || cls = Fault.Recovery_crash ->
+      rapp Recorder.Inject (fault_code cls) 0 0 0
+    | _ -> ());
     let report ~rung_region ~outcome ~detections ~state_ok ~sweep ~plan
         ~failures =
       {
@@ -1273,7 +1403,19 @@ let validate_fault ?(window = 16) ?(n_mcs = 2) ?golden ~hardened ?fault ~seed
         fr_sweep_points = List.length sweep;
         fr_sweep_slice_points = slice_cut_count plan sweep;
         fr_sweep_failures = failures;
+        fr_flight =
+          (if flight then Some (Recorder.dump_string cs.cs_mem) else None);
       }
+    in
+    (* mid-recovery power failures re-attach the ring of the sweep
+       world's image and open yet another epoch before replaying *)
+    let flight_restart w =
+      if flight then
+        match Recorder.attach w.w_mem with
+        | Some r ->
+          Recorder.bump_epoch r;
+          Recorder.append r ~kind:Recorder.Restart 0 0 0 0
+        | None -> ()
     in
     if not hardened then begin
       (* blind protocol: trust every surviving byte *)
@@ -1284,11 +1426,14 @@ let validate_fault ?(window = 16) ?(n_mcs = 2) ?golden ~hardened ?fault ~seed
       let restart w =
         (* a blind restart re-reads whatever logs survived — after the
            premature truncation, usually nothing *)
+        flight_restart w;
         run_plan w (blind_plan cs ~logs:w.w_logs)
       in
       let ok, failures =
         execute_recovery cs golden ~back:cs.cs_nominal ~plan ~restart ~sweep
       in
+      rapp Recorder.Decision 0 cs.cs_nominal 0 (if ok then 1 else 0);
+      rapp Recorder.Resume nominal_region 0 (List.length plan) 0;
       Ok
         (report ~rung_region:nominal_region ~outcome:Recovered ~detections:[]
            ~state_ok:ok ~sweep ~plan ~failures)
@@ -1297,19 +1442,29 @@ let validate_fault ?(window = 16) ?(n_mcs = 2) ?golden ~hardened ?fault ~seed
       (* hardened protocol: audit, degrade, or refuse *)
       let n = List.length cs.cs_regions in
       let rec ladder back detections =
-        if back >= n then
+        if back >= n then begin
+          rapp Recorder.Decision 2 n (List.length detections + 1) 1;
           Ok
             (report ~rung_region:(-1) ~outcome:Refused
                ~detections:
                  (detections @ [ "no verifiable rollback boundary left" ])
                ~state_ok:true ~sweep:[] ~plan:[] ~failures:0)
+        end
         else begin
           let rc = check_rung cs ~back in
-          if rc.rc_fatal then
+          rapp Recorder.Rung back
+            (if rc.rc_usable then 1 else 0)
+            (if rc.rc_fatal then 1 else 0)
+            (List.length rc.rc_skip);
+          if rc.rc_fatal then begin
+            rapp Recorder.Decision 2 back
+              (List.length (detections @ rc.rc_notes))
+              1;
             Ok
               (report ~rung_region:(-1) ~outcome:Refused
                  ~detections:(detections @ rc.rc_notes) ~state_ok:true
                  ~sweep:[] ~plan:[] ~failures:0)
+          end
           else if not rc.rc_usable then
             ladder (back + 1) (detections @ rc.rc_notes)
           else begin
@@ -1319,6 +1474,7 @@ let validate_fault ?(window = 16) ?(n_mcs = 2) ?golden ~hardened ?fault ~seed
               if want_sweep then sweep_cuts plan ~max_reverts:8 else []
             in
             let restart w =
+              flight_restart w;
               (* the durable intent record makes the plan idempotent:
                  no intent yet -> recovery never started, run it all;
                  intent + live logs -> reverts are absolute writes,
@@ -1342,6 +1498,16 @@ let validate_fault ?(window = 16) ?(n_mcs = 2) ?golden ~hardened ?fault ~seed
             let outcome =
               if back = cs.cs_nominal then Recovered else Degraded
             in
+            rapp Recorder.Decision
+              (if outcome = Recovered then 0 else 1)
+              back
+              (List.length detections)
+              (if ok then 1 else 0);
+            let count p = List.length (List.filter p plan) in
+            rapp Recorder.Resume rung_region
+              (count (function S_slice _ -> true | _ -> false))
+              (count (function S_revert _ -> true | _ -> false))
+              0;
             Ok
               (report ~rung_region ~outcome ~detections ~state_ok:ok ~sweep
                  ~plan ~failures)

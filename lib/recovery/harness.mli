@@ -83,8 +83,17 @@ val validate_chain :
     final NVM state plus an exactly-once device-output stream.
     Deterministic (no RNG): the adversary always takes everything a
     fence had not sealed, so a dropped or misplaced flush/fence escapes
-    at some crash point reproducibly. *)
+    at some crash point reproducibly.
+
+    [flight:true] formats a flight-recorder ring inside the durable
+    image, records each boundary commit (with the flushed-but-unfenced
+    set as telemetry) and the crash/resume decision, and hands the dump
+    artifact to [on_flight]. Recording never changes the verdict: the
+    ring region is excluded from the golden comparison and nothing
+    reads it. *)
 val validate_explicit :
+  ?flight:bool ->
+  ?on_flight:(string -> unit) ->
   crash_at:int ->
   Cwsp_compiler.Pipeline.compiled ->
   (crash_report, string) result
@@ -126,6 +135,11 @@ type fault_report = {
       (** ... of which were recovery-slice instructions (the acceptance
           sweep covers every slice index) *)
   fr_sweep_failures : int;  (** sweep runs ending in a wrong final state *)
+  fr_flight : string option;
+      (** flight-recorder dump (the [Cwsp_flight.Recorder] text
+          artifact) when recording was enabled: pre-crash boundary and
+          telemetry records in epoch 0, the crash/injection/ladder
+          events in epoch 1 — ready for [cwsp_postmortem] *)
 }
 
 (** Validate one adversarial crash: run to [crash_at], cut power, inject
@@ -133,11 +147,26 @@ type fault_report = {
     realized as a second power failure swept across every instruction of
     the staged recovery plan), recover — hardened, or blind when
     [hardened:false] (trust every byte, legacy ordering; the negative
-    corpus) — and compare the final state against a failure-free run. *)
+    corpus) — and compare the final state against a failure-free run.
+
+    [flight:true] additionally formats a flight-recorder ring inside
+    the tracked machine's NVM: boundary commits and persist telemetry
+    are recorded as the program runs (epoch 0); the crash re-attaches
+    the surviving ring and a new epoch records the injection, every
+    ladder-rung audit, the decision and the resume point; mid-recovery
+    sweep crashes open further epochs. The crash can tear the in-flight
+    append (dedicated rng stream — the main [seed]-driven draw sequence
+    is unchanged), the ring region is excluded from golden comparisons,
+    and nothing in recovery reads it, so outcomes are identical with
+    recording on or off; [fr_flight] carries the dump artifact. The
+    [CWSP_FLIGHT=1] environment forces recording on process-wide (here
+    and in [validate_explicit]) — CI uses it to pin recorder-on runs to
+    the recorder-off goldens and perf baselines. *)
 val validate_fault :
   ?window:int ->
   ?n_mcs:int ->
   ?golden:golden ->
+  ?flight:bool ->
   hardened:bool ->
   ?fault:Fault.cls ->
   seed:int ->

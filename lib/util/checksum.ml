@@ -1,0 +1,24 @@
+(** Word-sized checksums for persistent record formats.
+
+    Both the per-MC undo logs ([Mc_logs]) and the flight-recorder ring
+    ([Cwsp_flight.Recorder]) guard every durable record with a checksum
+    so a post-crash reader can tell an intact record from a torn or
+    bit-rotted one. The sum stands in for the CRC a memory controller
+    would store beside each record: what matters for the model is that
+    any single-field change moves the sum with overwhelming probability,
+    that it is cheap, and that it round-trips through OCaml ints. *)
+
+(* Word-sized avalanche (splitmix64 finalizer), truncated to 62 bits so
+   the result is a valid OCaml int on 64-bit platforms. *)
+let value_sum v =
+  let open Int64 in
+  let z = of_int v in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)
+
+(* Order-sensitive combination, so swapped fields do not cancel. *)
+let combine acc v = value_sum (acc lxor (v + 0x9E3779B9 + (acc lsl 6)))
+
+(** Checksum of a field list, order-sensitively folded from a zero seed. *)
+let words vs = List.fold_left combine (combine 0 (List.length vs)) vs

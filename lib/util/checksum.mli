@@ -1,0 +1,13 @@
+(** Word-sized checksums shared by the persistent record formats (undo
+    logs, flight-recorder ring). *)
+
+(** Avalanche hash of one word (splitmix64 finalizer), truncated to 62
+    bits so it round-trips through OCaml ints. *)
+val value_sum : int -> int
+
+(** Order-sensitive accumulation: [combine acc v] folds [v] into [acc]
+    such that swapped fields do not cancel. *)
+val combine : int -> int -> int
+
+(** Checksum of a whole field list (length-prefixed, order-sensitive). *)
+val words : int list -> int

@@ -159,6 +159,14 @@ module Histogram = struct
       end
     end
 
+  (** One-line quantile digest, p50 through the p999 tail. *)
+  let summary t =
+    if t.n = 0 then "count=0"
+    else
+      Printf.sprintf "count=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g p999=%.4g"
+        t.n (mean t) (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)
+        (quantile t 0.999)
+
   (** Fold [src] into [into]; both must share identical bounds. *)
   let merge ~into src =
     if into.bounds <> src.bounds then

@@ -55,6 +55,12 @@ module Histogram : sig
       empty. Raises [Invalid_argument] outside [0,1]. *)
   val quantile : t -> float -> float
 
+  (** One-line quantile digest:
+      ["count=N mean=M p50=A p90=B p99=C p999=D"] (["count=0"] when
+      empty) — the shared renderer for metrics.json histogram lines and
+      the bench harness's end-of-run summary. *)
+  val summary : t -> string
+
   (** Fold [src] into [into]; raises [Invalid_argument] unless both share
       identical bounds. *)
   val merge : into:t -> t -> unit

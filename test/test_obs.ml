@@ -130,6 +130,14 @@ let run_traced ~jobs =
   Executor.run ~jobs (Exp.plan ~subset series);
   let out = capture_stdout render in
   let spans = List.length (Obs.snapshot_spans ()) in
+  (* the golden-identity runs must fit their rings: a dropped span would
+     mean the comparison silently covered less than the full workload *)
+  List.iter
+    (fun (tid, dropped) ->
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d dropped no spans" tid)
+        0 dropped)
+    (Obs.dropped_per_domain ());
   Obs.reset ();
   (out, spans)
 

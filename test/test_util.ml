@@ -173,6 +173,24 @@ let test_hist_quantile () =
     (Invalid_argument "Histogram.quantile: q outside [0,1]") (fun () ->
       ignore (Stats.Histogram.quantile h 1.5))
 
+let test_hist_p999 () =
+  (* uniform 1..1000 with 250-wide buckets: every tail quantile lands in
+     the last bucket and interpolates exactly (rank 999 of 1000 is 99.6%
+     through [750,1000] -> 999.0) *)
+  let h = Stats.Histogram.create [| 250.0; 500.0; 750.0; 1000.0 |] in
+  for v = 1 to 1000 do
+    Stats.Histogram.add h (float_of_int v)
+  done;
+  Alcotest.(check (float 1e-9)) "p99 interpolates" 990.0
+    (Stats.Histogram.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "p999 interpolates" 999.0
+    (Stats.Histogram.quantile h 0.999);
+  Alcotest.(check string) "summary digest"
+    "count=1000 mean=500.5 p50=500 p90=900 p99=990 p999=999"
+    (Stats.Histogram.summary h);
+  Alcotest.(check string) "empty summary" "count=0"
+    (Stats.Histogram.summary (Stats.Histogram.create [| 1.0 |]))
+
 let prop_hist_quantile_monotone =
   QCheck.Test.make ~name:"histogram quantiles are monotone in q" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0.0 1000.0))
@@ -253,6 +271,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_hist_basic;
           Alcotest.test_case "bad bounds" `Quick test_hist_bad_bounds;
           Alcotest.test_case "quantile" `Quick test_hist_quantile;
+          Alcotest.test_case "p999" `Quick test_hist_p999;
           qtest prop_hist_quantile_monotone;
           Alcotest.test_case "merge" `Quick test_hist_merge;
         ] );
